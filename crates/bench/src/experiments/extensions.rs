@@ -1,0 +1,100 @@
+//! Extension experiments beyond the paper's evaluation: the §7 future-work
+//! items implemented in this repository.
+
+use cbp_core::PreemptionPolicy;
+use cbp_storage::MediaKind;
+use cbp_workload::mapreduce::MapReduceConfig;
+use cbp_yarn::YarnConfig;
+
+use crate::table::{fmt, Experiment, Table};
+use crate::Scale;
+
+/// MapReduce under checkpoint-based preemption: the reduce barrier
+/// amplifies the cost of killing maps.
+pub fn mapreduce(scale: Scale, seed: u64) -> Experiment {
+    let plan = MapReduceConfig {
+        jobs: scale.apply(24, 8),
+        ..Default::default()
+    }
+    .generate(seed);
+    let nodes = scale.apply(8, 2);
+
+    let mut exp = Experiment::new(
+        "mapreduce",
+        "(extension; paper §7 future work) two-phase MapReduce jobs: reduces \
+         wait for every map, so killed maps delay whole jobs; suspend-resume \
+         keeps the barrier moving",
+    );
+
+    let mut t = Table::new(
+        "mapreduce",
+        "MapReduce jobs under each preemption policy",
+        &[
+            "policy",
+            "wasted core-h",
+            "mean low [min]",
+            "mean high [min]",
+            "kills",
+            "checkpoints",
+        ],
+    );
+    for (policy, media) in [
+        (PreemptionPolicy::Kill, MediaKind::Ssd),
+        (PreemptionPolicy::Checkpoint, MediaKind::Ssd),
+        (PreemptionPolicy::Checkpoint, MediaKind::Nvm),
+        (PreemptionPolicy::Adaptive, MediaKind::Nvm),
+    ] {
+        let mut cfg = YarnConfig::paper_cluster(policy, media);
+        cfg.nodes = nodes;
+        let r = cfg.run_mapreduce(&plan);
+        let label = if policy == PreemptionPolicy::Kill {
+            "Kill (stock)".to_string()
+        } else {
+            format!("{policy}-{media}")
+        };
+        t.row(vec![
+            label,
+            fmt(r.wasted_cpu_hours(), 2),
+            fmt(r.mean_low_response() / 60.0, 1),
+            fmt(r.mean_high_response() / 60.0, 1),
+            r.kills.to_string(),
+            r.checkpoints.to_string(),
+        ]);
+    }
+    t.note(format!(
+        "{} jobs: {} maps + {} reduces on {} nodes",
+        plan.workload.job_count(),
+        plan.map_count(),
+        plan.reduce_count(),
+        nodes
+    ));
+    exp.push(t);
+
+    // The NM grace-period ablation: stock YARN's short grace vs the
+    // generous grace the paper's AM-side handling implies.
+    let mut grace = Table::new(
+        "mapreduce-grace",
+        "NodeManager grace period vs checkpointing viability (Chk, MapReduce)",
+        &["grace", "medium", "checkpoints", "force-kills", "wasted core-h"],
+    );
+    for (label, secs) in [("5 s (stock)", 5u64), ("10 min", 600)] {
+        for media in [MediaKind::Hdd, MediaKind::Nvm] {
+            let mut cfg = YarnConfig::paper_cluster(PreemptionPolicy::Checkpoint, media);
+            cfg.nodes = nodes;
+            let r = cfg
+                .with_graceful_timeout(cbp_simkit::SimDuration::from_secs(secs))
+                .run_mapreduce(&plan);
+            grace.row(vec![
+                label.to_string(),
+                media.to_string(),
+                r.checkpoints.to_string(),
+                r.force_kills.to_string(),
+                fmt(r.wasted_cpu_hours(), 2),
+            ]);
+        }
+    }
+    grace.note("a stock-YARN grace aborts slow-media dumps; fast NVM dumps mostly fit");
+    exp.push(grace);
+
+    exp
+}

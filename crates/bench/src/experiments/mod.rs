@@ -1,0 +1,32 @@
+//! One module per experiment family.
+
+pub mod ablate;
+pub mod characterize;
+pub mod extensions;
+pub mod micro;
+pub mod qos;
+pub mod sensitivity;
+pub mod tracesim;
+pub mod yarnexp;
+
+use cbp_core::{PreemptionPolicy, SimConfig};
+use cbp_storage::MediaKind;
+use cbp_workload::google::GoogleTraceConfig;
+use cbp_workload::Workload;
+
+use crate::Scale;
+
+/// The shared Google-trace simulation setup (§3.3.2 / §4.2.1): a one-day
+/// trace and a cluster sized so kill-based preemption reproduces the §2
+/// contention aggregates. Both the workload and the cluster scale together,
+/// preserving per-node load.
+pub fn google_setup(scale: Scale, seed: u64) -> (Workload, SimConfig) {
+    let workload = GoogleTraceConfig::one_day()
+        .scaled(scale.factor)
+        .with_load_factor(1.35)
+        .generate(seed);
+    let nodes = scale.apply(200, 4);
+    let config =
+        SimConfig::trace_sim(PreemptionPolicy::Kill, MediaKind::Hdd).with_nodes(nodes);
+    (workload, config)
+}

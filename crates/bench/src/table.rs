@@ -1,0 +1,206 @@
+//! Result tables and markdown rendering.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+/// One table or figure-series of results.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Paper artifact id (`fig3a`, `table1`, ...).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes, including the paper's anchor observations.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with headers.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: &[&str],
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatch in table {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders as a GitHub-flavored markdown table with notes.
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(out);
+            for n in &self.notes {
+                let _ = writeln!(out, "- {n}");
+            }
+        }
+        out
+    }
+
+    /// Renders as an aligned plain-text table for the terminal.
+    pub fn text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "  {}", header.join("  "));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "  {}", cells.join("  "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+}
+
+/// A complete experiment: one or more tables plus the paper's headline
+/// expectation.
+#[derive(Debug, Clone, Serialize)]
+pub struct Experiment {
+    /// Experiment id (`fig3`, `table3`, ...).
+    pub id: String,
+    /// What the paper claims this artifact shows.
+    pub paper_claim: String,
+    /// The reproduced tables.
+    pub tables: Vec<Table>,
+}
+
+impl Experiment {
+    /// Creates an experiment shell.
+    pub fn new(id: impl Into<String>, paper_claim: impl Into<String>) -> Self {
+        Experiment { id: id.into(), paper_claim: paper_claim.into(), tables: Vec::new() }
+    }
+
+    /// Adds a table.
+    pub fn push(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Markdown section for EXPERIMENTS.md.
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}\n", self.id);
+        let _ = writeln!(out, "**Paper:** {}\n", self.paper_claim);
+        for t in &self.tables {
+            out.push_str(&t.markdown());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fmt(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t1", "Sample", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("a note");
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().markdown();
+        assert!(md.contains("### t1 — Sample"));
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("- a note"));
+    }
+
+    #[test]
+    fn text_alignment() {
+        let txt = sample().text();
+        assert!(txt.contains("== t1 — Sample"));
+        assert!(txt.contains("a  bb"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        Table::new("t", "t", &["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn experiment_markdown() {
+        let mut e = Experiment::new("fig0", "claim");
+        e.push(sample());
+        let md = e.markdown();
+        assert!(md.starts_with("## fig0"));
+        assert!(md.contains("**Paper:** claim"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(1.2345, 2), "1.23");
+        assert_eq!(pct(0.123), "12.3%");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the checkpoint model's core invariants.
+
+use cbp_checkpoint::{Criu, DirtyBitmap, TaskMemory};
+use cbp_simkit::units::ByteSize;
+use cbp_simkit::{SimRng, SimTime};
+use cbp_storage::{Device, MediaSpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// Dirty bytes never exceed the footprint, whatever write pattern the
+    /// task produces.
+    #[test]
+    fn dirty_bytes_bounded_by_footprint(
+        size_mb in 1u64..2048,
+        touches in proptest::collection::vec((0.0f64..1.0, any::<bool>()), 0..20),
+        seed in any::<u64>(),
+    ) {
+        let mut mem = TaskMemory::new(ByteSize::from_mb(size_mb));
+        let mut rng = SimRng::seed_from_u64(seed);
+        for (frac, random) in touches {
+            if random {
+                mem.touch_random(frac, &mut rng);
+            } else {
+                mem.touch_fraction(frac);
+            }
+            prop_assert!(mem.dirty_bytes() <= mem.size());
+            prop_assert!(mem.dirty_pages() <= mem.page_count());
+        }
+    }
+
+    /// clear_dirty always zeroes tracking; mark_all_dirty always saturates.
+    #[test]
+    fn clear_and_saturate(size_mb in 1u64..2048, frac in 0.0f64..1.0) {
+        let mut mem = TaskMemory::new(ByteSize::from_mb(size_mb));
+        mem.clear_dirty();
+        prop_assert_eq!(mem.dirty_pages(), 0);
+        mem.touch_fraction(frac);
+        let expected = ((mem.page_count() as f64 * frac).round() as usize)
+            .min(mem.page_count());
+        prop_assert_eq!(mem.dirty_pages(), expected);
+        mem.mark_all_dirty();
+        prop_assert_eq!(mem.dirty_pages(), mem.page_count());
+    }
+
+    /// Bitmap count equals the number of distinct set positions.
+    #[test]
+    fn bitmap_count_matches_sets(
+        len in 1usize..512,
+        positions in proptest::collection::vec(any::<prop::sample::Index>(), 0..100),
+    ) {
+        let mut bm = DirtyBitmap::new_clear(len);
+        let mut distinct = std::collections::HashSet::new();
+        for p in positions {
+            let i = p.index(len);
+            bm.set(i);
+            distinct.insert(i);
+        }
+        prop_assert_eq!(bm.count(), distinct.len());
+        for &i in &distinct {
+            prop_assert!(bm.get(i));
+        }
+    }
+
+    /// A dump + touch + dump sequence conserves storage accounting: the
+    /// device's in-use bytes always equal the catalog's chain size.
+    #[test]
+    fn storage_accounting_conserved(
+        size_mb in 64u64..1024,
+        fracs in proptest::collection::vec(0.0f64..0.5, 1..6),
+    ) {
+        let mut criu = Criu::new(true);
+        let mut dev = Device::new(MediaSpec::nvm());
+        let mut mem = TaskMemory::new(ByteSize::from_mb(size_mb));
+        let mut now = SimTime::ZERO;
+        criu.dump(1, &mut mem, 0, &mut dev, now).unwrap();
+        for f in fracs {
+            now += cbp_simkit::SimDuration::from_secs(60);
+            mem.touch_fraction(f);
+            criu.dump(1, &mut mem, 0, &mut dev, now).unwrap();
+            prop_assert_eq!(dev.used(), criu.image_size(1));
+        }
+        for (_, bytes) in criu.discard(1) {
+            dev.release(bytes);
+        }
+        prop_assert_eq!(dev.used(), ByteSize::ZERO);
+    }
+
+    /// Incremental dump size equals the dirty bytes at dump time.
+    #[test]
+    fn incremental_size_is_dirty_bytes(
+        size_mb in 64u64..1024,
+        frac in 0.0f64..1.0,
+    ) {
+        let mut criu = Criu::new(true);
+        let mut dev = Device::new(MediaSpec::nvm());
+        let mut mem = TaskMemory::new(ByteSize::from_mb(size_mb));
+        criu.dump(1, &mut mem, 0, &mut dev, SimTime::ZERO).unwrap();
+        mem.touch_fraction(frac);
+        let expected = mem.dirty_bytes();
+        let d = criu
+            .dump(1, &mut mem, 0, &mut dev, SimTime::from_secs(60))
+            .unwrap();
+        prop_assert_eq!(d.size, expected);
+    }
+}

@@ -1,0 +1,29 @@
+//! The compute-cluster substrate: resources, nodes, containers, energy.
+//!
+//! Tasks run in "containers" (YARN's term; the Google trace's "slots") that
+//! reserve a slice of a node's CPU and memory. The scheduler crates
+//! (`cbp-core`, `cbp-yarn`) place containers on [`Node`]s and read
+//! utilization back out for the energy accounting that the paper reports in
+//! Figs. 3b, 4c, 6c and 8b.
+//!
+//! ```
+//! use cbp_cluster::{Container, ContainerId, Node, NodeId, Resources};
+//! use cbp_simkit::units::ByteSize;
+//!
+//! let mut node = Node::new(NodeId(0), Resources::new_cores(24, ByteSize::from_gb(48)));
+//! let c = Container::new(ContainerId(1), Resources::new_cores(1, ByteSize::from_gb(2)), 7);
+//! node.allocate(c)?;
+//! assert_eq!(node.container_count(), 1);
+//! # Ok::<(), cbp_cluster::AllocError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod node;
+mod resources;
+
+pub use energy::{EnergyMeter, EnergyModel};
+pub use node::{AllocError, Container, ContainerId, Node, NodeId};
+pub use resources::Resources;

@@ -1,0 +1,316 @@
+//! Run metrics: everything the paper's figures report.
+
+use std::collections::BTreeMap;
+
+use cbp_simkit::stats::Samples;
+use cbp_simkit::{SimDuration, SimTime};
+use cbp_workload::analysis::TraceLog;
+use cbp_workload::{LatencyClass, PriorityBand};
+use serde::Serialize;
+
+/// Response-time statistics for one priority band.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct BandMetrics {
+    /// Jobs finished in this band.
+    pub jobs: u64,
+    /// Mean response time (submission → last task finish), seconds.
+    pub mean_response_secs: f64,
+    /// All response times, seconds (for CDFs and percentiles).
+    #[serde(skip)]
+    pub responses: Samples,
+}
+
+/// Aggregate results of one simulation run — the quantities plotted in
+/// Figs. 3, 4, 5, 6, 8–12.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunMetrics {
+    /// Total simulated time (first submit → last event).
+    pub makespan_secs: f64,
+    /// Jobs that completed.
+    pub jobs_finished: u64,
+    /// Tasks that completed.
+    pub tasks_finished: u64,
+    /// Preemption events (kills + suspends).
+    pub preemptions: u64,
+    /// Victims killed.
+    pub kills: u64,
+    /// Victims suspended (checkpoint dumps started).
+    pub checkpoints: u64,
+    /// Of which incremental dumps.
+    pub incremental_checkpoints: u64,
+    /// Restores performed.
+    pub restores: u64,
+    /// Remote restores (on a node other than the checkpoint origin).
+    pub remote_restores: u64,
+    /// Dumps that fell back to kill because checkpoint storage was full.
+    pub capacity_fallbacks: u64,
+    /// Containers evicted by node failures (not preemption).
+    pub failure_evictions: u64,
+    /// Checkpoint chains destroyed by node failures (local-FS images on the
+    /// failed node; HDFS-replicated images survive).
+    pub images_lost_to_failures: u64,
+    /// CPU-hours lost to killed progress (re-execution waste).
+    pub kill_lost_cpu_hours: f64,
+    /// CPU-hours spent holding resources during dumps.
+    pub dump_overhead_cpu_hours: f64,
+    /// CPU-hours spent holding resources during restores.
+    pub restore_overhead_cpu_hours: f64,
+    /// CPU-hours of useful (completed) work.
+    pub useful_cpu_hours: f64,
+    /// Total cluster energy, kWh.
+    pub energy_kwh: f64,
+    /// Mean per-node storage-device busy fraction (the paper's worst-case
+    /// I/O overhead metric, Fig. 12b).
+    pub io_overhead_fraction: f64,
+    /// Peak checkpoint-storage use as a fraction of device capacity,
+    /// averaged over nodes (§5.3.3).
+    pub storage_peak_fraction: f64,
+    /// Per-band response statistics.
+    pub per_band: BTreeMap<PriorityBand, BandMetrics>,
+    /// Per latency-sensitivity class response statistics (the paper's
+    /// Table 2 QoS concern: latency-bound tasks suffer from preemption).
+    pub per_latency: BTreeMap<u8, BandMetrics>,
+}
+
+impl RunMetrics {
+    /// Total wasted CPU-hours: killed progress plus checkpoint/restore
+    /// overhead (the paper's Fig. 3a / Fig. 8a quantity).
+    pub fn wasted_cpu_hours(&self) -> f64 {
+        self.kill_lost_cpu_hours + self.dump_overhead_cpu_hours + self.restore_overhead_cpu_hours
+    }
+
+    /// Wasted CPU as a fraction of all consumed CPU.
+    pub fn waste_fraction(&self) -> f64 {
+        let total = self.useful_cpu_hours + self.wasted_cpu_hours();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.wasted_cpu_hours() / total
+        }
+    }
+
+    /// Fraction of consumed CPU time spent checkpointing/restoring
+    /// (Fig. 12a).
+    pub fn cpu_overhead_fraction(&self) -> f64 {
+        let total = self.useful_cpu_hours + self.wasted_cpu_hours();
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.dump_overhead_cpu_hours + self.restore_overhead_cpu_hours) / total
+        }
+    }
+
+    /// Mean response time of one latency class, seconds (0 if empty).
+    pub fn mean_response_latency(&self, class: LatencyClass) -> f64 {
+        self.per_latency
+            .get(&class.0)
+            .map(|b| b.mean_response_secs)
+            .unwrap_or(0.0)
+    }
+
+    /// Mean response time of one band, seconds (0 if the band is empty).
+    pub fn mean_response(&self, band: PriorityBand) -> f64 {
+        self.per_band
+            .get(&band)
+            .map(|b| b.mean_response_secs)
+            .unwrap_or(0.0)
+    }
+
+    /// Mean response over all jobs, seconds.
+    pub fn mean_response_overall(&self) -> f64 {
+        let (sum, n) = self.per_band.values().fold((0.0, 0u64), |(s, n), b| {
+            (s + b.mean_response_secs * b.jobs as f64, n + b.jobs)
+        });
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+/// A finished run: metrics plus the raw event trace (for §2-style analysis)
+/// and the response-time samples.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Human-readable run label (policy + medium).
+    pub label: String,
+    /// Aggregate metrics.
+    pub metrics: RunMetrics,
+    /// The scheduler event log.
+    pub trace: TraceLog,
+}
+
+/// Internal accumulator the simulator writes into.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsCollector {
+    pub preemptions: u64,
+    pub kills: u64,
+    pub checkpoints: u64,
+    pub restores: u64,
+    pub remote_restores: u64,
+    pub capacity_fallbacks: u64,
+    pub failure_evictions: u64,
+    pub images_lost_to_failures: u64,
+    pub kill_lost_cpu_secs: f64,
+    pub dump_overhead_cpu_secs: f64,
+    pub restore_overhead_cpu_secs: f64,
+    pub useful_cpu_secs: f64,
+    pub tasks_finished: u64,
+    pub responses: BTreeMap<PriorityBand, Samples>,
+    pub responses_latency: BTreeMap<u8, Samples>,
+    pub jobs_finished: u64,
+}
+
+impl MetricsCollector {
+    pub fn record_response(
+        &mut self,
+        band: PriorityBand,
+        latency: LatencyClass,
+        submit: SimTime,
+        finish: SimTime,
+    ) {
+        let response = finish.since(submit).as_secs_f64();
+        self.responses.entry(band).or_default().push(response);
+        self.responses_latency
+            .entry(latency.0)
+            .or_default()
+            .push(response);
+        self.jobs_finished += 1;
+    }
+
+    pub fn charge_kill(&mut self, lost: SimDuration, cores: f64) {
+        self.kills += 1;
+        self.preemptions += 1;
+        self.kill_lost_cpu_secs += lost.as_secs_f64() * cores;
+    }
+
+    pub fn charge_dump(&mut self, duration: SimDuration, cores: f64, incremental_count: &mut u64, incremental: bool) {
+        self.checkpoints += 1;
+        self.preemptions += 1;
+        self.dump_overhead_cpu_secs += duration.as_secs_f64() * cores;
+        if incremental {
+            *incremental_count += 1;
+        }
+    }
+
+    pub fn charge_restore(&mut self, duration: SimDuration, cores: f64, remote: bool) {
+        self.restores += 1;
+        self.restore_overhead_cpu_secs += duration.as_secs_f64() * cores;
+        if remote {
+            self.remote_restores += 1;
+        }
+    }
+
+    pub fn into_metrics(
+        mut self,
+        makespan: SimTime,
+        energy_kwh: f64,
+        io_overhead_fraction: f64,
+        storage_peak_fraction: f64,
+        incremental_checkpoints: u64,
+    ) -> RunMetrics {
+        fn to_band_metrics(samples: Samples) -> BandMetrics {
+            BandMetrics {
+                jobs: samples.len() as u64,
+                mean_response_secs: samples.mean(),
+                responses: samples,
+            }
+        }
+        let per_band = std::mem::take(&mut self.responses)
+            .into_iter()
+            .map(|(band, samples)| (band, to_band_metrics(samples)))
+            .collect();
+        let per_latency = std::mem::take(&mut self.responses_latency)
+            .into_iter()
+            .map(|(class, samples)| (class, to_band_metrics(samples)))
+            .collect();
+        RunMetrics {
+            makespan_secs: makespan.as_secs_f64(),
+            jobs_finished: self.jobs_finished,
+            tasks_finished: self.tasks_finished,
+            preemptions: self.preemptions,
+            kills: self.kills,
+            checkpoints: self.checkpoints,
+            incremental_checkpoints,
+            restores: self.restores,
+            remote_restores: self.remote_restores,
+            capacity_fallbacks: self.capacity_fallbacks,
+            failure_evictions: self.failure_evictions,
+            images_lost_to_failures: self.images_lost_to_failures,
+            kill_lost_cpu_hours: self.kill_lost_cpu_secs / 3600.0,
+            dump_overhead_cpu_hours: self.dump_overhead_cpu_secs / 3600.0,
+            restore_overhead_cpu_hours: self.restore_overhead_cpu_secs / 3600.0,
+            useful_cpu_hours: self.useful_cpu_secs / 3600.0,
+            energy_kwh,
+            io_overhead_fraction,
+            storage_peak_fraction,
+            per_band,
+            per_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_aggregates_into_metrics() {
+        let mut c = MetricsCollector::default();
+        c.charge_kill(SimDuration::from_secs(3600), 2.0);
+        let mut inc = 0;
+        c.charge_dump(SimDuration::from_secs(1800), 1.0, &mut inc, true);
+        c.charge_restore(SimDuration::from_secs(1800), 1.0, true);
+        c.useful_cpu_secs = 3600.0 * 6.0;
+        c.record_response(
+            PriorityBand::Free,
+            LatencyClass::new(0),
+            SimTime::ZERO,
+            SimTime::from_secs(120),
+        );
+        c.record_response(
+            PriorityBand::Free,
+            LatencyClass::new(1),
+            SimTime::ZERO,
+            SimTime::from_secs(240),
+        );
+        c.record_response(
+            PriorityBand::Production,
+            LatencyClass::new(3),
+            SimTime::from_secs(60),
+            SimTime::from_secs(120),
+        );
+        let m = c.into_metrics(SimTime::from_secs(1000), 12.5, 0.25, 0.1, inc);
+
+        assert_eq!(m.kills, 1);
+        assert_eq!(m.checkpoints, 1);
+        assert_eq!(m.incremental_checkpoints, 1);
+        assert_eq!(m.restores, 1);
+        assert_eq!(m.remote_restores, 1);
+        assert_eq!(m.preemptions, 2);
+        assert!((m.kill_lost_cpu_hours - 2.0).abs() < 1e-12);
+        assert!((m.dump_overhead_cpu_hours - 0.5).abs() < 1e-12);
+        assert!((m.restore_overhead_cpu_hours - 0.5).abs() < 1e-12);
+        assert!((m.wasted_cpu_hours() - 3.0).abs() < 1e-12);
+        assert!((m.waste_fraction() - 3.0 / 9.0).abs() < 1e-12);
+        assert!((m.cpu_overhead_fraction() - 1.0 / 9.0).abs() < 1e-12);
+        assert_eq!(m.jobs_finished, 3);
+        assert!((m.mean_response(PriorityBand::Free) - 180.0).abs() < 1e-9);
+        assert!((m.mean_response(PriorityBand::Production) - 60.0).abs() < 1e-9);
+        assert!((m.mean_response_overall() - (120.0 + 240.0 + 60.0) / 3.0).abs() < 1e-9);
+        assert_eq!(m.mean_response(PriorityBand::Middle), 0.0);
+        assert!((m.mean_response_latency(LatencyClass::new(0)) - 120.0).abs() < 1e-9);
+        assert!((m.mean_response_latency(LatencyClass::new(3)) - 60.0).abs() < 1e-9);
+        assert_eq!(m.mean_response_latency(LatencyClass::new(2)), 0.0);
+        assert_eq!(m.energy_kwh, 12.5);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = MetricsCollector::default().into_metrics(SimTime::ZERO, 0.0, 0.0, 0.0, 0);
+        assert_eq!(m.waste_fraction(), 0.0);
+        assert_eq!(m.cpu_overhead_fraction(), 0.0);
+        assert_eq!(m.mean_response_overall(), 0.0);
+    }
+}

@@ -1,0 +1,1180 @@
+//! The trace-driven cluster scheduling simulator.
+//!
+//! One [`ClusterSim`] runs one [`Workload`] under one [`SimConfig`]. The
+//! scheduler is priority-based (the paper's system model, §3.1): pending
+//! tasks are served highest priority first, FIFO within a priority; when a
+//! task cannot be placed, lower-priority running tasks are preempted
+//! according to the configured [`PreemptionPolicy`].
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap};
+
+use cbp_checkpoint::{Criu, NvramCheckpointer};
+use cbp_cluster::{Container, ContainerId, EnergyMeter, Node, NodeId, Resources};
+use cbp_dfs::{DfsCluster, DnId};
+use cbp_simkit::{run as engine_run, EventQueue, SimDuration, SimRng, SimTime, Simulation};
+use cbp_storage::{Device, OpKind};
+use cbp_workload::analysis::{TraceEvent, TraceEventKind, TraceLog};
+use cbp_workload::{TaskSpec, Workload};
+
+use crate::config::{PreemptionPolicy, RestorePlacement, SimConfig, VictimSelection};
+use crate::metrics::{MetricsCollector, RunReport};
+use crate::task::{TaskState, TaskStatus};
+
+/// Simulation events (public because it is [`ClusterSim`]'s associated
+/// [`Simulation::Event`] type; not intended for direct construction).
+#[derive(Debug, Clone, Copy)]
+pub enum Event {
+    /// A job's tasks enter the pending queue.
+    JobSubmit(u32),
+    /// A running task completes (stale if the epoch moved on).
+    TaskFinish { task: u32, epoch: u32 },
+    /// A checkpoint dump finished; the victim's resources can be released.
+    DumpDone { task: u32, epoch: u32, started: SimTime },
+    /// A restore finished; the task resumes execution.
+    RestoreDone { task: u32, epoch: u32, started: SimTime },
+    /// A node fails: every container on it is lost.
+    NodeFail(u32),
+    /// A failed node comes back into service.
+    NodeRecover(u32),
+}
+
+/// Pending-queue key: highest priority first, then the discipline key
+/// (0 under FIFO; the task's index within its job under Fair, which
+/// interleaves jobs round-robin), then arrival order.
+type PendingKey = (Reverse<u8>, u64, u64, u32);
+
+struct NodeSlot {
+    node: Node,
+    device: Device,
+    meter: EnergyMeter,
+    /// NVRAM checkpoint engine (when the NVRAM backend is configured).
+    nvram: Option<NvramCheckpointer>,
+    /// False while the node is failed.
+    up: bool,
+}
+
+/// The simulator. Most users go through [`SimConfig::run`]; constructing a
+/// `ClusterSim` directly is useful for stepping or inspecting state in
+/// tests.
+pub struct ClusterSim {
+    cfg: SimConfig,
+    workload: Workload,
+    nodes: Vec<NodeSlot>,
+    tasks: Vec<TaskState>,
+    pending: BTreeSet<PendingKey>,
+    criu: Criu,
+    dfs: Option<DfsCluster>,
+    trace: TraceLog,
+    metrics: MetricsCollector,
+    rng: SimRng,
+    next_container: u64,
+    next_seq: u64,
+    /// Capacity earmarked for a blocked task while its victims drain:
+    /// owner task → reservation. Prevents both duplicate preemption rounds
+    /// and backfill stealing the capacity a dump is freeing.
+    reservations: HashMap<u32, Reservation>,
+    /// Dumping victim → the blocked task its drain serves.
+    drain_owner: HashMap<u32, u32>,
+    /// Task → node holding its valid NVRAM mirror (NVRAM backend only).
+    nvram_origin: HashMap<u32, u32>,
+    /// Per-node sum of reservation amounts.
+    node_reserved: Vec<Resources>,
+    job_remaining: Vec<u32>,
+    place_cursor: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Reservation {
+    node: usize,
+    amount: Resources,
+    drains_left: u32,
+}
+
+impl ClusterSim {
+    /// Builds a simulator for `workload` under `cfg`.
+    pub fn new(cfg: SimConfig, workload: Workload) -> Self {
+        let n_nodes = cfg.nodes;
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let nodes = (0..cfg.nodes)
+            .map(|i| NodeSlot {
+                node: Node::new(NodeId(i as u32), cfg.node_resources),
+                device: Device::new(cfg.media),
+                meter: EnergyMeter::new(cfg.energy),
+                nvram: cfg.nvram.map(NvramCheckpointer::new),
+                up: true,
+            })
+            .collect();
+        let dfs = cfg.via_dfs.then(|| {
+            DfsCluster::homogeneous(cfg.dfs, cfg.media, cfg.nodes, rng.fork(0xD0F5).next_seed())
+        });
+
+        let mut tasks = Vec::with_capacity(workload.task_count());
+        let mut job_remaining = Vec::with_capacity(workload.job_count());
+        for (job_idx, job) in workload.jobs().iter().enumerate() {
+            job_remaining.push(job.tasks.len() as u32);
+            for spec in &job.tasks {
+                let spec = clamp_to_node(*spec, cfg.node_resources);
+                tasks.push(TaskState::new(
+                    spec,
+                    job.priority,
+                    job.latency,
+                    job_idx as u32,
+                    job.submit,
+                ));
+            }
+        }
+
+        let mut criu = Criu::new(cfg.incremental);
+        if let Some(compression) = cfg.compression {
+            criu = criu.with_compression(compression);
+        }
+        ClusterSim {
+            criu,
+            cfg,
+            workload,
+            nodes,
+            tasks,
+            pending: BTreeSet::new(),
+            dfs,
+            trace: TraceLog::new(),
+            metrics: MetricsCollector::default(),
+            rng,
+            next_container: 1,
+            next_seq: 0,
+            reservations: HashMap::new(),
+            drain_owner: HashMap::new(),
+            nvram_origin: HashMap::new(),
+            node_reserved: vec![Resources::ZERO; n_nodes],
+            job_remaining,
+            place_cursor: 0,
+        }
+    }
+
+    fn schedule_next_failure(&mut self, node: usize, now: SimTime, q: &mut EventQueue<Event>) {
+        // Once the workload has drained, stop injecting failures —
+        // otherwise the fail/recover chain regenerates events forever and
+        // the run never terminates.
+        if self.job_remaining.iter().all(|&r| r == 0) {
+            return;
+        }
+        if let Some(mtbf) = self.cfg.failure_mtbf_per_node {
+            let gap = cbp_simkit::dist::Dist::Exp { mean: mtbf.as_secs_f64() }
+                .sample(&mut self.rng);
+            q.push(
+                now + SimDuration::from_secs_f64(gap),
+                Event::NodeFail(node as u32),
+            );
+        }
+    }
+
+    /// Runs the workload to completion and returns the report.
+    pub fn run(mut self) -> RunReport {
+        let mut queue = EventQueue::with_capacity(self.tasks.len() * 2);
+        // Task handles are assigned in job order; find each job's first task.
+        for (job_idx, job) in self.workload.jobs().iter().enumerate() {
+            queue.push(job.submit, Event::JobSubmit(job_idx as u32));
+        }
+        if self.cfg.failure_mtbf_per_node.is_some() {
+            for node in 0..self.cfg.nodes {
+                self.schedule_next_failure(node, SimTime::ZERO, &mut queue);
+            }
+        }
+        let makespan = engine_run(&mut self, &mut queue);
+
+        let label = format!("{}-{}", self.cfg.policy, self.cfg.media.kind());
+        let energy_kwh: f64 = self.nodes.iter().map(|n| n.meter.kwh(makespan)).sum();
+        let horizon = makespan.since(SimTime::ZERO);
+        let io_overhead = mean(self.nodes.iter().map(|n| n.device.busy_fraction(horizon)));
+        let storage_peak = mean(self.nodes.iter().map(|n| n.device.peak_used_fraction()));
+        let incremental = self.criu.incremental_dumps();
+        let metrics = self.metrics.into_metrics(
+            makespan,
+            energy_kwh,
+            io_overhead,
+            storage_peak,
+            incremental,
+        );
+        RunReport { label, metrics, trace: self.trace }
+    }
+
+    // ---- helpers -------------------------------------------------------
+
+    fn task_handle_range(&self, job_idx: u32) -> std::ops::Range<usize> {
+        // Tasks were pushed in job order; compute the dense range.
+        let mut start = 0usize;
+        for (i, job) in self.workload.jobs().iter().enumerate() {
+            if i as u32 == job_idx {
+                return start..start + job.tasks.len();
+            }
+            start += job.tasks.len();
+        }
+        start..start
+    }
+
+    fn enqueue_pending(&mut self, t: u32) {
+        // Re-queued (preempted) tasks keep their first sequence number, so
+        // they stay ahead of later same-priority arrivals and their images
+        // are restored — and discarded — promptly.
+        let seq = match self.tasks[t as usize].queue_seq {
+            Some(seq) => seq,
+            None => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.tasks[t as usize].queue_seq = Some(seq);
+                seq
+            }
+        };
+        let prio = self.tasks[t as usize].priority.0;
+        let fair = match self.cfg.queue_discipline {
+            crate::config::QueueDiscipline::Fifo => 0,
+            crate::config::QueueDiscipline::Fair => {
+                self.tasks[t as usize].spec.id.index as u64
+            }
+        };
+        self.tasks[t as usize].status = TaskStatus::Pending;
+        self.pending.insert((Reverse(prio), fair, seq, t));
+    }
+
+    fn emit(&mut self, now: SimTime, t: u32, kind: TraceEventKind) {
+        let task = &self.tasks[t as usize];
+        self.trace.push(TraceEvent {
+            time: now,
+            task: task.spec.id,
+            priority: task.priority,
+            latency: task.latency,
+            cpu_cores: task.spec.resources.cores_f64(),
+            kind,
+        });
+    }
+
+    fn update_meter(&mut self, node: usize, now: SimTime) {
+        let util = self.nodes[node].node.cpu_utilization();
+        self.nodes[node].meter.set_utilization(now, util);
+    }
+
+    fn max_available(&self) -> Resources {
+        let mut cpu = 0u64;
+        let mut mem = cbp_simkit::units::ByteSize::ZERO;
+        for slot in &self.nodes {
+            if !slot.up {
+                continue;
+            }
+            let a = slot.node.available();
+            cpu = cpu.max(a.cpu_milli());
+            mem = mem.max(a.mem());
+        }
+        Resources::new(cpu, mem)
+    }
+
+    /// Free capacity of node `i` from task `t`'s point of view: physical
+    /// availability minus capacity earmarked for *other* blocked tasks.
+    fn free_for(&self, i: usize, t: u32) -> Resources {
+        if !self.nodes[i].up {
+            return Resources::ZERO;
+        }
+        let free = self.nodes[i].node.available();
+        let mut reserved = self.node_reserved[i];
+        if let Some(r) = self.reservations.get(&t) {
+            if r.node == i {
+                reserved = reserved.saturating_sub(&r.amount);
+            }
+        }
+        free.saturating_sub(&reserved)
+    }
+
+    fn can_place(&self, i: usize, t: u32, demand: &Resources) -> bool {
+        demand.fits_in(&self.free_for(i, t))
+    }
+
+    fn cancel_reservation(&mut self, t: u32) {
+        if let Some(r) = self.reservations.remove(&t) {
+            self.node_reserved[r.node] = self.node_reserved[r.node].saturating_sub(&r.amount);
+        }
+    }
+
+    /// First-fit node for a fresh (non-checkpointed) task, round-robin.
+    fn choose_fresh_node(&mut self, t: u32, demand: &Resources) -> Option<usize> {
+        let n = self.nodes.len();
+        for k in 0..n {
+            let i = (self.place_cursor + k) % n;
+            if self.can_place(i, t, demand) {
+                self.place_cursor = (i + 1) % n;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// True if `t` can resume from a checkpoint (a CRIU image chain or an
+    /// NVRAM mirror, depending on the configured backend).
+    fn has_checkpoint(&self, t: u32) -> bool {
+        if self.cfg.nvram.is_some() {
+            self.nvram_origin.contains_key(&t)
+        } else {
+            self.criu.has_image(handle_u64(t))
+        }
+    }
+
+    /// Algorithm 2: pick the restore node with the lowest total overhead.
+    fn choose_restore_node(&mut self, t: u32, now: SimTime) -> Option<usize> {
+        let task = &self.tasks[t as usize];
+        let origin = match task.status {
+            TaskStatus::Checkpointed { origin } => origin as usize,
+            _ => unreachable!("choose_restore_node on non-checkpointed task"),
+        };
+        let demand = task.spec.resources;
+        let origin_fits = self.can_place(origin, t, &demand);
+
+        // NVRAM mirrors live in the origin node's memory: restore is
+        // inherently local. Same for local-FS CRIU and the LocalOnly
+        // ablation.
+        if self.cfg.nvram.is_some()
+            || self.cfg.restore_placement == RestorePlacement::LocalOnly
+            || self.dfs.is_none()
+        {
+            return origin_fits.then_some(origin);
+        }
+
+        // Cost-aware: evaluate the origin plus a bounded sample of feasible
+        // remote nodes (evaluating every node's DFS read plan would be
+        // quadratic in cluster size for no modelling benefit).
+        let mut candidates: Vec<usize> = Vec::new();
+        if origin_fits {
+            candidates.push(origin);
+        }
+        let n = self.nodes.len();
+        let start = self.rng.index(n);
+        for k in 0..n {
+            if candidates.len() >= 5 {
+                break;
+            }
+            let i = (start + k) % n;
+            if i != origin && self.can_place(i, t, &demand) {
+                candidates.push(i);
+            }
+        }
+        candidates
+            .into_iter()
+            .map(|i| {
+                let cost = self.restore_cost(t, i, now);
+                (cost, i)
+            })
+            .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|(_, i)| i)
+    }
+
+    /// Algorithm 2's overhead estimate for restoring `t` on node `i`.
+    fn restore_cost(&self, t: u32, i: usize, now: SimTime) -> SimDuration {
+        let queue = self.nodes[i].device.queue_wait(now);
+        queue + self.restore_service(t, i)
+    }
+
+    /// The service (transfer) time of restoring `t` on node `i`.
+    fn restore_service(&self, t: u32, i: usize) -> SimDuration {
+        if let Some(spec) = &self.cfg.nvram {
+            // Lazy NVRAM resume: only the hot fraction is copied up front.
+            let footprint = self.tasks[t as usize].spec.resources.mem();
+            return spec
+                .restore_bw
+                .transfer_time(footprint.mul_f64(spec.lazy_restore_fraction));
+        }
+        let task = &self.tasks[t as usize];
+        match &self.dfs {
+            Some(dfs) => task
+                .dfs_paths
+                .iter()
+                .map(|p| {
+                    dfs.read_cost(p, DnId(i as u32))
+                        .map(|c| c.duration)
+                        .unwrap_or(SimDuration::ZERO)
+                })
+                .sum(),
+            None => {
+                let size = self.criu.image_size(handle_u64(t));
+                self.nodes[i].device.spec().read_time(size)
+            }
+        }
+    }
+
+    // ---- lifecycle transitions -----------------------------------------
+
+    fn place_task(&mut self, t: u32, node: usize, now: SimTime, q: &mut EventQueue<Event>) {
+        let cid = ContainerId(self.next_container);
+        self.next_container += 1;
+        let demand = self.tasks[t as usize].spec.resources;
+        self.nodes[node]
+            .node
+            .allocate(Container::new(cid, demand, t as u64))
+            .expect("placement checked can_fit before allocating");
+        self.update_meter(node, now);
+        self.cancel_reservation(t);
+        self.emit(now, t, TraceEventKind::Schedule { machine: node as u32 });
+
+        let has_image = self.has_checkpoint(t);
+        if has_image {
+            // Resume from checkpoint: read the image chain (or NVRAM
+            // mirror) first.
+            let origin = match self.tasks[t as usize].status {
+                TaskStatus::Checkpointed { origin } => origin,
+                _ => unreachable!("image implies checkpointed status"),
+            };
+            let service = self.restore_service(t, node);
+            let (start, end) = if self.cfg.nvram.is_some() {
+                // NVRAM resume is a memory copy; it does not queue on the
+                // storage device. Record it on the engine for stats.
+                if let Some(engine) = self.nodes[node].nvram.as_mut() {
+                    let _ = engine.resume(handle_u64(t), true);
+                }
+                (now, now + service)
+            } else {
+                let size = self.criu.image_size(handle_u64(t));
+                let op = self.nodes[node]
+                    .device
+                    .submit_custom(now, OpKind::Read, size, service);
+                (op.start, op.end)
+            };
+            let task = &mut self.tasks[t as usize];
+            task.status = TaskStatus::Restoring { node: node as u32, container: cid };
+            let epoch = task.epoch;
+            let remote = origin != node as u32;
+            if remote {
+                // Count it now; duration is charged at completion.
+                self.metrics.remote_restores += 1;
+            }
+            // `started` is the service start: queue wait burns no CPU.
+            q.push(end, Event::RestoreDone { task: t, epoch, started: start });
+        } else {
+            let task = &mut self.tasks[t as usize];
+            task.status = TaskStatus::Running { node: node as u32, container: cid };
+            task.run_started = now;
+            task.mem_synced = now;
+            let epoch = task.epoch;
+            let finish = now + task.remaining();
+            q.push(finish, Event::TaskFinish { task: t, epoch });
+        }
+    }
+
+    fn release_container(&mut self, t: u32, now: SimTime) {
+        let (node, cid) = match self.tasks[t as usize].status {
+            TaskStatus::Running { node, container }
+            | TaskStatus::Dumping { node, container }
+            | TaskStatus::Restoring { node, container } => (node as usize, container),
+            _ => return,
+        };
+        self.nodes[node]
+            .node
+            .release(cid)
+            .expect("container must be on its node");
+        self.update_meter(node, now);
+    }
+
+    /// Kills `t` (a Running victim): progress since the last checkpoint is
+    /// lost; the task re-queues (from its image if it has one).
+    fn kill_task(&mut self, t: u32, node: usize, now: SimTime) {
+        self.tasks[t as usize].sync_progress(now);
+        let lost = self.tasks[t as usize].progress_at_risk();
+        let cores = self.tasks[t as usize].spec.resources.cores_f64();
+        self.metrics.charge_kill(lost, cores);
+        self.emit(now, t, TraceEventKind::Evict { machine: node as u32 });
+        self.release_container(t, now);
+
+        let has_image = self.has_checkpoint(t);
+        let origin = if self.cfg.nvram.is_some() {
+            self.nvram_origin.get(&t).copied()
+        } else {
+            self.criu
+                .chain(handle_u64(t))
+                .and_then(|c| c.tip())
+                .map(|r| r.origin_node)
+        };
+        let task = &mut self.tasks[t as usize];
+        task.epoch += 1;
+        task.preemptions += 1;
+        task.progress = task.checkpointed_progress;
+        if let Some(mem) = task.memory.as_mut() {
+            if has_image {
+                // In-memory writes since the last dump are lost; the image
+                // is the ground truth, so nothing is dirty relative to it.
+                mem.clear_dirty();
+            } else {
+                mem.mark_all_dirty();
+            }
+        }
+        task.status = match origin {
+            Some(origin) if has_image => TaskStatus::Checkpointed { origin },
+            _ => TaskStatus::Pending,
+        };
+        self.enqueue_pending_preserving_status(t);
+        self.emit(now, t, TraceEventKind::Submit);
+    }
+
+    /// `enqueue_pending` resets status to Pending; checkpointed tasks keep
+    /// their status while queued.
+    fn enqueue_pending_preserving_status(&mut self, t: u32) {
+        let status = self.tasks[t as usize].status;
+        self.enqueue_pending(t);
+        if let TaskStatus::Checkpointed { .. } = status {
+            self.tasks[t as usize].status = status;
+        }
+    }
+
+    /// Picks the device that will hold a dump of `size` from `node`:
+    /// node-local if it has room, else (HDFS only) the node with the most
+    /// free checkpoint space — HDFS writes spill to any datanode.
+    fn dump_origin_for(&self, node: usize, size: cbp_simkit::units::ByteSize) -> Option<usize> {
+        if self.nodes[node].device.free_capacity() >= size {
+            return Some(node);
+        }
+        self.dfs.as_ref()?;
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].up)
+            .max_by_key(|&i| (self.nodes[i].device.free_capacity(), std::cmp::Reverse(i)))
+            .filter(|&i| self.nodes[i].device.free_capacity() >= size)
+    }
+
+    /// Suspends `t` into the node's NVRAM (the §3.2.3 backend): a shadowed
+    /// DRAM→NVM copy with no file system, no serialization and no device
+    /// queueing. Returns `false` (a drain is in flight) on success.
+    fn dump_task_nvram(
+        &mut self,
+        t: u32,
+        node: usize,
+        now: SimTime,
+        q: &mut EventQueue<Event>,
+    ) -> bool {
+        let task = &mut self.tasks[t as usize];
+        let mem = task.memory.as_mut().expect("sync_memory created the image");
+        let engine = self.nodes[node]
+            .nvram
+            .as_mut()
+            .expect("nvram backend configured");
+        match engine.suspend(handle_u64(t), mem) {
+            Ok(suspend) => {
+                let cores = self.tasks[t as usize].spec.resources.cores_f64();
+                let mut unused = 0;
+                let incremental = suspend.copied < self.tasks[t as usize].spec.resources.mem();
+                self.metrics
+                    .charge_dump(suspend.duration, cores, &mut unused, incremental);
+                self.nvram_origin.insert(t, node as u32);
+                self.emit(now, t, TraceEventKind::Evict { machine: node as u32 });
+                let task = &mut self.tasks[t as usize];
+                let container = match task.status {
+                    TaskStatus::Running { container, .. } => container,
+                    _ => unreachable!("dump victim must be running"),
+                };
+                task.status = TaskStatus::Dumping { node: node as u32, container };
+                task.epoch += 1;
+                task.preemptions += 1;
+                let epoch = task.epoch;
+                q.push(
+                    now + suspend.duration,
+                    Event::DumpDone { task: t, epoch, started: now },
+                );
+                false
+            }
+            Err(_) => {
+                // The node's NVRAM is full; mirrors are node-local so there
+                // is nowhere to spill.
+                self.metrics.capacity_fallbacks += 1;
+                self.kill_task(t, node, now);
+                true
+            }
+        }
+    }
+
+    /// Suspends `t` with a checkpoint dump; resources stay held until
+    /// `DumpDone`.
+    fn dump_task(&mut self, t: u32, node: usize, now: SimTime, q: &mut EventQueue<Event>) -> bool {
+        self.tasks[t as usize].sync_progress(now);
+        self.tasks[t as usize].sync_memory(now);
+        if self.cfg.nvram.is_some() {
+            return !self.dump_task_nvram(t, node, now, q);
+        }
+        let (size, _) = {
+            let task = &self.tasks[t as usize];
+            self.criu.next_dump_size(
+                handle_u64(t),
+                task.memory.as_ref().expect("sync_memory created the image"),
+            )
+        };
+
+        let Some(origin) = self.dump_origin_for(node, size) else {
+            // No node can hold the image: fall back to killing.
+            self.metrics.capacity_fallbacks += 1;
+            self.kill_task(t, node, now);
+            return false;
+        };
+
+        // Through HDFS the pipelined write is the service time; locally the
+        // device's own write speed applies. With compression enabled, only
+        // the compressed bytes cross the pipeline.
+        let wire_size = self
+            .criu
+            .compression()
+            .map(|c| c.compressed_size(size))
+            .unwrap_or(size);
+        let epoch = self.tasks[t as usize].epoch;
+        let service = match &mut self.dfs {
+            Some(dfs) => {
+                let path = format!("/ckpt/{t}/{epoch}/{}", self.tasks[t as usize].dfs_paths.len());
+                match dfs.create(&path, wire_size, DnId(node as u32)) {
+                    Ok(receipt) => {
+                        self.tasks[t as usize].dfs_paths.push(path);
+                        Some(receipt.duration)
+                    }
+                    Err(_) => None,
+                }
+            }
+            None => None,
+        };
+
+        let task = &mut self.tasks[t as usize];
+        let mem = task.memory.as_mut().expect("sync_memory created the image");
+        let dump = self.criu.dump_with(
+            handle_u64(t),
+            mem,
+            origin as u32,
+            &mut self.nodes[origin].device,
+            now,
+            service,
+        );
+        match dump {
+            Ok(result) => {
+                for (origin, bytes) in &result.freed {
+                    self.nodes[*origin as usize].device.release(*bytes);
+                }
+                let was_incremental =
+                    matches!(result.kind, cbp_checkpoint::CheckpointKind::Incremental { .. });
+                let cores = self.tasks[t as usize].spec.resources.cores_f64();
+                let mut unused = 0;
+                // Wastage is *CPU time*: the dump burns CPU while copying
+                // (service time); while queued the victim is stopped and
+                // burns none. Queueing still delays resource release and
+                // response times through the DumpDone event time.
+                self.metrics.charge_dump(
+                    result.op.end.since(result.op.start),
+                    cores,
+                    &mut unused,
+                    was_incremental,
+                );
+                self.emit(now, t, TraceEventKind::Evict { machine: node as u32 });
+                let task = &mut self.tasks[t as usize];
+                let container = match task.status {
+                    TaskStatus::Running { container, .. } => container,
+                    _ => unreachable!("dump victim must be running"),
+                };
+                task.status = TaskStatus::Dumping { node: node as u32, container };
+                task.epoch += 1;
+                task.preemptions += 1;
+                let epoch = task.epoch;
+                q.push(result.op.end, Event::DumpDone { task: t, epoch, started: now });
+                true
+            }
+            Err(_) => {
+                // Checkpoint storage is full: fall back to killing.
+                self.metrics.capacity_fallbacks += 1;
+                self.kill_task(t, node, now);
+                false
+            }
+        }
+    }
+
+    /// Preempts one victim according to the active policy. Returns `true` if
+    /// its resources were freed synchronously (kill), `false` if a dump is
+    /// in flight.
+    fn preempt_victim(&mut self, v: u32, node: usize, now: SimTime, q: &mut EventQueue<Event>) -> bool {
+        match self.cfg.policy {
+            PreemptionPolicy::Wait => unreachable!("Wait never preempts"),
+            PreemptionPolicy::Kill => {
+                self.kill_task(v, node, now);
+                true
+            }
+            PreemptionPolicy::Checkpoint => !self.dump_task(v, node, now, q),
+            PreemptionPolicy::Adaptive => {
+                // Algorithm 1: checkpoint only if the progress at risk
+                // exceeds the estimated dump + restore + queue overhead.
+                self.tasks[v as usize].sync_progress(now);
+                self.tasks[v as usize].sync_memory(now);
+                let est_total = {
+                    let task = &self.tasks[v as usize];
+                    let mem = task.memory.as_ref().expect("sync_memory created the image");
+                    match &self.nodes[node].nvram {
+                        Some(engine) => engine.estimate_total(handle_u64(v), mem),
+                        None => self
+                            .criu
+                            .estimate(handle_u64(v), mem, &self.nodes[node].device, now)
+                            .total(),
+                    }
+                };
+                if self.tasks[v as usize].progress_at_risk() > est_total {
+                    !self.dump_task(v, node, now, q)
+                } else {
+                    self.kill_task(v, node, now);
+                    true
+                }
+            }
+        }
+    }
+
+    /// Cheap (arithmetic-only) estimate of a victim's next dump size, used
+    /// for cost-aware victim ranking without touching page bitmaps.
+    fn victim_cost_secs(&self, v: u32, node: usize, now: SimTime) -> f64 {
+        let task = &self.tasks[v as usize];
+        let mem = task.spec.resources.mem();
+        let size = if self.cfg.incremental && self.has_checkpoint(v) {
+            let since_sync = now.saturating_since(task.mem_synced).as_secs_f64();
+            let already_dirty = task
+                .memory
+                .as_ref()
+                .map(|m| m.dirty_fraction())
+                .unwrap_or(0.0);
+            let frac = (already_dirty + task.spec.dirty_rate_per_sec * since_sync).min(1.0);
+            mem.mul_f64(frac)
+        } else {
+            mem
+        };
+        let spec = self.nodes[node].device.spec();
+        let dump = spec.write_time(size) + spec.read_time(size);
+        let queue = self.nodes[node].device.queue_wait(now);
+        (dump + queue).as_secs_f64()
+    }
+
+    /// Tries to free enough space for pending task `t` by preempting
+    /// lower-priority victims on the best node. Returns `true` if resources
+    /// were freed synchronously.
+    fn try_preempt_for(&mut self, t: u32, now: SimTime, q: &mut EventQueue<Event>) -> bool {
+        if self.reservations.contains_key(&t) {
+            return false; // a drain is already in flight for this task
+        }
+        let demand = self.tasks[t as usize].spec.resources;
+        let priority = self.tasks[t as usize].priority;
+
+        // For a checkpointed task under LocalOnly restore, only the origin
+        // node is eligible.
+        let restrict = match self.tasks[t as usize].status {
+            TaskStatus::Checkpointed { origin }
+                if self.cfg.restore_placement == RestorePlacement::LocalOnly
+                    || self.dfs.is_none() =>
+            {
+                Some(origin as usize)
+            }
+            _ => None,
+        };
+
+        let mut best: Option<(f64, usize, Vec<u32>)> = None;
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].up {
+                continue;
+            }
+            if let Some(r) = restrict {
+                if i != r {
+                    continue;
+                }
+            }
+            let avail = self.free_for(i, t);
+            let needed = demand.saturating_sub(&avail);
+            if needed.is_zero() {
+                continue; // plain placement handles this
+            }
+            // Collect preemptible lower-priority victims, deterministically
+            // ordered.
+            let mut victims: Vec<u32> = self.nodes[i]
+                .node
+                .containers()
+                .map(|c| c.task() as u32)
+                .filter(|&v| {
+                    let task = &self.tasks[v as usize];
+                    task.is_preemptible() && task.priority < priority
+                })
+                .collect();
+            victims.sort_unstable();
+            match self.cfg.victim_selection {
+                VictimSelection::CostAware => {
+                    // §5.2.2: lowest checkpoint cost first.
+                    let mut keyed: Vec<(f64, u32)> = victims
+                        .into_iter()
+                        .map(|v| (self.victim_cost_secs(v, i, now), v))
+                        .collect();
+                    keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                    victims = keyed.into_iter().map(|(_, v)| v).collect();
+                }
+                VictimSelection::Naive => {
+                    // Lowest priority, most recently started first.
+                    victims.sort_by_key(|&v| {
+                        let task = &self.tasks[v as usize];
+                        (task.priority, Reverse(task.run_started))
+                    });
+                }
+            }
+            let mut freed = Resources::ZERO;
+            let mut chosen = Vec::new();
+            let mut cost = 0.0;
+            for v in victims {
+                if needed.fits_in(&freed) {
+                    break;
+                }
+                cost += self.victim_cost_secs(v, i, now);
+                freed += self.tasks[v as usize].spec.resources;
+                chosen.push(v);
+            }
+            if needed.fits_in(&freed) {
+                let better = match &best {
+                    Some((c, n, _)) => (cost, i) < (*c, *n),
+                    None => true,
+                };
+                if better {
+                    best = Some((cost, i, chosen));
+                }
+            }
+        }
+
+        let Some((_, node, victims)) = best else {
+            return false;
+        };
+        let mut drains = 0u32;
+        for v in victims {
+            let sync = self.preempt_victim(v, node, now, q);
+            if !sync {
+                drains += 1;
+                self.drain_owner.insert(v, t);
+            }
+        }
+        if drains > 0 {
+            // Earmark the whole demand on this node so backfill cannot
+            // steal the capacity the drains are freeing.
+            self.reservations
+                .insert(t, Reservation { node, amount: demand, drains_left: drains });
+            self.node_reserved[node] += demand;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Evicts `t` because its node failed. Unlike a kill, the eviction is
+    /// not the scheduler's choice; unlike a checkpoint, nothing is saved.
+    fn fail_task(&mut self, t: u32, node: usize, now: SimTime) {
+        self.tasks[t as usize].sync_progress(now);
+        let lost = self.tasks[t as usize].progress_at_risk();
+        let cores = self.tasks[t as usize].spec.resources.cores_f64();
+        self.metrics.failure_evictions += 1;
+        self.metrics.kill_lost_cpu_secs += lost.as_secs_f64() * cores;
+        self.emit(now, t, TraceEventKind::Evict { machine: node as u32 });
+        self.release_container(t, now);
+        // An in-flight dump died with the node: abort its half-written tip.
+        if matches!(self.tasks[t as usize].status, TaskStatus::Dumping { .. }) {
+            if let Some((origin, bytes)) = self.criu.abort_tip(handle_u64(t)) {
+                self.nodes[origin as usize].device.release(bytes);
+            }
+            let _ = self.tasks[t as usize].dfs_paths.pop();
+            if let Some(owner) = self.drain_owner.remove(&t) {
+                if let Some(r) = self.reservations.get_mut(&owner) {
+                    r.drains_left = r.drains_left.saturating_sub(1);
+                }
+            }
+        }
+
+        // Local-FS images stored on the failed node are gone; HDFS
+        // replication keeps DFS-backed chains readable.
+        if self.dfs.is_none() && self.criu.has_image_on(handle_u64(t), node as u32) {
+            for (origin, bytes) in self.criu.discard(handle_u64(t)) {
+                self.nodes[origin as usize].device.release(bytes);
+            }
+            self.metrics.images_lost_to_failures += 1;
+            self.tasks[t as usize].checkpointed_progress = SimDuration::ZERO;
+        }
+        if self.nvram_origin.get(&t) == Some(&(node as u32)) {
+            self.nvram_origin.remove(&t);
+            if let Some(engine) = self.nodes[node].nvram.as_mut() {
+                engine.discard(handle_u64(t));
+            }
+            self.metrics.images_lost_to_failures += 1;
+            self.tasks[t as usize].checkpointed_progress = SimDuration::ZERO;
+        }
+
+        let has_image = self.has_checkpoint(t);
+        let origin = if self.cfg.nvram.is_some() {
+            self.nvram_origin.get(&t).copied()
+        } else {
+            self.criu
+                .chain(handle_u64(t))
+                .and_then(|c| c.tip())
+                .map(|r| r.origin_node)
+        };
+        let task = &mut self.tasks[t as usize];
+        task.epoch += 1;
+        task.progress = task.checkpointed_progress;
+        if let Some(mem) = task.memory.as_mut() {
+            if has_image {
+                mem.clear_dirty();
+            } else {
+                mem.mark_all_dirty();
+            }
+        }
+        task.status = match origin {
+            Some(origin) if has_image => TaskStatus::Checkpointed { origin },
+            _ => TaskStatus::Pending,
+        };
+        self.enqueue_pending_preserving_status(t);
+        self.emit(now, t, TraceEventKind::Submit);
+    }
+
+    /// Takes a node down, evicting everything on it.
+    fn fail_node(&mut self, node: usize, now: SimTime, q: &mut EventQueue<Event>) {
+        if !self.nodes[node].up {
+            return; // already down (stale event)
+        }
+        self.nodes[node].up = false;
+        let victims: Vec<u32> = self.nodes[node]
+            .node
+            .containers()
+            .map(|c| c.task() as u32)
+            .collect();
+        let mut victims = victims;
+        victims.sort_unstable();
+        for v in victims {
+            self.fail_task(v, node, now);
+        }
+        // Any reservation earmarked on the failed node is void.
+        let voided: Vec<u32> = self
+            .reservations
+            .iter()
+            .filter(|(_, r)| r.node == node)
+            .map(|(t, _)| *t)
+            .collect();
+        for t in voided {
+            self.cancel_reservation(t);
+        }
+        self.update_meter(node, now);
+        q.push(now + self.cfg.failure_downtime, Event::NodeRecover(node as u32));
+    }
+
+    /// One scheduling pass: serve the pending queue in priority order.
+    fn schedule_pass(&mut self, now: SimTime, q: &mut EventQueue<Event>) {
+        let mut preempt_budget = self.cfg.preempt_budget_per_pass;
+        let mut max_avail = self.max_available();
+        // Walk the pending set with a cursor instead of snapshotting it:
+        // passes fire on every event, and cloning thousands of keys per
+        // pass dominated profile time. Entries inserted behind the cursor
+        // (requeued preempted tasks) are picked up by the next pass.
+        let mut cursor: Option<PendingKey> = None;
+        let mut scanned = 0usize;
+        loop {
+            let key = match cursor {
+                None => self.pending.iter().next().copied(),
+                Some(c) => self
+                    .pending
+                    .range((std::ops::Bound::Excluded(c), std::ops::Bound::Unbounded))
+                    .next()
+                    .copied(),
+            };
+            let Some(key) = key else { break };
+            cursor = Some(key);
+            scanned += 1;
+            if scanned > self.cfg.max_schedule_scan {
+                break;
+            }
+            let t = key.3;
+            let demand = self.tasks[t as usize].spec.resources;
+            let fits_somewhere = demand.fits_in(&max_avail);
+            let node = if !fits_somewhere {
+                None
+            } else if self.has_checkpoint(t) {
+                self.choose_restore_node(t, now)
+            } else {
+                self.choose_fresh_node(t, &demand)
+            };
+            match node {
+                Some(n) => {
+                    self.pending.remove(&key);
+                    self.place_task(t, n, now, q);
+                    max_avail = self.max_available();
+                }
+                None => {
+                    // A reservation whose drains all completed but that
+                    // still cannot be satisfied has failed its purpose;
+                    // release the earmark so the task can try elsewhere.
+                    if self
+                        .reservations
+                        .get(&t)
+                        .is_some_and(|r| r.drains_left == 0)
+                    {
+                        self.cancel_reservation(t);
+                    }
+                    if self.cfg.policy != PreemptionPolicy::Wait && preempt_budget > 0 {
+                        preempt_budget -= 1;
+                        if self.try_preempt_for(t, now, q) {
+                            // Kills freed space synchronously: place now.
+                            let node = if self.has_checkpoint(t) {
+                                self.choose_restore_node(t, now)
+                            } else {
+                                self.choose_fresh_node(t, &demand)
+                            };
+                            if let Some(n) = node {
+                                self.pending.remove(&key);
+                                self.place_task(t, n, now, q);
+                            }
+                            max_avail = self.max_available();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Read-only access to the metrics-in-progress trace (for tests).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+}
+
+impl Simulation for ClusterSim {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, q: &mut EventQueue<Event>) {
+        match event {
+            Event::JobSubmit(job_idx) => {
+                let range = self.task_handle_range(job_idx);
+                for t in range {
+                    self.emit(now, t as u32, TraceEventKind::Submit);
+                    self.enqueue_pending(t as u32);
+                }
+                self.schedule_pass(now, q);
+            }
+            Event::TaskFinish { task, epoch } => {
+                if self.tasks[task as usize].epoch != epoch
+                    || !matches!(self.tasks[task as usize].status, TaskStatus::Running { .. })
+                {
+                    return; // stale: the task was preempted meanwhile
+                }
+                self.tasks[task as usize].sync_progress(now);
+                debug_assert!(self.tasks[task as usize].remaining().is_zero());
+                debug_assert!(now >= self.tasks[task as usize].submit);
+                self.emit(now, task, TraceEventKind::Finish);
+                self.release_container(task, now);
+                let cores = self.tasks[task as usize].spec.resources.cores_f64();
+                let work = self.tasks[task as usize].spec.duration.as_secs_f64();
+                self.metrics.useful_cpu_secs += cores * work;
+                self.metrics.tasks_finished += 1;
+                self.tasks[task as usize].status = TaskStatus::Finished;
+                self.tasks[task as usize].finished_at = Some(now);
+
+                // Drop checkpoint images / NVRAM mirrors.
+                for (origin, bytes) in self.criu.discard(handle_u64(task)) {
+                    self.nodes[origin as usize].device.release(bytes);
+                }
+                if let Some(origin) = self.nvram_origin.remove(&task) {
+                    if let Some(engine) = self.nodes[origin as usize].nvram.as_mut() {
+                        engine.discard(handle_u64(task));
+                    }
+                }
+                if let Some(dfs) = &mut self.dfs {
+                    for path in std::mem::take(&mut self.tasks[task as usize].dfs_paths) {
+                        let _ = dfs.delete(&path);
+                    }
+                }
+
+                // Job completion.
+                let job_idx = self.tasks[task as usize].job_idx as usize;
+                self.job_remaining[job_idx] -= 1;
+                if self.job_remaining[job_idx] == 0 {
+                    let job = &self.workload.jobs()[job_idx];
+                    self.metrics.record_response(
+                        job.priority.band(),
+                        job.latency,
+                        job.submit,
+                        now,
+                    );
+                }
+                self.schedule_pass(now, q);
+            }
+            Event::DumpDone { task, epoch, started } => {
+                if self.tasks[task as usize].epoch != epoch {
+                    return;
+                }
+                let TaskStatus::Dumping { node, .. } = self.tasks[task as usize].status else {
+                    return;
+                };
+                self.release_container(task, now);
+                self.nodes[node as usize].device.on_advance(now);
+                let _ = started; // overhead was charged at dump submission
+                let task_state = &mut self.tasks[task as usize];
+                task_state.checkpointed_progress = task_state.progress;
+                task_state.status = TaskStatus::Checkpointed { origin: node };
+                // Credit the drain to the blocked task it was serving.
+                if let Some(owner) = self.drain_owner.remove(&task) {
+                    if let Some(r) = self.reservations.get_mut(&owner) {
+                        r.drains_left = r.drains_left.saturating_sub(1);
+                    }
+                }
+                self.enqueue_pending_preserving_status(task);
+                self.emit(now, task, TraceEventKind::Submit);
+                self.schedule_pass(now, q);
+            }
+            Event::NodeFail(node) => {
+                self.fail_node(node as usize, now, q);
+                self.schedule_pass(now, q);
+            }
+            Event::NodeRecover(node) => {
+                self.nodes[node as usize].up = true;
+                self.schedule_next_failure(node as usize, now, q);
+                self.schedule_pass(now, q);
+            }
+            Event::RestoreDone { task, epoch, started } => {
+                if self.tasks[task as usize].epoch != epoch {
+                    return;
+                }
+                let TaskStatus::Restoring { node, container } = self.tasks[task as usize].status
+                else {
+                    return;
+                };
+                self.nodes[node as usize].device.on_advance(now);
+                let cores = self.tasks[task as usize].spec.resources.cores_f64();
+                // The remote flag was already recorded at placement time.
+                self.metrics.charge_restore(now.since(started), cores, false);
+                let task_state = &mut self.tasks[task as usize];
+                task_state.status = TaskStatus::Running { node, container };
+                task_state.run_started = now;
+                task_state.mem_synced = now;
+                if let Some(mem) = task_state.memory.as_mut() {
+                    mem.clear_dirty();
+                }
+                let finish = now + task_state.remaining();
+                let epoch = task_state.epoch;
+                q.push(finish, Event::TaskFinish { task, epoch });
+            }
+        }
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = iter.fold((0.0, 0usize), |(s, n), x| (s + x, n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+fn clamp_to_node(mut spec: TaskSpec, node: Resources) -> TaskSpec {
+    let cpu = spec.resources.cpu_milli().min(node.cpu_milli());
+    let mem = spec.resources.mem().min(node.mem());
+    spec.resources = Resources::new(cpu, mem);
+    spec
+}
+
+fn handle_u64(t: u32) -> u64 {
+    t as u64
+}
+
+/// Extension trait used to derive DFS seeds from the run seed.
+trait NextSeed {
+    fn next_seed(self) -> u64;
+}
+impl NextSeed for SimRng {
+    fn next_seed(mut self) -> u64 {
+        use rand::RngCore;
+        self.next_u64()
+    }
+}

@@ -1,0 +1,209 @@
+//! The NameNode's view: files, blocks and replica locations.
+
+use std::collections::HashMap;
+
+use cbp_simkit::units::ByteSize;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::DnId;
+use crate::DfsError;
+
+/// Identifier of a file in the namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u64);
+
+/// Identifier of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u64);
+
+/// One replicated block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockInfo {
+    /// Block identity.
+    pub id: BlockId,
+    /// Bytes in this block (the final block of a file may be short).
+    pub size: ByteSize,
+    /// Datanodes holding a replica, pipeline order (first is the writer).
+    pub replicas: Vec<DnId>,
+}
+
+impl BlockInfo {
+    /// True if `dn` holds a replica.
+    pub fn is_local_to(&self, dn: DnId) -> bool {
+        self.replicas.contains(&dn)
+    }
+}
+
+/// A file: an ordered list of blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileInfo {
+    /// File identity.
+    pub id: FileId,
+    /// Path in the namespace.
+    pub path: String,
+    /// Logical size.
+    pub size: ByteSize,
+    /// Blocks, in file order.
+    pub blocks: Vec<BlockInfo>,
+}
+
+/// The flat path → file catalog (HDFS directories add nothing the model
+/// needs; paths are plain keys).
+#[derive(Debug, Default, Clone)]
+pub struct Namespace {
+    files: HashMap<String, FileInfo>,
+    next_file: u64,
+    next_block: u64,
+}
+
+impl Namespace {
+    /// An empty namespace.
+    pub fn new() -> Self {
+        Namespace::default()
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Looks up a file.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotFound`] if the path is absent.
+    pub fn file(&self, path: &str) -> Result<&FileInfo, DfsError> {
+        self.files
+            .get(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))
+    }
+
+    /// True if `path` exists.
+    pub fn contains(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Registers a new file from already-placed blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::FileExists`] if the path is taken (the caller must roll
+    /// back its placements).
+    pub fn insert(
+        &mut self,
+        path: &str,
+        size: ByteSize,
+        blocks: Vec<BlockInfo>,
+    ) -> Result<FileId, DfsError> {
+        if self.files.contains_key(path) {
+            return Err(DfsError::FileExists(path.to_string()));
+        }
+        let id = FileId(self.next_file);
+        self.next_file += 1;
+        self.files.insert(
+            path.to_string(),
+            FileInfo {
+                id,
+                path: path.to_string(),
+                size,
+                blocks,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Removes a file, returning it for replica cleanup.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotFound`] if the path is absent.
+    pub fn remove(&mut self, path: &str) -> Result<FileInfo, DfsError> {
+        self.files
+            .remove(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))
+    }
+
+    /// Allocates a fresh block id.
+    pub fn new_block_id(&mut self) -> BlockId {
+        let id = BlockId(self.next_block);
+        self.next_block += 1;
+        id
+    }
+
+    /// Iterates over all files.
+    pub fn iter(&self) -> impl Iterator<Item = &FileInfo> {
+        self.files.values()
+    }
+
+    /// Mutable iteration for NameNode maintenance (re-replication after a
+    /// datanode failure).
+    pub(crate) fn files_mut(&mut self) -> impl Iterator<Item = &mut FileInfo> {
+        self.files.values_mut()
+    }
+
+    /// Total logical bytes stored (not counting replication).
+    pub fn total_logical_bytes(&self) -> ByteSize {
+        self.files.values().map(|f| f.size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(ns: &mut Namespace, mb: u64, replicas: Vec<u32>) -> BlockInfo {
+        BlockInfo {
+            id: ns.new_block_id(),
+            size: ByteSize::from_mb(mb),
+            replicas: replicas.into_iter().map(DnId).collect(),
+        }
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut ns = Namespace::new();
+        let b = block(&mut ns, 64, vec![0, 1]);
+        ns.insert("/a", ByteSize::from_mb(64), vec![b]).unwrap();
+        assert!(ns.contains("/a"));
+        assert_eq!(ns.file_count(), 1);
+        let f = ns.file("/a").unwrap();
+        assert_eq!(f.size, ByteSize::from_mb(64));
+        assert!(f.blocks[0].is_local_to(DnId(1)));
+        assert!(!f.blocks[0].is_local_to(DnId(2)));
+        let removed = ns.remove("/a").unwrap();
+        assert_eq!(removed.blocks.len(), 1);
+        assert!(!ns.contains("/a"));
+    }
+
+    #[test]
+    fn duplicate_path_rejected() {
+        let mut ns = Namespace::new();
+        ns.insert("/a", ByteSize::ZERO, vec![]).unwrap();
+        let err = ns.insert("/a", ByteSize::ZERO, vec![]).unwrap_err();
+        assert_eq!(err, DfsError::FileExists("/a".into()));
+    }
+
+    #[test]
+    fn missing_path_errors() {
+        let mut ns = Namespace::new();
+        assert!(matches!(ns.file("/x"), Err(DfsError::NotFound(_))));
+        assert!(matches!(ns.remove("/x"), Err(DfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn block_ids_unique() {
+        let mut ns = Namespace::new();
+        let a = ns.new_block_id();
+        let b = ns.new_block_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn totals() {
+        let mut ns = Namespace::new();
+        ns.insert("/a", ByteSize::from_mb(10), vec![]).unwrap();
+        ns.insert("/b", ByteSize::from_mb(20), vec![]).unwrap();
+        assert_eq!(ns.total_logical_bytes(), ByteSize::from_mb(30));
+        assert_eq!(ns.iter().count(), 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the DFS: accounting conservation under random
+//! create/read/delete sequences.
+
+use cbp_dfs::{DfsCluster, DfsConfig, DnId};
+use cbp_simkit::units::ByteSize;
+use cbp_storage::MediaSpec;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create { id: u16, mb: u32, writer: u8 },
+    Read { id: u16, reader: u8 },
+    Delete { id: u16 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..40, 1u32..2_000, 0u8..8).prop_map(|(id, mb, writer)| Op::Create {
+            id,
+            mb,
+            writer
+        }),
+        (0u16..40, 0u8..8).prop_map(|(id, reader)| Op::Read { id, reader }),
+        (0u16..40).prop_map(|id| Op::Delete { id }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Total replica bytes always equal the sum over live files of
+    /// size × replica-count, and every read splits exactly into
+    /// local + remote bytes.
+    #[test]
+    fn accounting_conserved(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        replication in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let config = DfsConfig { replication, ..DfsConfig::default() };
+        let mut dfs = DfsCluster::homogeneous(config, MediaSpec::ssd(), 8, seed);
+        let mut live: std::collections::HashMap<u16, u64> = Default::default();
+
+        for op in ops {
+            match op {
+                Op::Create { id, mb, writer } => {
+                    let path = format!("/f{id}");
+                    let size = ByteSize::from_mb(mb as u64);
+                    match dfs.create(&path, size, DnId(writer as u32)) {
+                        Ok(receipt) => {
+                            prop_assert!(!live.contains_key(&id), "create must fail on dup");
+                            prop_assert!(receipt.duration.as_secs_f64() > 0.0);
+                            live.insert(id, size.as_u64());
+                        }
+                        Err(_) => prop_assert!(live.contains_key(&id)),
+                    }
+                }
+                Op::Read { id, reader } => {
+                    let path = format!("/f{id}");
+                    match dfs.read_cost(&path, DnId(reader as u32)) {
+                        Ok(cost) => {
+                            prop_assert!(live.contains_key(&id));
+                            prop_assert_eq!(
+                                (cost.local_bytes + cost.remote_bytes).as_u64(),
+                                live[&id]
+                            );
+                        }
+                        Err(_) => prop_assert!(!live.contains_key(&id)),
+                    }
+                }
+                Op::Delete { id } => {
+                    let path = format!("/f{id}");
+                    match dfs.delete(&path) {
+                        Ok(size) => {
+                            prop_assert_eq!(size.as_u64(), live.remove(&id).unwrap_or(u64::MAX));
+                        }
+                        Err(_) => prop_assert!(!live.contains_key(&id)),
+                    }
+                }
+            }
+            // Invariant: total replica bytes == sum(live sizes) * replication
+            // (replication capped by cluster size 8, which it never is here).
+            let expected: u64 = live.values().sum::<u64>() * replication as u64;
+            prop_assert_eq!(dfs.total_used().as_u64(), expected);
+            prop_assert_eq!(dfs.namespace().file_count(), live.len());
+        }
+    }
+
+    /// A writer always reads its own file fully locally.
+    #[test]
+    fn writer_reads_locally(mb in 1u64..4_000, writer in 0u32..6, seed in 0u64..100) {
+        let mut dfs = DfsCluster::homogeneous(DfsConfig::default(), MediaSpec::nvm(), 6, seed);
+        dfs.create("/self", ByteSize::from_mb(mb), DnId(writer)).unwrap();
+        let cost = dfs.read_cost("/self", DnId(writer)).unwrap();
+        prop_assert_eq!(cost.remote_bytes, ByteSize::ZERO);
+        prop_assert_eq!(cost.local_bytes, ByteSize::from_mb(mb));
+    }
+}

@@ -1,0 +1,379 @@
+//! Sampling distributions used by the workload generators.
+//!
+//! The Google-like trace generator needs heavy-tailed task counts, durations
+//! and memory footprints; this module wraps `rand_distr` behind a small enum
+//! so workload configuration stays declarative (and serializable-by-value),
+//! and adds an empirical quantile-table distribution for calibrating against
+//! published aggregates.
+
+use std::fmt;
+
+use rand_distr::{Distribution, Exp, LogNormal, Pareto, Uniform, Zipf};
+
+use crate::rng::SimRng;
+
+/// A continuous sampling distribution over non-negative values.
+///
+/// ```
+/// use cbp_simkit::{dist::Dist, SimRng};
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let d = Dist::log_normal_mean_cv(100.0, 2.0);
+/// let x = d.sample(&mut rng);
+/// assert!(x > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub enum Dist {
+    /// Always returns the same value.
+    Constant(f64),
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exp {
+        /// Mean of the distribution (1/λ).
+        mean: f64,
+    },
+    /// Log-normal with the given `mu`/`sigma` of the underlying normal.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Pareto (power-law tail) with scale `x_min` and shape `alpha`.
+    Pareto {
+        /// Minimum value (scale).
+        x_min: f64,
+        /// Tail exponent; smaller is heavier.
+        alpha: f64,
+    },
+    /// Empirical distribution defined by equally-spaced quantiles
+    /// (inverse-CDF table, linearly interpolated).
+    Empirical(EmpiricalDist),
+}
+
+impl Dist {
+    /// Log-normal parameterized by its *own* mean and coefficient of
+    /// variation (σ/μ), which is how trace statistics are usually reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0` or `cv < 0`.
+    pub fn log_normal_mean_cv(mean: f64, cv: f64) -> Dist {
+        assert!(mean > 0.0, "log-normal mean must be positive");
+        assert!(cv >= 0.0, "coefficient of variation must be non-negative");
+        if cv == 0.0 {
+            return Dist::Constant(mean);
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Dist::LogNormal {
+            mu,
+            sigma: sigma2.sqrt(),
+        }
+    }
+
+    /// Draws one sample. Samples are clamped to be non-negative.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let v = match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => Uniform::new(*lo, *hi)
+                .expect("uniform bounds must satisfy lo < hi")
+                .sample(rng.rng()),
+            Dist::Exp { mean } => {
+                let lambda = 1.0 / mean;
+                Exp::new(lambda).expect("exp mean must be positive").sample(rng.rng())
+            }
+            Dist::LogNormal { mu, sigma } => LogNormal::new(*mu, *sigma)
+                .expect("log-normal sigma must be finite and non-negative")
+                .sample(rng.rng()),
+            Dist::Pareto { x_min, alpha } => Pareto::new(*x_min, *alpha)
+                .expect("pareto parameters must be positive")
+                .sample(rng.rng()),
+            Dist::Empirical(e) => e.sample(rng),
+        };
+        v.max(0.0)
+    }
+
+    /// The distribution mean, where it has a closed form.
+    ///
+    /// Returns `None` for Pareto with `alpha <= 1` (infinite mean).
+    pub fn mean(&self) -> Option<f64> {
+        match self {
+            Dist::Constant(v) => Some(*v),
+            Dist::Uniform { lo, hi } => Some((lo + hi) / 2.0),
+            Dist::Exp { mean } => Some(*mean),
+            Dist::LogNormal { mu, sigma } => Some((mu + sigma * sigma / 2.0).exp()),
+            Dist::Pareto { x_min, alpha } => {
+                (*alpha > 1.0).then(|| alpha * x_min / (alpha - 1.0))
+            }
+            Dist::Empirical(e) => Some(e.mean()),
+        }
+    }
+}
+
+/// An inverse-CDF table: `quantiles[i]` is the value at probability
+/// `i / (len - 1)`. Sampling interpolates linearly between entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalDist {
+    quantiles: Vec<f64>,
+}
+
+impl EmpiricalDist {
+    /// Builds a distribution from an inverse-CDF table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two quantiles are given or they are not
+    /// non-decreasing.
+    pub fn new(quantiles: Vec<f64>) -> Self {
+        assert!(
+            quantiles.len() >= 2,
+            "empirical distribution needs at least two quantile points"
+        );
+        assert!(
+            quantiles.windows(2).all(|w| w[0] <= w[1]),
+            "quantile table must be non-decreasing"
+        );
+        EmpiricalDist { quantiles }
+    }
+
+    /// Builds the table from observed samples (sorted copy becomes the table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two samples are given.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(samples.len() >= 2, "need at least two samples");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        EmpiricalDist { quantiles: samples }
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.quantile(rng.uniform())
+    }
+
+    /// The value at probability `p` (clamped to `[0, 1]`).
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let n = self.quantiles.len() - 1;
+        let pos = p * n as f64;
+        let i = (pos.floor() as usize).min(n - 1);
+        let frac = pos - i as f64;
+        self.quantiles[i] * (1.0 - frac) + self.quantiles[i + 1] * frac.min(1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.quantiles.iter().sum::<f64>() / self.quantiles.len() as f64
+    }
+}
+
+/// A discrete Zipf-like popularity distribution over `n` ranks (1-based).
+///
+/// Used for skewed placement and job-size popularity.
+#[derive(Debug, Clone)]
+pub struct ZipfDist {
+    inner: Zipf<f64>,
+}
+
+impl ZipfDist {
+    /// Creates a Zipf distribution over ranks `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not positive and finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        ZipfDist {
+            inner: Zipf::new(n as f64, s).expect("invalid zipf exponent"),
+        }
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        self.inner.sample(rng.rng()) as u64
+    }
+}
+
+/// A discrete distribution over labelled categories with fixed weights.
+///
+/// Used e.g. for the priority-band mix of the Google-like trace.
+///
+/// ```
+/// use cbp_simkit::{dist::Categorical, SimRng};
+/// let mut rng = SimRng::seed_from_u64(3);
+/// let c = Categorical::new(vec![("low", 0.6), ("mid", 0.3), ("high", 0.1)]);
+/// let label = c.sample(&mut rng);
+/// assert!(["low", "mid", "high"].contains(&label));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Categorical<T> {
+    items: Vec<(T, f64)>,
+    total: f64,
+}
+
+impl<T: Clone> Categorical<T> {
+    /// Creates a categorical distribution from `(item, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty, any weight is negative/non-finite, or all
+    /// weights are zero.
+    pub fn new(items: Vec<(T, f64)>) -> Self {
+        assert!(!items.is_empty(), "categorical needs at least one item");
+        let total: f64 = items
+            .iter()
+            .map(|(_, w)| {
+                assert!(w.is_finite() && *w >= 0.0, "weights must be finite and >= 0");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+        Categorical { items, total }
+    }
+
+    /// Draws one item (by reference).
+    pub fn sample(&self, rng: &mut SimRng) -> T {
+        let mut x = rng.uniform() * self.total;
+        for (item, w) in &self.items {
+            if x < *w {
+                return item.clone();
+            }
+            x -= w;
+        }
+        // Floating-point slop: return the last item.
+        self.items
+            .last()
+            .map(|(item, _)| item.clone())
+            .expect("categorical is non-empty")
+    }
+
+    /// The normalized probability of each item.
+    pub fn probabilities(&self) -> impl Iterator<Item = (&T, f64)> {
+        self.items.iter().map(move |(t, w)| (t, w / self.total))
+    }
+}
+
+impl<T: fmt::Debug> fmt::Display for Categorical<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Categorical({:?} items)", self.items.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(d: &Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::Constant(5.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+        assert_eq!(d.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn exp_sample_mean_close() {
+        let d = Dist::Exp { mean: 10.0 };
+        let m = mean_of(&d, 20_000, 2);
+        assert!((m - 10.0).abs() < 0.5, "exp mean was {m}");
+    }
+
+    #[test]
+    fn log_normal_mean_cv_matches_target() {
+        let d = Dist::log_normal_mean_cv(100.0, 1.5);
+        assert!((d.mean().unwrap() - 100.0).abs() < 1e-9);
+        let m = mean_of(&d, 100_000, 3);
+        assert!((m - 100.0).abs() < 5.0, "lognormal mean was {m}");
+    }
+
+    #[test]
+    fn log_normal_zero_cv_degenerates_to_constant() {
+        let d = Dist::log_normal_mean_cv(42.0, 0.0);
+        assert!(matches!(d, Dist::Constant(v) if v == 42.0));
+    }
+
+    #[test]
+    fn pareto_mean() {
+        let d = Dist::Pareto { x_min: 1.0, alpha: 2.0 };
+        assert_eq!(d.mean(), Some(2.0));
+        let heavy = Dist::Pareto { x_min: 1.0, alpha: 0.9 };
+        assert_eq!(heavy.mean(), None);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let d = Dist::Uniform { lo: 5.0, hi: 6.0 };
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((5.0..6.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn empirical_quantiles_interpolate() {
+        let e = EmpiricalDist::new(vec![0.0, 10.0, 20.0]);
+        assert_eq!(e.quantile(0.0), 0.0);
+        assert_eq!(e.quantile(0.5), 10.0);
+        assert_eq!(e.quantile(0.75), 15.0);
+        assert_eq!(e.quantile(1.0), 20.0);
+        assert_eq!(e.quantile(2.0), 20.0); // clamped
+    }
+
+    #[test]
+    fn empirical_from_samples_sorts() {
+        let e = EmpiricalDist::from_samples(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn empirical_rejects_unsorted() {
+        EmpiricalDist::new(vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn zipf_ranks_in_range_and_skewed() {
+        let z = ZipfDist::new(100, 1.1);
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut first = 0usize;
+        for _ in 0..1000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+            if r == 1 {
+                first += 1;
+            }
+        }
+        assert!(first > 100, "rank 1 should dominate, got {first}/1000");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let c = Categorical::new(vec![(0u8, 0.0), (1u8, 1.0)]);
+        let mut rng = SimRng::seed_from_u64(6);
+        for _ in 0..100 {
+            assert_eq!(c.sample(&mut rng), 1);
+        }
+        let probs: Vec<(u8, f64)> = c.probabilities().map(|(t, p)| (*t, p)).collect();
+        assert_eq!(probs, vec![(0, 0.0), (1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn categorical_rejects_all_zero() {
+        Categorical::new(vec![("a", 0.0)]);
+    }
+}

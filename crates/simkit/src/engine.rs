@@ -1,0 +1,100 @@
+//! The simulation engine loop.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// A discrete-event simulation.
+///
+/// The engine ([`run`] / [`run_until`]) pops events in time order and hands
+/// each to [`Simulation::handle`], which may schedule further events. State
+/// lives on the implementing type; the engine owns only the clock.
+///
+/// See the [crate-level example](crate) for a complete simulation.
+pub trait Simulation {
+    /// The event payload type.
+    type Event;
+
+    /// Processes one event at simulated time `now`.
+    ///
+    /// New events may be pushed onto `queue`; pushing an event earlier than
+    /// `now` is a logic error (the engine panics in debug builds).
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Runs `sim` until the queue is empty and returns the time of the last
+/// processed event ([`SimTime::ZERO`] if the queue started empty).
+pub fn run<S: Simulation>(sim: &mut S, queue: &mut EventQueue<S::Event>) -> SimTime {
+    run_until(sim, queue, SimTime::MAX)
+}
+
+/// Runs `sim` until the queue is empty or the next event would fire after
+/// `deadline`. Events at exactly `deadline` are processed. Returns the time
+/// of the last processed event.
+pub fn run_until<S: Simulation>(
+    sim: &mut S,
+    queue: &mut EventQueue<S::Event>,
+    deadline: SimTime,
+) -> SimTime {
+    let mut now = SimTime::ZERO;
+    while let Some(t) = queue.peek_time() {
+        if t > deadline {
+            break;
+        }
+        let (t, ev) = queue.pop().expect("peeked event must exist");
+        debug_assert!(t >= now, "event queue went backwards: {t} < {now}");
+        now = t;
+        sim.handle(now, ev, queue);
+    }
+    now
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    struct Counter {
+        fired: Vec<u64>,
+        respawn: bool,
+    }
+
+    impl Simulation for Counter {
+        type Event = u64;
+        fn handle(&mut self, now: SimTime, ev: u64, q: &mut EventQueue<u64>) {
+            self.fired.push(ev);
+            if self.respawn && ev < 5 {
+                q.push(now + SimDuration::from_secs(1), ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn run_drains_queue() {
+        let mut sim = Counter { fired: vec![], respawn: true };
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 0);
+        let end = run(&mut sim, &mut q);
+        assert_eq!(sim.fired, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(end, SimTime::from_secs(5));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn run_until_respects_deadline_inclusive() {
+        let mut sim = Counter { fired: vec![], respawn: true };
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 0);
+        let end = run_until(&mut sim, &mut q, SimTime::from_secs(2));
+        assert_eq!(sim.fired, vec![0, 1, 2]);
+        assert_eq!(end, SimTime::from_secs(2));
+        // The event at t=3 is still pending.
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn empty_queue_returns_zero() {
+        let mut sim = Counter { fired: vec![], respawn: false };
+        let mut q = EventQueue::new();
+        assert_eq!(run(&mut sim, &mut q), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,415 @@
+//! Online statistics, percentiles and CDFs for the experiment harness.
+
+use serde::Serialize;
+
+pub use crate::stats_p2::P2Quantile;
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+///
+/// ```
+/// use cbp_simkit::stats::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.count(), 4);
+/// ```
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// An exact sample set supporting percentiles and CDF extraction.
+///
+/// The experiments collect at most a few hundred thousand response times, so
+/// an exact (sorted-on-demand) implementation is simpler and is what the
+/// paper's CDF figures need.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples { values: Vec::new(), sorted: true }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "samples must not be NaN");
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no observations have been added.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN by construction"));
+            self.sorted = true;
+        }
+    }
+
+    /// The value at percentile `p` in `[0, 100]` (nearest-rank with linear
+    /// interpolation). Returns `None` if empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 100.0) / 100.0;
+        let pos = p * (self.values.len() - 1) as f64;
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        let lo = self.values[i];
+        let hi = self.values[(i + 1).min(self.values.len() - 1)];
+        Some(lo * (1.0 - frac) + hi * frac)
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Extracts an `n`-point empirical CDF as `(value, cumulative_prob)`
+    /// pairs, suitable for plotting Fig. 9 / Fig. 11-style curves.
+    pub fn cdf(&mut self, n: usize) -> Vec<(f64, f64)> {
+        if self.values.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = n.max(2);
+        (0..n)
+            .map(|i| {
+                let p = i as f64 / (n - 1) as f64;
+                let pos = p * (self.values.len() - 1) as f64;
+                let idx = pos.round() as usize;
+                (self.values[idx], p)
+            })
+            .collect()
+    }
+
+    /// The fraction of samples `<= x`.
+    pub fn fraction_at_most(&mut self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let count = self.values.partition_point(|v| *v <= x);
+        count as f64 / self.values.len() as f64
+    }
+
+    /// A view of the raw values (unsorted insertion order is not preserved
+    /// once percentiles have been queried).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Samples::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi)` with overflow/underflow buckets.
+///
+/// Used for the preemption-count distribution (Fig. 1c).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal bins covering `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            width: (hi - lo) / bins as f64,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.bins.len() {
+            self.overflow += 1;
+        } else {
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Counts per bin.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the top of the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_mean_var() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.sum(), 40.0);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..40] {
+            a.push(x);
+        }
+        for &x in &xs[40..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut s: Samples = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(100.0), Some(100.0));
+        assert_eq!(s.median(), Some(50.5));
+        assert!(s.percentile(90.0).unwrap() > 89.0);
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        let mut s = Samples::new();
+        assert_eq!(s.percentile(50.0), None);
+        assert!(s.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut s: Samples = (0..1000).map(|i| (i % 37) as f64).collect();
+        let cdf = s.cdf(50);
+        assert_eq!(cdf.len(), 50);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0, "cdf x not monotone");
+            assert!(w[0].1 <= w[1].1, "cdf p not monotone");
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn fraction_at_most() {
+        let mut s: Samples = vec![1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.fraction_at_most(2.0), 0.5);
+        assert_eq!(s.fraction_at_most(0.0), 0.0);
+        assert_eq!(s.fraction_at_most(10.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.9, 9.9, -1.0, 10.0, 25.0] {
+            h.record(x);
+        }
+        assert_eq!(h.bin(0), 1);
+        assert_eq!(h.bin(1), 2);
+        assert_eq!(h.bin(9), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bins().len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn samples_reject_nan() {
+        Samples::new().push(f64::NAN);
+    }
+}

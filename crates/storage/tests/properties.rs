@@ -1,0 +1,112 @@
+//! Property-based tests for the device queue model.
+
+use cbp_simkit::units::ByteSize;
+use cbp_simkit::{SimDuration, SimTime};
+use cbp_storage::{Device, MediaKind, MediaSpec, OpKind};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = MediaSpec> {
+    prop_oneof![
+        Just(MediaSpec::hdd()),
+        Just(MediaSpec::ssd()),
+        Just(MediaSpec::nvm()),
+    ]
+}
+
+proptest! {
+    /// FIFO invariants: ops never overlap, never start before submission,
+    /// and total busy time equals the sum of service times.
+    #[test]
+    fn fifo_no_overlap(
+        spec in arb_spec(),
+        ops in proptest::collection::vec((0u64..10_000, 1u64..4_000, any::<bool>()), 1..40),
+    ) {
+        let mut dev = Device::new(spec);
+        let mut now = SimTime::ZERO;
+        let mut prev_end = SimTime::ZERO;
+        let mut service_sum = SimDuration::ZERO;
+        for (gap_ms, mb, write) in ops {
+            now += SimDuration::from_millis(gap_ms);
+            let size = ByteSize::from_mb(mb);
+            let op = if write {
+                dev.submit_write(now, size)
+            } else {
+                dev.submit_read(now, size)
+            };
+            prop_assert!(op.start >= now, "op started before submission");
+            prop_assert!(op.start >= prev_end, "ops overlap");
+            prop_assert!(op.end > op.start, "zero-length op");
+            let expected = if write {
+                dev.spec().write_time(size)
+            } else {
+                dev.spec().read_time(size)
+            };
+            prop_assert_eq!(op.end.since(op.start), expected);
+            prop_assert_eq!(op.queued, op.start.saturating_since(now));
+            service_sum += expected;
+            prev_end = op.end;
+        }
+        prop_assert_eq!(dev.busy_time(), service_sum);
+    }
+
+    /// estimate() is side-effect free and exactly predicts the next submit.
+    #[test]
+    fn estimate_predicts_submit(
+        spec in arb_spec(),
+        warmup_mb in 0u64..1_000,
+        mb in 1u64..4_000,
+        write in any::<bool>(),
+    ) {
+        let mut dev = Device::new(spec);
+        if warmup_mb > 0 {
+            dev.submit_write(SimTime::ZERO, ByteSize::from_mb(warmup_mb));
+        }
+        let now = SimTime::from_secs(1);
+        let kind = if write { OpKind::Write } else { OpKind::Read };
+        let size = ByteSize::from_mb(mb);
+        let est = dev.estimate(now, kind, size);
+        let real = if write {
+            dev.submit_write(now, size)
+        } else {
+            dev.submit_read(now, size)
+        };
+        prop_assert_eq!(est, real);
+    }
+
+    /// Capacity accounting never goes negative or exceeds capacity.
+    #[test]
+    fn capacity_never_oversubscribed(
+        reservations in proptest::collection::vec((1u64..200_000, any::<bool>()), 1..60),
+    ) {
+        let spec = MediaSpec::custom(
+            MediaKind::Ssd,
+            cbp_simkit::units::Bandwidth::from_mb_per_sec(100),
+            cbp_simkit::units::Bandwidth::from_mb_per_sec(100),
+            SimDuration::ZERO,
+            ByteSize::from_gb(1),
+        );
+        let mut dev = Device::new(spec);
+        let mut held: Vec<ByteSize> = Vec::new();
+        for (kb, release) in reservations {
+            if release && !held.is_empty() {
+                let bytes = held.pop().unwrap();
+                dev.release(bytes);
+            } else {
+                let size = ByteSize::from_kb(kb);
+                if dev.reserve(size).is_ok() {
+                    held.push(size);
+                }
+            }
+            prop_assert!(dev.used() <= dev.spec().capacity());
+            prop_assert_eq!(
+                dev.used(),
+                held.iter().copied().sum::<ByteSize>()
+            );
+            prop_assert!(dev.peak_used() >= dev.used());
+            prop_assert_eq!(
+                dev.free_capacity(),
+                dev.spec().capacity() - dev.used()
+            );
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! Trace analysis reproducing the paper's §2 methodology.
+//!
+//! The paper detects preemption in the Google trace with the criterion of
+//! Cavdar et al.: *"if a higher priority task is scheduled on the same
+//! machine within five seconds after the lower priority job was evicted,
+//! then we count that the lower priority job was preempted due to preemptive
+//! scheduling."* [`PreemptionAnalysis::analyze`] applies exactly that rule
+//! to a scheduler event log and aggregates:
+//!
+//! * preemption rate per priority band over time (Fig. 1a),
+//! * share of all preemptions per priority 0–11 (Fig. 1b),
+//! * per-task preemption-count distribution (Fig. 1c),
+//! * scheduled/preempted counts per band (Table 1) and latency class
+//!   (Table 2),
+//! * wasted CPU-hours between schedule and eviction (the "up to 35% of
+//!   total usage" estimate).
+
+use std::collections::HashMap;
+
+use cbp_simkit::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{LatencyClass, Priority, PriorityBand, TaskId};
+
+/// What happened in one scheduler event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// Task submitted (or resubmitted after eviction).
+    Submit,
+    /// Task placed on a machine.
+    Schedule {
+        /// The machine index.
+        machine: u32,
+    },
+    /// Task evicted from a machine.
+    Evict {
+        /// The machine index.
+        machine: u32,
+    },
+    /// Task completed successfully.
+    Finish,
+}
+
+/// One scheduler event, in the shape of the Google trace's task-event table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event time.
+    pub time: SimTime,
+    /// The task.
+    pub task: TaskId,
+    /// The task's priority.
+    pub priority: Priority,
+    /// The task's latency-sensitivity class.
+    pub latency: LatencyClass,
+    /// The task's CPU demand in cores (for waste accounting).
+    pub cpu_cores: f64,
+    /// Event kind.
+    pub kind: TraceEventKind,
+}
+
+/// An append-only, time-ordered event log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if events go backwards in time.
+    pub fn push(&mut self, event: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|e| e.time <= event.time),
+            "trace events must be appended in time order"
+        );
+        self.events.push(event);
+    }
+
+    /// The events, in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Per-category scheduled/preempted counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupCounts {
+    /// Distinct tasks that were scheduled at least once.
+    pub scheduled_tasks: u64,
+    /// Distinct tasks preempted at least once.
+    pub preempted_tasks: u64,
+    /// Total preemption events.
+    pub preemptions: u64,
+}
+
+impl GroupCounts {
+    /// Fraction of scheduled tasks that were preempted at least once
+    /// (Table 1 / Table 2's "Percent Preempted").
+    pub fn preempted_fraction(&self) -> f64 {
+        if self.scheduled_tasks == 0 {
+            0.0
+        } else {
+            self.preempted_tasks as f64 / self.scheduled_tasks as f64
+        }
+    }
+}
+
+/// The output of the §2 analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PreemptionAnalysis {
+    /// The detection window (the paper uses 5 s).
+    pub window: SimDuration,
+    /// Counters per priority level 0–11.
+    pub per_priority: [GroupCounts; 12],
+    /// Counters per priority band.
+    pub per_band: [(PriorityBand, GroupCounts); 3],
+    /// Counters per latency class 0–3.
+    pub per_latency: [GroupCounts; 4],
+    /// Overall counters.
+    pub overall: GroupCounts,
+    /// For Fig. 1c: `histogram[k]` = tasks preempted exactly `k+1` times,
+    /// for k in 0..9; `histogram[9]` = tasks preempted ≥ 10 times.
+    pub preemption_count_histogram: [u64; 10],
+    /// For Fig. 1a: per time bucket, per band, (scheduled, preempted-task)
+    /// counts.
+    pub timeline: Vec<TimelineBucket>,
+    /// CPU-hours lost between schedule and eviction (waste under kill-based
+    /// preemption).
+    pub wasted_cpu_hours: f64,
+    /// CPU-hours successfully used (schedule → finish).
+    pub useful_cpu_hours: f64,
+}
+
+/// One bucket of the Fig. 1a timeline.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TimelineBucket {
+    /// Bucket start time.
+    pub start: SimTime,
+    /// Per band: (tasks scheduled in this bucket, of which preempted later
+    /// events in this bucket).
+    pub per_band: [(u64, u64); 3],
+}
+
+fn band_index(p: Priority) -> usize {
+    match p.band() {
+        PriorityBand::Free => 0,
+        PriorityBand::Middle => 1,
+        PriorityBand::Production => 2,
+    }
+}
+
+impl PreemptionAnalysis {
+    /// Runs the analysis with the paper's 5-second window and 1-day
+    /// timeline buckets.
+    pub fn analyze(log: &TraceLog) -> Self {
+        Self::analyze_with(log, SimDuration::from_secs(5), SimDuration::from_secs(86_400))
+    }
+
+    /// Runs the analysis with explicit detection window and timeline bucket
+    /// size.
+    pub fn analyze_with(
+        log: &TraceLog,
+        window: SimDuration,
+        bucket: SimDuration,
+    ) -> Self {
+        // Index schedule events per machine for the window query.
+        let mut schedules_per_machine: HashMap<u32, Vec<(SimTime, Priority)>> = HashMap::new();
+        for e in log.events() {
+            if let TraceEventKind::Schedule { machine } = e.kind {
+                schedules_per_machine
+                    .entry(machine)
+                    .or_default()
+                    .push((e.time, e.priority));
+            }
+        }
+
+        let mut per_priority = [GroupCounts::default(); 12];
+        let mut per_band_counts = [GroupCounts::default(); 3];
+        let mut per_latency = [GroupCounts::default(); 4];
+        let mut overall = GroupCounts::default();
+
+        let mut scheduled_seen: HashMap<TaskId, ()> = HashMap::new();
+        let mut preempt_counts: HashMap<TaskId, u64> = HashMap::new();
+        let mut last_schedule: HashMap<TaskId, SimTime> = HashMap::new();
+
+        let horizon = log.events().last().map(|e| e.time).unwrap_or(SimTime::ZERO);
+        let n_buckets =
+            (horizon.as_micros() / bucket.as_micros().max(1)) as usize + 1;
+        let mut timeline: Vec<TimelineBucket> = (0..n_buckets)
+            .map(|i| TimelineBucket {
+                start: SimTime::from_micros(i as u64 * bucket.as_micros()),
+                per_band: [(0, 0); 3],
+            })
+            .collect();
+
+        let mut wasted_secs = 0.0f64;
+        let mut useful_secs = 0.0f64;
+
+        for e in log.events() {
+            let bidx = band_index(e.priority);
+            let bucket_idx =
+                (e.time.as_micros() / bucket.as_micros().max(1)) as usize;
+            match e.kind {
+                TraceEventKind::Submit => {}
+                TraceEventKind::Schedule { .. } => {
+                    if scheduled_seen.insert(e.task, ()).is_none() {
+                        per_priority[e.priority.0 as usize].scheduled_tasks += 1;
+                        per_band_counts[bidx].scheduled_tasks += 1;
+                        per_latency[e.latency.0 as usize].scheduled_tasks += 1;
+                        overall.scheduled_tasks += 1;
+                    }
+                    timeline[bucket_idx].per_band[bidx].0 += 1;
+                    last_schedule.insert(e.task, e.time);
+                }
+                TraceEventKind::Evict { machine } => {
+                    // The 5-second criterion: a strictly-higher-priority task
+                    // scheduled on the same machine in (t, t + window].
+                    let preempted = schedules_per_machine
+                        .get(&machine)
+                        .map(|scheds| {
+                            let lo = scheds.partition_point(|(t, _)| *t <= e.time);
+                            scheds[lo..]
+                                .iter()
+                                .take_while(|(t, _)| *t <= e.time + window)
+                                .any(|(_, p)| *p > e.priority)
+                        })
+                        .unwrap_or(false);
+                    if preempted {
+                        let count = preempt_counts.entry(e.task).or_insert(0);
+                        *count += 1;
+                        if *count == 1 {
+                            per_priority[e.priority.0 as usize].preempted_tasks += 1;
+                            per_band_counts[bidx].preempted_tasks += 1;
+                            per_latency[e.latency.0 as usize].preempted_tasks += 1;
+                            overall.preempted_tasks += 1;
+                        }
+                        per_priority[e.priority.0 as usize].preemptions += 1;
+                        per_band_counts[bidx].preemptions += 1;
+                        per_latency[e.latency.0 as usize].preemptions += 1;
+                        overall.preemptions += 1;
+                        timeline[bucket_idx].per_band[bidx].1 += 1;
+                    }
+                    if let Some(t0) = last_schedule.remove(&e.task) {
+                        wasted_secs += e.time.since(t0).as_secs_f64() * e.cpu_cores;
+                    }
+                }
+                TraceEventKind::Finish => {
+                    if let Some(t0) = last_schedule.remove(&e.task) {
+                        useful_secs += e.time.since(t0).as_secs_f64() * e.cpu_cores;
+                    }
+                }
+            }
+        }
+
+        let mut histogram = [0u64; 10];
+        for &count in preempt_counts.values() {
+            let idx = (count.max(1) as usize - 1).min(9);
+            histogram[idx] += 1;
+        }
+
+        PreemptionAnalysis {
+            window,
+            per_priority,
+            per_band: [
+                (PriorityBand::Free, per_band_counts[0]),
+                (PriorityBand::Middle, per_band_counts[1]),
+                (PriorityBand::Production, per_band_counts[2]),
+            ],
+            per_latency,
+            overall,
+            preemption_count_histogram: histogram,
+            timeline,
+            wasted_cpu_hours: wasted_secs / 3600.0,
+            useful_cpu_hours: useful_secs / 3600.0,
+        }
+    }
+
+    /// Fig. 1b: each priority level's share of all preemption events.
+    pub fn preemption_share_per_priority(&self) -> [f64; 12] {
+        let total = self.overall.preemptions.max(1) as f64;
+        let mut shares = [0.0; 12];
+        for (i, c) in self.per_priority.iter().enumerate() {
+            shares[i] = c.preemptions as f64 / total;
+        }
+        shares
+    }
+
+    /// Fraction of preempted tasks that were preempted more than once
+    /// (the paper reports 43.5%).
+    pub fn repeat_preemption_fraction(&self) -> f64 {
+        let total: u64 = self.preemption_count_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let repeats: u64 = self.preemption_count_histogram[1..].iter().sum();
+        repeats as f64 / total as f64
+    }
+
+    /// Wasted CPU-hours as a fraction of all consumed CPU-hours
+    /// (useful + wasted); the paper reports "up to 35%".
+    pub fn waste_fraction(&self) -> f64 {
+        let total = self.wasted_cpu_hours + self.useful_cpu_hours;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.wasted_cpu_hours / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobId;
+
+    fn ev(
+        secs: u64,
+        job: u64,
+        prio: u8,
+        kind: TraceEventKind,
+    ) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_secs(secs),
+            task: TaskId { job: JobId(job), index: 0 },
+            priority: Priority::new(prio),
+            latency: LatencyClass::new(0),
+            cpu_cores: 1.0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn detects_preemption_within_window() {
+        let mut log = TraceLog::new();
+        log.push(ev(0, 1, 0, TraceEventKind::Schedule { machine: 0 }));
+        log.push(ev(100, 1, 0, TraceEventKind::Evict { machine: 0 }));
+        // Higher-priority task scheduled 3 s later on the same machine.
+        log.push(ev(103, 2, 9, TraceEventKind::Schedule { machine: 0 }));
+        let a = PreemptionAnalysis::analyze(&log);
+        assert_eq!(a.overall.preemptions, 1);
+        assert_eq!(a.overall.preempted_tasks, 1);
+        assert_eq!(a.per_band[0].1.preemptions, 1);
+    }
+
+    #[test]
+    fn ignores_eviction_outside_window() {
+        let mut log = TraceLog::new();
+        log.push(ev(0, 1, 0, TraceEventKind::Schedule { machine: 0 }));
+        log.push(ev(100, 1, 0, TraceEventKind::Evict { machine: 0 }));
+        log.push(ev(106, 2, 9, TraceEventKind::Schedule { machine: 0 }));
+        let a = PreemptionAnalysis::analyze(&log);
+        assert_eq!(a.overall.preemptions, 0);
+    }
+
+    #[test]
+    fn ignores_equal_or_lower_priority_successor() {
+        let mut log = TraceLog::new();
+        log.push(ev(0, 1, 5, TraceEventKind::Schedule { machine: 0 }));
+        log.push(ev(100, 1, 5, TraceEventKind::Evict { machine: 0 }));
+        log.push(ev(101, 2, 5, TraceEventKind::Schedule { machine: 0 }));
+        log.push(ev(102, 3, 2, TraceEventKind::Schedule { machine: 0 }));
+        let a = PreemptionAnalysis::analyze(&log);
+        assert_eq!(a.overall.preemptions, 0);
+    }
+
+    #[test]
+    fn ignores_other_machines() {
+        let mut log = TraceLog::new();
+        log.push(ev(0, 1, 0, TraceEventKind::Schedule { machine: 0 }));
+        log.push(ev(100, 1, 0, TraceEventKind::Evict { machine: 0 }));
+        log.push(ev(101, 2, 9, TraceEventKind::Schedule { machine: 1 }));
+        let a = PreemptionAnalysis::analyze(&log);
+        assert_eq!(a.overall.preemptions, 0);
+    }
+
+    #[test]
+    fn repeated_preemption_histogram() {
+        let mut log = TraceLog::new();
+        let mut t = 0;
+        // Task 1 preempted 3 times; task 2 once; task 3 twelve times.
+        for (job, times) in [(1u64, 3u32), (2, 1), (3, 12)] {
+            for _ in 0..times {
+                log.push(ev(t, job, 0, TraceEventKind::Schedule { machine: 0 }));
+                log.push(ev(t + 10, job, 0, TraceEventKind::Evict { machine: 0 }));
+                log.push(ev(t + 11, 99, 9, TraceEventKind::Schedule { machine: 0 }));
+                t += 100;
+            }
+        }
+        let a = PreemptionAnalysis::analyze(&log);
+        assert_eq!(a.preemption_count_histogram[0], 1); // task 2: once
+        assert_eq!(a.preemption_count_histogram[2], 1); // task 1: 3 times
+        assert_eq!(a.preemption_count_histogram[9], 1); // task 3: >= 10
+        assert!((a.repeat_preemption_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waste_accounting() {
+        let mut log = TraceLog::new();
+        // Task runs 100 s then evicted (preempted) -> 100 cpu-s wasted.
+        log.push(ev(0, 1, 0, TraceEventKind::Schedule { machine: 0 }));
+        log.push(ev(100, 1, 0, TraceEventKind::Evict { machine: 0 }));
+        log.push(ev(101, 2, 9, TraceEventKind::Schedule { machine: 0 }));
+        // Task 2 runs 300 s to completion -> useful.
+        log.push(ev(401, 2, 9, TraceEventKind::Finish));
+        let a = PreemptionAnalysis::analyze(&log);
+        assert!((a.wasted_cpu_hours - 100.0 / 3600.0).abs() < 1e-9);
+        assert!((a.useful_cpu_hours - 300.0 / 3600.0).abs() < 1e-9);
+        assert!((a.waste_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scheduled_tasks_counted_once() {
+        let mut log = TraceLog::new();
+        log.push(ev(0, 1, 0, TraceEventKind::Schedule { machine: 0 }));
+        log.push(ev(10, 1, 0, TraceEventKind::Evict { machine: 0 }));
+        log.push(ev(11, 2, 9, TraceEventKind::Schedule { machine: 0 }));
+        log.push(ev(20, 1, 0, TraceEventKind::Schedule { machine: 1 }));
+        log.push(ev(500, 1, 0, TraceEventKind::Finish));
+        let a = PreemptionAnalysis::analyze(&log);
+        // Task 1 scheduled twice but counted once.
+        assert_eq!(a.per_priority[0].scheduled_tasks, 1);
+        assert_eq!(a.overall.scheduled_tasks, 2);
+        assert!((a.per_band[0].1.preempted_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_buckets() {
+        let mut log = TraceLog::new();
+        log.push(ev(0, 1, 0, TraceEventKind::Schedule { machine: 0 }));
+        log.push(ev(90_000, 2, 0, TraceEventKind::Schedule { machine: 0 }));
+        let a = PreemptionAnalysis::analyze(&log);
+        assert_eq!(a.timeline.len(), 2);
+        assert_eq!(a.timeline[0].per_band[0].0, 1);
+        assert_eq!(a.timeline[1].per_band[0].0, 1);
+    }
+
+    #[test]
+    fn empty_log() {
+        let a = PreemptionAnalysis::analyze(&TraceLog::new());
+        assert_eq!(a.overall.scheduled_tasks, 0);
+        assert_eq!(a.waste_fraction(), 0.0);
+        assert_eq!(a.repeat_preemption_fraction(), 0.0);
+        assert_eq!(a.preemption_share_per_priority(), [0.0; 12]);
+    }
+}

@@ -1,0 +1,536 @@
+//! YARN components: the ResourceManager's scheduler state and the
+//! DistributedShell ApplicationMaster.
+
+use std::collections::VecDeque;
+
+use cbp_checkpoint::{OverheadEstimate, TaskMemory};
+use cbp_cluster::ContainerId;
+use cbp_core::PreemptionPolicy;
+use cbp_simkit::{SimDuration, SimTime};
+use cbp_workload::TaskSpec;
+
+/// The two capacity-scheduler queues of the §5 experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// Low-priority jobs.
+    Default,
+    /// High-priority (production) jobs; may preempt the default queue.
+    Production,
+}
+
+/// The ResourceManager's scheduler bookkeeping: which applications want
+/// containers, per queue, FIFO within a queue.
+///
+/// Placement and preemption *execution* live in [`crate::YarnSim`] (they
+/// need node state); this type owns the queue discipline so it can be
+/// tested in isolation.
+#[derive(Debug, Default)]
+pub struct ResourceManager {
+    queue_of: Vec<QueueKind>,
+    asks: Vec<u32>,
+    order: Vec<u32>,
+}
+
+impl ResourceManager {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        ResourceManager::default()
+    }
+
+    /// Registers application `app` (dense ids, registration order is the
+    /// FIFO order).
+    pub fn register_app(&mut self, app: u32, queue: QueueKind) {
+        assert_eq!(app as usize, self.queue_of.len(), "apps register densely in order");
+        self.queue_of.push(queue);
+        self.asks.push(0);
+        self.order.push(app);
+    }
+
+    /// The queue an application belongs to.
+    pub fn queue_of(&self, app: u32) -> QueueKind {
+        self.queue_of[app as usize]
+    }
+
+    /// Adds `n` outstanding container requests for `app`.
+    pub fn add_asks(&mut self, app: u32, n: u32) {
+        self.asks[app as usize] += n;
+    }
+
+    /// Outstanding requests for `app`.
+    pub fn asks_of(&self, app: u32) -> u32 {
+        self.asks[app as usize]
+    }
+
+    /// Total outstanding requests in a queue.
+    pub fn pending(&self, queue: QueueKind) -> u32 {
+        self.order
+            .iter()
+            .filter(|&&a| self.queue_of[a as usize] == queue)
+            .map(|&a| self.asks[a as usize])
+            .sum()
+    }
+
+    /// The application whose request would be served next (production queue
+    /// strictly first, FIFO by registration within a queue), without
+    /// consuming the ask.
+    pub fn peek_grant(&self) -> Option<u32> {
+        for queue in [QueueKind::Production, QueueKind::Default] {
+            for &app in &self.order {
+                if self.queue_of[app as usize] == queue && self.asks[app as usize] > 0 {
+                    return Some(app);
+                }
+            }
+        }
+        None
+    }
+
+    /// Pops the next request to serve (see [`ResourceManager::peek_grant`]).
+    pub fn next_grant(&mut self) -> Option<u32> {
+        let app = self.peek_grant()?;
+        self.asks[app as usize] -= 1;
+        Some(app)
+    }
+
+    /// §5.2.2 cost-aware eviction: orders victim candidates by estimated
+    /// checkpoint cost (ascending) and returns the cheapest `needed`.
+    /// Candidates are `(cost_secs, key)`; ties break on the key for
+    /// determinism.
+    pub fn select_victims(mut candidates: Vec<(f64, u64)>, needed: usize) -> Vec<u64> {
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        candidates.truncate(needed);
+        candidates.into_iter().map(|(_, k)| k).collect()
+    }
+}
+
+/// What the AM's Preemption Manager decides to do with a
+/// `ContainerPreemptEvent`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreemptDecision {
+    /// Kill the container (stock YARN behaviour).
+    Kill,
+    /// Suspend it with a CRIU dump to HDFS.
+    Checkpoint,
+}
+
+/// The Preemption Manager's decision rule — Algorithm 1 under
+/// [`PreemptionPolicy::Adaptive`].
+///
+/// # Panics
+///
+/// Panics if called with [`PreemptionPolicy::Wait`] (the RM never issues
+/// preempt events in that mode).
+pub fn preemption_decision(
+    policy: PreemptionPolicy,
+    progress_at_risk: SimDuration,
+    estimate: &OverheadEstimate,
+) -> PreemptDecision {
+    match policy {
+        PreemptionPolicy::Wait => {
+            unreachable!("the Wait policy never dispatches ContainerPreemptEvents")
+        }
+        PreemptionPolicy::Kill => PreemptDecision::Kill,
+        PreemptionPolicy::Checkpoint => PreemptDecision::Checkpoint,
+        PreemptionPolicy::Adaptive => {
+            if progress_at_risk > estimate.total() {
+                PreemptDecision::Checkpoint
+            } else {
+                PreemptDecision::Kill
+            }
+        }
+    }
+}
+
+/// An AM-side container/task record.
+#[derive(Debug)]
+pub struct AmTask {
+    /// The task description.
+    pub spec: TaskSpec,
+    /// Lifecycle.
+    pub status: AmTaskStatus,
+    /// Staleness guard for in-flight events.
+    pub epoch: u32,
+    /// Useful work accumulated.
+    pub progress: SimDuration,
+    /// Progress captured in the newest image.
+    pub checkpointed_progress: SimDuration,
+    /// Start of the current run interval.
+    pub run_started: SimTime,
+    /// Last dirty-bitmap sync.
+    pub mem_synced: SimTime,
+    /// Whether the RM has already asked to preempt this container.
+    pub preempt_requested: bool,
+    /// Times preempted.
+    pub preemptions: u32,
+    /// Lazily created memory image.
+    pub memory: Option<TaskMemory>,
+    /// HDFS image paths.
+    pub dfs_paths: Vec<String>,
+}
+
+/// AM-side task lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AmTaskStatus {
+    /// Waiting for a container.
+    Waiting,
+    /// Running in a container.
+    Running {
+        /// Node index.
+        node: u32,
+        /// Container id.
+        container: ContainerId,
+    },
+    /// Dump in progress; resources still held.
+    Dumping {
+        /// Node index.
+        node: u32,
+        /// Container id.
+        container: ContainerId,
+    },
+    /// Suspended with an image; waiting for a new container.
+    Suspended {
+        /// Node whose device holds the image.
+        origin: u32,
+    },
+    /// Reading its image back in a fresh container.
+    Restoring {
+        /// Node index.
+        node: u32,
+        /// Container id.
+        container: ContainerId,
+    },
+    /// Completed.
+    Done,
+}
+
+impl AmTask {
+    /// A fresh waiting task.
+    pub fn new(spec: TaskSpec) -> Self {
+        AmTask {
+            spec,
+            status: AmTaskStatus::Waiting,
+            epoch: 0,
+            progress: SimDuration::ZERO,
+            checkpointed_progress: SimDuration::ZERO,
+            run_started: SimTime::ZERO,
+            mem_synced: SimTime::ZERO,
+            preempt_requested: false,
+            preemptions: 0,
+            memory: None,
+            dfs_paths: Vec::new(),
+        }
+    }
+
+    /// Work left to do.
+    pub fn remaining(&self) -> SimDuration {
+        self.spec.duration.saturating_sub(self.progress)
+    }
+
+    /// Folds the current run interval into `progress`. A task preempted
+    /// while still paying its container-startup cost (run_started in the
+    /// future) has made no progress.
+    pub fn sync_progress(&mut self, now: SimTime) {
+        if matches!(self.status, AmTaskStatus::Running { .. }) {
+            self.progress = (self.progress + now.saturating_since(self.run_started))
+                .min(self.spec.duration);
+            self.run_started = now.max(self.run_started);
+        }
+    }
+
+    /// Progress a kill would lose.
+    pub fn progress_at_risk(&self) -> SimDuration {
+        self.progress.saturating_sub(self.checkpointed_progress)
+    }
+
+    /// Folds memory writes since the last sync into the dirty bitmap.
+    pub fn sync_memory(&mut self, now: SimTime) {
+        let mem = self
+            .memory
+            .get_or_insert_with(|| TaskMemory::new(self.spec.resources.mem()));
+        if matches!(self.status, AmTaskStatus::Running { .. }) {
+            let elapsed = now.saturating_since(self.mem_synced);
+            let frac = self.spec.dirty_rate_per_sec * elapsed.as_secs_f64();
+            if frac > 0.0 {
+                mem.touch_fraction(frac.min(1.0));
+            }
+        }
+        self.mem_synced = now;
+    }
+}
+
+/// One DistributedShell ApplicationMaster: a job's tasks plus its request
+/// bookkeeping.
+#[derive(Debug)]
+pub struct AppMaster {
+    /// Application id (== job index).
+    pub app: u32,
+    /// Which queue the job was submitted to.
+    pub queue: QueueKind,
+    /// Submission time.
+    pub submit: SimTime,
+    /// The job's tasks.
+    pub tasks: Vec<AmTask>,
+    /// Task indices waiting for containers (launch order).
+    pub launch_queue: VecDeque<u32>,
+    /// Tasks not yet finished.
+    pub unfinished: u32,
+    /// For MapReduce applications: the task index where reduces begin
+    /// (maps are `0..barrier`). Reduces only enter the launch queue once
+    /// every map has finished.
+    pub barrier: Option<u32>,
+    /// Maps not yet finished (meaningful only with a barrier).
+    pub maps_unfinished: u32,
+    /// When the last task finished.
+    pub finished_at: Option<SimTime>,
+}
+
+impl AppMaster {
+    /// Registers a job's AM.
+    pub fn new(app: u32, queue: QueueKind, submit: SimTime, specs: &[TaskSpec]) -> Self {
+        AppMaster {
+            app,
+            queue,
+            submit,
+            tasks: specs.iter().map(|s| AmTask::new(*s)).collect(),
+            launch_queue: (0..specs.len() as u32).collect(),
+            unfinished: specs.len() as u32,
+            barrier: None,
+            maps_unfinished: 0,
+            finished_at: None,
+        }
+    }
+
+    /// Registers a MapReduce job's AM: only the maps (`0..barrier`) are
+    /// launchable until every map completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `barrier` is zero or not below the task count.
+    pub fn new_with_barrier(
+        app: u32,
+        queue: QueueKind,
+        submit: SimTime,
+        specs: &[TaskSpec],
+        barrier: u32,
+    ) -> Self {
+        assert!(
+            barrier >= 1 && (barrier as usize) < specs.len(),
+            "barrier must split tasks into non-empty phases"
+        );
+        AppMaster {
+            app,
+            queue,
+            submit,
+            tasks: specs.iter().map(|s| AmTask::new(*s)).collect(),
+            launch_queue: (0..barrier).collect(),
+            unfinished: specs.len() as u32,
+            barrier: Some(barrier),
+            maps_unfinished: barrier,
+            finished_at: None,
+        }
+    }
+
+    /// Records that `task` finished. For MapReduce apps, returns the number
+    /// of reduce tasks released into the launch queue when the last map
+    /// completes (the AM must request that many containers).
+    pub fn on_task_done(&mut self, task: u32) -> u32 {
+        self.unfinished -= 1;
+        if let Some(barrier) = self.barrier {
+            if task < barrier {
+                self.maps_unfinished -= 1;
+                if self.maps_unfinished == 0 {
+                    let reduces = barrier..self.tasks.len() as u32;
+                    let released = reduces.len() as u32;
+                    self.launch_queue.extend(reduces);
+                    return released;
+                }
+            }
+        }
+        0
+    }
+
+    /// The next task to launch when a container is granted. Suspended tasks
+    /// and fresh tasks share the FIFO launch queue.
+    pub fn next_launch(&mut self) -> Option<u32> {
+        self.launch_queue.pop_front()
+    }
+
+    /// Puts a preempted task back at the *front* of the launch queue — the
+    /// AM resumes suspended/killed work before starting fresh tasks, both
+    /// to finish partially-done work first and to let checkpoint images be
+    /// discarded promptly (a suspended task parked behind thousands of
+    /// fresh tasks would pin its image in storage for hours).
+    pub fn requeue(&mut self, task: u32) {
+        debug_assert!(
+            !self.launch_queue.contains(&task),
+            "task {task} already queued"
+        );
+        self.launch_queue.push_front(task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbp_cluster::Resources;
+    use cbp_simkit::units::ByteSize;
+    use cbp_storage::{Device, MediaSpec};
+    use cbp_workload::{JobId, TaskId};
+
+    fn spec(secs: u64) -> TaskSpec {
+        TaskSpec {
+            id: TaskId { job: JobId(0), index: 0 },
+            resources: Resources::new_cores(1, ByteSize::from_gb(2)),
+            duration: SimDuration::from_secs(secs),
+            dirty_rate_per_sec: 0.002,
+        }
+    }
+
+    #[test]
+    fn rm_serves_production_first_fifo_within_queue() {
+        let mut rm = ResourceManager::new();
+        rm.register_app(0, QueueKind::Default);
+        rm.register_app(1, QueueKind::Production);
+        rm.register_app(2, QueueKind::Default);
+        rm.add_asks(0, 2);
+        rm.add_asks(1, 1);
+        rm.add_asks(2, 1);
+        assert_eq!(rm.pending(QueueKind::Default), 3);
+        assert_eq!(rm.pending(QueueKind::Production), 1);
+        // Production first, then default in registration order.
+        assert_eq!(rm.next_grant(), Some(1));
+        assert_eq!(rm.next_grant(), Some(0));
+        assert_eq!(rm.next_grant(), Some(0));
+        assert_eq!(rm.next_grant(), Some(2));
+        assert_eq!(rm.next_grant(), None);
+        assert_eq!(rm.asks_of(0), 0);
+    }
+
+    #[test]
+    fn cost_aware_victims_cheapest_first() {
+        let victims = ResourceManager::select_victims(
+            vec![(10.0, 1), (2.0, 2), (5.0, 3), (2.0, 0)],
+            3,
+        );
+        assert_eq!(victims, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn decision_rule_matches_algorithm1() {
+        let dev = Device::new(MediaSpec::hdd());
+        let mem = TaskMemory::new(ByteSize::from_gb(5));
+        let criu = cbp_checkpoint::Criu::new(true);
+        let est = criu.estimate(1, &mem, &dev, SimTime::ZERO);
+        // HDD 5 GB: overhead ~= 250 s. 30 s of progress -> kill.
+        assert_eq!(
+            preemption_decision(
+                PreemptionPolicy::Adaptive,
+                SimDuration::from_secs(30),
+                &est
+            ),
+            PreemptDecision::Kill
+        );
+        // 1000 s of progress -> checkpoint.
+        assert_eq!(
+            preemption_decision(
+                PreemptionPolicy::Adaptive,
+                SimDuration::from_secs(1000),
+                &est
+            ),
+            PreemptDecision::Checkpoint
+        );
+        assert_eq!(
+            preemption_decision(PreemptionPolicy::Kill, SimDuration::from_secs(1000), &est),
+            PreemptDecision::Kill
+        );
+        assert_eq!(
+            preemption_decision(
+                PreemptionPolicy::Checkpoint,
+                SimDuration::ZERO,
+                &est
+            ),
+            PreemptDecision::Checkpoint
+        );
+    }
+
+    #[test]
+    fn am_launch_queue_resumes_preempted_first() {
+        let specs = vec![spec(60), spec(60), spec(60)];
+        let mut am = AppMaster::new(0, QueueKind::Default, SimTime::ZERO, &specs);
+        assert_eq!(am.next_launch(), Some(0));
+        assert_eq!(am.next_launch(), Some(1));
+        // Preempted task 0 jumps ahead of the fresh task 2.
+        am.requeue(0);
+        assert_eq!(am.next_launch(), Some(0));
+        assert_eq!(am.next_launch(), Some(2));
+        assert_eq!(am.next_launch(), None);
+        assert_eq!(am.unfinished, 3);
+    }
+
+    #[test]
+    fn rm_peek_does_not_consume() {
+        let mut rm = ResourceManager::new();
+        rm.register_app(0, QueueKind::Default);
+        rm.add_asks(0, 1);
+        assert_eq!(rm.peek_grant(), Some(0));
+        assert_eq!(rm.peek_grant(), Some(0));
+        assert_eq!(rm.asks_of(0), 1);
+        assert_eq!(rm.next_grant(), Some(0));
+        assert_eq!(rm.peek_grant(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "densely")]
+    fn rm_rejects_sparse_registration() {
+        let mut rm = ResourceManager::new();
+        rm.register_app(1, QueueKind::Default);
+    }
+
+    #[test]
+    fn rm_queue_of() {
+        let mut rm = ResourceManager::new();
+        rm.register_app(0, QueueKind::Production);
+        rm.register_app(1, QueueKind::Default);
+        assert_eq!(rm.queue_of(0), QueueKind::Production);
+        assert_eq!(rm.queue_of(1), QueueKind::Default);
+    }
+
+    #[test]
+    fn mapreduce_am_releases_reduces_after_last_map() {
+        let specs = vec![spec(60), spec(60), spec(90), spec(90)];
+        let mut am = AppMaster::new_with_barrier(0, QueueKind::Default, SimTime::ZERO, &specs, 2);
+        // Only the two maps are launchable.
+        assert_eq!(am.next_launch(), Some(0));
+        assert_eq!(am.next_launch(), Some(1));
+        assert_eq!(am.next_launch(), None);
+        // First map done: nothing released yet.
+        assert_eq!(am.on_task_done(0), 0);
+        assert_eq!(am.next_launch(), None);
+        // Last map done: both reduces released.
+        assert_eq!(am.on_task_done(1), 2);
+        assert_eq!(am.next_launch(), Some(2));
+        assert_eq!(am.next_launch(), Some(3));
+        assert_eq!(am.unfinished, 2);
+        assert_eq!(am.on_task_done(2), 0);
+        assert_eq!(am.on_task_done(3), 0);
+        assert_eq!(am.unfinished, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty phases")]
+    fn barrier_must_split_phases() {
+        let specs = vec![spec(60)];
+        AppMaster::new_with_barrier(0, QueueKind::Default, SimTime::ZERO, &specs, 1);
+    }
+
+    #[test]
+    fn am_task_progress_and_risk() {
+        let mut t = AmTask::new(spec(100));
+        t.status = AmTaskStatus::Running { node: 0, container: ContainerId(1) };
+        t.run_started = SimTime::ZERO;
+        t.sync_progress(SimTime::from_secs(40));
+        assert_eq!(t.progress, SimDuration::from_secs(40));
+        t.checkpointed_progress = SimDuration::from_secs(25);
+        assert_eq!(t.progress_at_risk(), SimDuration::from_secs(15));
+        assert_eq!(t.remaining(), SimDuration::from_secs(60));
+    }
+}

@@ -1,0 +1,140 @@
+//! YARN run results.
+
+use cbp_simkit::stats::Samples;
+use serde::Serialize;
+
+/// The outcome of one YARN run — the quantities of Figs. 8–12.
+#[derive(Debug, Clone, Serialize)]
+pub struct YarnReport {
+    /// Run label (policy + medium).
+    pub label: String,
+    /// Wall-clock makespan, seconds.
+    pub makespan_secs: f64,
+    /// Jobs completed.
+    pub jobs_finished: u64,
+    /// Containers (tasks) completed.
+    pub tasks_finished: u64,
+    /// ContainerPreemptEvents resolved by killing.
+    pub kills: u64,
+    /// ContainerPreemptEvents resolved by checkpointing.
+    pub checkpoints: u64,
+    /// Of which incremental dumps.
+    pub incremental_checkpoints: u64,
+    /// Restores performed.
+    pub restores: u64,
+    /// Restores on a node other than the dump origin.
+    pub remote_restores: u64,
+    /// Dumps aborted (storage full) and converted to kills.
+    pub capacity_fallbacks: u64,
+    /// Dumps aborted by the NodeManager's grace-period force-kill.
+    pub force_kills: u64,
+    /// CPU-hours of re-executed (killed) work.
+    pub kill_lost_cpu_hours: f64,
+    /// CPU-hours of containers held during dumps.
+    pub dump_overhead_cpu_hours: f64,
+    /// CPU-hours of containers held during restores.
+    pub restore_overhead_cpu_hours: f64,
+    /// CPU-hours of useful completed work.
+    pub useful_cpu_hours: f64,
+    /// Cluster energy, kWh (Fig. 8b).
+    pub energy_kwh: f64,
+    /// Mean storage-device busy fraction (Fig. 12b).
+    pub io_overhead_fraction: f64,
+    /// Peak checkpoint-storage fraction, averaged over nodes (§5.3.3).
+    pub storage_peak_fraction: f64,
+    /// Low-priority job response times, seconds.
+    #[serde(skip)]
+    pub low_responses: Samples,
+    /// High-priority job response times, seconds.
+    #[serde(skip)]
+    pub high_responses: Samples,
+}
+
+impl YarnReport {
+    /// Total CPU wastage (Fig. 8a): killed work + checkpoint/restore
+    /// overhead.
+    pub fn wasted_cpu_hours(&self) -> f64 {
+        self.kill_lost_cpu_hours + self.dump_overhead_cpu_hours + self.restore_overhead_cpu_hours
+    }
+
+    /// Fraction of consumed CPU spent on checkpoint/restore (Fig. 12a).
+    pub fn cpu_overhead_fraction(&self) -> f64 {
+        let total = self.useful_cpu_hours + self.wasted_cpu_hours();
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.dump_overhead_cpu_hours + self.restore_overhead_cpu_hours) / total
+        }
+    }
+
+    /// Wasted CPU as a fraction of all consumed CPU.
+    pub fn waste_fraction(&self) -> f64 {
+        let total = self.useful_cpu_hours + self.wasted_cpu_hours();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.wasted_cpu_hours() / total
+        }
+    }
+
+    /// Mean low-priority response, seconds.
+    pub fn mean_low_response(&self) -> f64 {
+        self.low_responses.mean()
+    }
+
+    /// Mean high-priority response, seconds.
+    pub fn mean_high_response(&self) -> f64 {
+        self.high_responses.mean()
+    }
+
+    /// All responses combined (for the Fig. 9 CDF).
+    pub fn all_responses(&self) -> Samples {
+        self.low_responses
+            .values()
+            .iter()
+            .chain(self.high_responses.values())
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> YarnReport {
+        YarnReport {
+            label: "test".into(),
+            makespan_secs: 100.0,
+            jobs_finished: 2,
+            tasks_finished: 10,
+            kills: 1,
+            checkpoints: 2,
+            incremental_checkpoints: 1,
+            restores: 2,
+            remote_restores: 1,
+            capacity_fallbacks: 0,
+            force_kills: 0,
+            kill_lost_cpu_hours: 1.0,
+            dump_overhead_cpu_hours: 0.5,
+            restore_overhead_cpu_hours: 0.5,
+            useful_cpu_hours: 8.0,
+            energy_kwh: 3.0,
+            io_overhead_fraction: 0.2,
+            storage_peak_fraction: 0.05,
+            low_responses: vec![60.0, 120.0].into_iter().collect(),
+            high_responses: vec![30.0].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let r = report();
+        assert!((r.wasted_cpu_hours() - 2.0).abs() < 1e-12);
+        assert!((r.waste_fraction() - 0.2).abs() < 1e-12);
+        assert!((r.cpu_overhead_fraction() - 0.1).abs() < 1e-12);
+        assert!((r.mean_low_response() - 90.0).abs() < 1e-12);
+        assert!((r.mean_high_response() - 30.0).abs() < 1e-12);
+        assert_eq!(r.all_responses().len(), 3);
+    }
+}

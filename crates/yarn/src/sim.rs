@@ -1,0 +1,725 @@
+//! The YARN protocol simulation.
+
+use cbp_checkpoint::Criu;
+use cbp_cluster::{Container, ContainerId, EnergyMeter, Node, NodeId};
+use cbp_core::PreemptionPolicy;
+use cbp_dfs::{DfsCluster, DnId};
+use cbp_simkit::stats::Samples;
+use cbp_simkit::{run as engine_run, EventQueue, SimRng, SimTime, Simulation};
+use cbp_storage::{Device, OpKind};
+use cbp_workload::{PriorityBand, Workload};
+
+use std::collections::HashMap;
+
+use cbp_workload::JobId;
+
+use crate::components::{
+    preemption_decision, AmTaskStatus, AppMaster, PreemptDecision, QueueKind, ResourceManager,
+};
+use crate::config::YarnConfig;
+use crate::report::YarnReport;
+
+/// Protocol events (public as [`YarnSim`]'s associated event type).
+#[derive(Debug, Clone, Copy)]
+pub enum YarnEvent {
+    /// A client submits a job; its AM registers with the RM.
+    JobSubmit(u32),
+    /// The RM runs a scheduling (and, if needed, preemption) pass.
+    RmSchedule,
+    /// An AM's Preemption Manager handles a `ContainerPreemptEvent`.
+    PreemptDecision {
+        /// Application.
+        app: u32,
+        /// Task index within the application.
+        task: u32,
+        /// Staleness guard.
+        epoch: u32,
+    },
+    /// A checkpoint dump completed; the AM releases the container.
+    DumpDone {
+        /// Application.
+        app: u32,
+        /// Task index.
+        task: u32,
+        /// Staleness guard.
+        epoch: u32,
+        /// When the dump was initiated (for overhead accounting).
+        started: SimTime,
+    },
+    /// A restore completed; the task resumes.
+    RestoreDone {
+        /// Application.
+        app: u32,
+        /// Task index.
+        task: u32,
+        /// Staleness guard.
+        epoch: u32,
+        /// When the restore was initiated.
+        started: SimTime,
+    },
+    /// A container's task completed.
+    TaskFinish {
+        /// Application.
+        app: u32,
+        /// Task index.
+        task: u32,
+        /// Staleness guard.
+        epoch: u32,
+    },
+    /// The NodeManager's grace period for a preempted container expired:
+    /// if its dump is still in flight, abort it and force-kill.
+    ForceKill {
+        /// Application.
+        app: u32,
+        /// Task index.
+        task: u32,
+        /// Staleness guard (the epoch assigned when the dump started).
+        epoch: u32,
+    },
+}
+
+struct NodeManager {
+    node: Node,
+    device: Device,
+    meter: EnergyMeter,
+}
+
+/// The YARN cluster simulation (see the [crate docs](crate) for the
+/// component roles).
+pub struct YarnSim {
+    cfg: YarnConfig,
+    workload: Workload,
+    nms: Vec<NodeManager>,
+    rm: ResourceManager,
+    apps: Vec<AppMaster>,
+    criu: Criu,
+    dfs: DfsCluster,
+    /// MapReduce phase barriers per job (empty for single-phase workloads).
+    barriers: HashMap<JobId, u32>,
+    next_container: u64,
+    total_slots: u32,
+    // metrics
+    kills: u64,
+    checkpoints: u64,
+    restores: u64,
+    remote_restores: u64,
+    capacity_fallbacks: u64,
+    force_kills: u64,
+    kill_lost_cpu_secs: f64,
+    dump_overhead_cpu_secs: f64,
+    restore_overhead_cpu_secs: f64,
+    useful_cpu_secs: f64,
+    tasks_finished: u64,
+    low_responses: Samples,
+    high_responses: Samples,
+}
+
+fn task_key(app: u32, task: u32) -> u64 {
+    ((app as u64) << 32) | task as u64
+}
+
+impl YarnSim {
+    /// Builds a YARN cluster for `workload`.
+    pub fn new(cfg: YarnConfig, workload: Workload) -> Self {
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let nms = (0..cfg.nodes)
+            .map(|i| NodeManager {
+                node: Node::new(NodeId(i as u32), cfg.node_resources),
+                device: Device::new(cfg.media),
+                meter: EnergyMeter::new(cfg.energy),
+            })
+            .collect();
+        let dfs = DfsCluster::homogeneous(cfg.dfs, cfg.media, cfg.nodes, {
+            use rand::RngCore;
+            rng.next_u64()
+        });
+        // Slots are CPU-bound in the paper's setup (24 one-core containers).
+        let per_node = workload
+            .jobs()
+            .first()
+            .and_then(|j| j.tasks.first())
+            .map(|t| {
+                let by_cpu = cfg.node_resources.cpu_milli() / t.resources.cpu_milli().max(1);
+                let by_mem =
+                    cfg.node_resources.mem().as_u64() / t.resources.mem().as_u64().max(1);
+                by_cpu.min(by_mem) as u32
+            })
+            .unwrap_or(1);
+        let total_slots = per_node * cfg.nodes as u32;
+
+        YarnSim {
+            rm: ResourceManager::new(),
+            apps: Vec::with_capacity(workload.job_count()),
+            criu: Criu::new(cfg.incremental),
+            dfs,
+            barriers: HashMap::new(),
+            nms,
+            cfg,
+            workload,
+            next_container: 1,
+            total_slots,
+            kills: 0,
+            checkpoints: 0,
+            restores: 0,
+            remote_restores: 0,
+            capacity_fallbacks: 0,
+            force_kills: 0,
+            kill_lost_cpu_secs: 0.0,
+            dump_overhead_cpu_secs: 0.0,
+            restore_overhead_cpu_secs: 0.0,
+            useful_cpu_secs: 0.0,
+            tasks_finished: 0,
+            low_responses: Samples::new(),
+            high_responses: Samples::new(),
+        }
+    }
+
+    /// Attaches MapReduce phase barriers (reduces start only after all of a
+    /// job's maps finish). Keys are [`JobId`]s of the workload's jobs.
+    pub fn with_barriers(mut self, barriers: HashMap<JobId, u32>) -> Self {
+        self.barriers = barriers;
+        self
+    }
+
+    /// Runs the workload to completion.
+    pub fn run(mut self) -> YarnReport {
+        let mut queue = EventQueue::new();
+        for (i, job) in self.workload.jobs().iter().enumerate() {
+            queue.push(job.submit, YarnEvent::JobSubmit(i as u32));
+        }
+        let makespan = engine_run(&mut self, &mut queue);
+
+        let horizon = makespan.since(SimTime::ZERO);
+        let energy_kwh = self.nms.iter().map(|n| n.meter.kwh(makespan)).sum();
+        let io = mean(self.nms.iter().map(|n| n.device.busy_fraction(horizon)));
+        let peak = mean(self.nms.iter().map(|n| n.device.peak_used_fraction()));
+        YarnReport {
+            label: format!("{}-{}", self.cfg.policy, self.cfg.media.kind()),
+            makespan_secs: makespan.as_secs_f64(),
+            jobs_finished: self.apps.iter().filter(|a| a.finished_at.is_some()).count() as u64,
+            tasks_finished: self.tasks_finished,
+            kills: self.kills,
+            checkpoints: self.checkpoints,
+            incremental_checkpoints: self.criu.incremental_dumps(),
+            restores: self.restores,
+            remote_restores: self.remote_restores,
+            capacity_fallbacks: self.capacity_fallbacks,
+            force_kills: self.force_kills,
+            kill_lost_cpu_hours: self.kill_lost_cpu_secs / 3600.0,
+            dump_overhead_cpu_hours: self.dump_overhead_cpu_secs / 3600.0,
+            restore_overhead_cpu_hours: self.restore_overhead_cpu_secs / 3600.0,
+            useful_cpu_hours: self.useful_cpu_secs / 3600.0,
+            energy_kwh,
+            io_overhead_fraction: io,
+            storage_peak_fraction: peak,
+            low_responses: self.low_responses,
+            high_responses: self.high_responses,
+        }
+    }
+
+    fn update_meter(&mut self, node: usize, now: SimTime) {
+        let util = self.nms[node].node.cpu_utilization();
+        self.nms[node].meter.set_utilization(now, util);
+    }
+
+    fn release_container(&mut self, app: u32, task: u32, now: SimTime) {
+        let (node, cid) = match self.apps[app as usize].tasks[task as usize].status {
+            AmTaskStatus::Running { node, container }
+            | AmTaskStatus::Dumping { node, container }
+            | AmTaskStatus::Restoring { node, container } => (node as usize, container),
+            _ => return,
+        };
+        self.nms[node].node.release(cid).expect("container on node");
+        self.update_meter(node, now);
+    }
+
+    /// The RM's scheduling pass: grant free slots production-first, then
+    /// preempt the default queue if production is still starved.
+    fn rm_schedule(&mut self, now: SimTime, q: &mut EventQueue<YarnEvent>) {
+        // Allocation loop: serve head-of-line asks against the *actual*
+        // demand of the task the AM will launch next (map and reduce
+        // containers differ in size).
+        while let Some(app) = self.rm.peek_grant() {
+            let Some(&task) = self.apps[app as usize].launch_queue.front() else {
+                // Ask-count drift (e.g. a task finished another way):
+                // consume the stale ask and continue.
+                let _ = self.rm.next_grant();
+                continue;
+            };
+            let demand = self.apps[app as usize].tasks[task as usize].spec.resources;
+            let Some(node) = (0..self.nms.len()).find(|&i| self.nms[i].node.can_fit(&demand))
+            else {
+                break; // head-of-line blocking: preemption may clear it
+            };
+            let granted = self.rm.next_grant();
+            debug_assert_eq!(granted, Some(app));
+            self.launch_on(app, node, now, q);
+        }
+
+        // Preemption: production asks still pending?
+        if self.cfg.policy == PreemptionPolicy::Wait {
+            return;
+        }
+        let pending_prod = self.rm.pending(QueueKind::Production);
+        if pending_prod == 0 {
+            return;
+        }
+        let prod_running = self.count_running(QueueKind::Production);
+        let allowed = (self.cfg.prod_queue_guarantee * self.total_slots as f64).floor() as u32;
+        let claimable = allowed.saturating_sub(prod_running);
+        let needed = pending_prod.min(claimable);
+        if needed == 0 {
+            return;
+        }
+
+        // Candidates: running default-queue containers without an
+        // outstanding preempt request; cost-aware ranking (§5.2.2).
+        let mut candidates: Vec<(f64, u64)> = Vec::new();
+        for (ai, am) in self.apps.iter().enumerate() {
+            if am.queue != QueueKind::Default {
+                continue;
+            }
+            for (ti, t) in am.tasks.iter().enumerate() {
+                if t.preempt_requested {
+                    continue;
+                }
+                if let AmTaskStatus::Running { node, .. } = t.status {
+                    let cost = self.checkpoint_cost_secs(t, node as usize, now);
+                    candidates.push((cost, task_key(ai as u32, ti as u32)));
+                }
+            }
+        }
+        let victims = ResourceManager::select_victims(candidates, needed as usize);
+        for key in victims {
+            let (app, task) = ((key >> 32) as u32, key as u32);
+            let am_task = &mut self.apps[app as usize].tasks[task as usize];
+            am_task.preempt_requested = true;
+            let epoch = am_task.epoch;
+            // ContainerPreemptEvent travels RM -> AM.
+            q.push(
+                now + self.cfg.rpc_delay,
+                YarnEvent::PreemptDecision { app, task, epoch },
+            );
+        }
+    }
+
+    /// Cheap (arithmetic) checkpoint-cost estimate used for victim ranking.
+    fn checkpoint_cost_secs(
+        &self,
+        t: &crate::components::AmTask,
+        node: usize,
+        now: SimTime,
+    ) -> f64 {
+        let mem = t.spec.resources.mem();
+        let size = if self.cfg.incremental && !t.dfs_paths.is_empty() {
+            let since = now.saturating_since(t.mem_synced).as_secs_f64();
+            let dirty = t.memory.as_ref().map(|m| m.dirty_fraction()).unwrap_or(0.0);
+            mem.mul_f64((dirty + t.spec.dirty_rate_per_sec * since).min(1.0))
+        } else {
+            mem
+        };
+        let spec = self.nms[node].device.spec();
+        (spec.write_time(size) + spec.read_time(size) + self.nms[node].device.queue_wait(now))
+            .as_secs_f64()
+    }
+
+    fn count_running(&self, queue: QueueKind) -> u32 {
+        self.apps
+            .iter()
+            .filter(|a| a.queue == queue)
+            .flat_map(|a| a.tasks.iter())
+            .filter(|t| {
+                matches!(
+                    t.status,
+                    AmTaskStatus::Running { .. }
+                        | AmTaskStatus::Dumping { .. }
+                        | AmTaskStatus::Restoring { .. }
+                )
+            })
+            .count() as u32
+    }
+
+    /// Launches `app`'s next queued task on `node` (fresh start or restore).
+    fn launch_on(&mut self, app: u32, node: usize, now: SimTime, q: &mut EventQueue<YarnEvent>) {
+        let Some(task) = self.apps[app as usize].next_launch() else {
+            return; // stale grant (ask count drifted); nothing to run
+        };
+        let cid = ContainerId(self.next_container);
+        self.next_container += 1;
+        let demand = self.apps[app as usize].tasks[task as usize].spec.resources;
+        self.nms[node]
+            .node
+            .allocate(Container::new(cid, demand, task_key(app, task)))
+            .expect("grant checked can_fit");
+        self.update_meter(node, now);
+
+        let key = task_key(app, task);
+        if self.criu.has_image(key) {
+            let origin = match self.apps[app as usize].tasks[task as usize].status {
+                AmTaskStatus::Suspended { origin } => origin,
+                _ => unreachable!("image implies suspended"),
+            };
+            // Restore: read every image in the chain from HDFS.
+            let service: cbp_simkit::SimDuration = self.apps[app as usize].tasks[task as usize]
+                .dfs_paths
+                .iter()
+                .map(|p| {
+                    self.dfs
+                        .read_cost(p, DnId(node as u32))
+                        .map(|c| c.duration)
+                        .unwrap_or(cbp_simkit::SimDuration::ZERO)
+                })
+                .sum();
+            let size = self.criu.image_size(key);
+            let op = self.nms[node]
+                .device
+                .submit_custom(now, OpKind::Read, size, service);
+            if origin != node as u32 {
+                self.remote_restores += 1;
+            }
+            let am_task = &mut self.apps[app as usize].tasks[task as usize];
+            am_task.status = AmTaskStatus::Restoring { node: node as u32, container: cid };
+            let epoch = am_task.epoch;
+            // `started` is the service start: queue wait burns no CPU.
+            q.push(op.end, YarnEvent::RestoreDone { app, task, epoch, started: op.start });
+        } else {
+            // The container pays its startup (localization + JVM spawn)
+            // before useful execution begins.
+            let started = now + self.cfg.container_startup;
+            let am_task = &mut self.apps[app as usize].tasks[task as usize];
+            am_task.status = AmTaskStatus::Running { node: node as u32, container: cid };
+            am_task.run_started = started;
+            am_task.mem_synced = started;
+            let epoch = am_task.epoch;
+            q.push(
+                started + am_task.remaining(),
+                YarnEvent::TaskFinish { app, task, epoch },
+            );
+        }
+    }
+
+    /// Kills a running container: at-risk progress is lost; the AM re-asks.
+    fn kill(&mut self, app: u32, task: u32, now: SimTime, q: &mut EventQueue<YarnEvent>) {
+        let am_task = &mut self.apps[app as usize].tasks[task as usize];
+        am_task.sync_progress(now);
+        let lost = am_task.progress_at_risk();
+        let cores = am_task.spec.resources.cores_f64();
+        self.kills += 1;
+        self.kill_lost_cpu_secs += lost.as_secs_f64() * cores;
+        self.release_container(app, task, now);
+
+        let key = task_key(app, task);
+        let has_image = self.criu.has_image(key);
+        let am_task = &mut self.apps[app as usize].tasks[task as usize];
+        am_task.epoch += 1;
+        am_task.preemptions += 1;
+        am_task.preempt_requested = false;
+        am_task.progress = am_task.checkpointed_progress;
+        if let Some(mem) = am_task.memory.as_mut() {
+            if has_image {
+                mem.clear_dirty();
+            } else {
+                mem.mark_all_dirty();
+            }
+        }
+        am_task.status = if has_image {
+            let origin = self
+                .criu
+                .chain(key)
+                .and_then(|c| c.tip())
+                .map(|r| r.origin_node)
+                .expect("image has a tip");
+            AmTaskStatus::Suspended { origin }
+        } else {
+            AmTaskStatus::Waiting
+        };
+        self.apps[app as usize].requeue(task);
+        self.rm.add_asks(app, 1);
+        q.push(now + self.cfg.rpc_delay, YarnEvent::RmSchedule);
+    }
+
+    /// Picks the datanode whose device will hold a dump of `size` written
+    /// from `node`: local if it fits, else the node with the most free
+    /// space (HDFS spills block writes to any datanode).
+    fn dump_origin_for(&self, node: usize, size: cbp_simkit::units::ByteSize) -> Option<usize> {
+        if self.nms[node].device.free_capacity() >= size {
+            return Some(node);
+        }
+        (0..self.nms.len())
+            .max_by_key(|&i| (self.nms[i].device.free_capacity(), std::cmp::Reverse(i)))
+            .filter(|&i| self.nms[i].device.free_capacity() >= size)
+    }
+
+    /// Suspends a running container with a CRIU dump to HDFS.
+    fn dump(&mut self, app: u32, task: u32, now: SimTime, q: &mut EventQueue<YarnEvent>) {
+        let (node, cid) = match self.apps[app as usize].tasks[task as usize].status {
+            AmTaskStatus::Running { node, container } => (node as usize, container),
+            _ => unreachable!("dump target must be running"),
+        };
+        let key = task_key(app, task);
+        let size = {
+            let am_task = &mut self.apps[app as usize].tasks[task as usize];
+            am_task.sync_progress(now);
+            am_task.sync_memory(now);
+            self.criu
+                .next_dump_size(key, am_task.memory.as_ref().expect("synced"))
+                .0
+        };
+
+        let Some(origin) = self.dump_origin_for(node, size) else {
+            self.capacity_fallbacks += 1;
+            if std::env::var_os("CBP_DEBUG_CAPACITY").is_some() {
+                let free: Vec<String> = self
+                    .nms
+                    .iter()
+                    .map(|n| format!("{:.1}", n.device.free_capacity().as_gb_f64()))
+                    .collect();
+                eprintln!(
+                    "[{now}] fallback task {app}/{task} size {size} free/node GB: {}",
+                    free.join(" ")
+                );
+            }
+            self.kill(app, task, now, q);
+            return;
+        };
+
+        let am_task = &self.apps[app as usize].tasks[task as usize];
+        let path = format!(
+            "/ckpt/{app}/{task}/{}/{}",
+            am_task.epoch,
+            am_task.dfs_paths.len()
+        );
+        let service = self
+            .dfs
+            .create(&path, size, DnId(node as u32))
+            .ok()
+            .map(|r| r.duration);
+        if service.is_some() {
+            self.apps[app as usize].tasks[task as usize]
+                .dfs_paths
+                .push(path);
+        }
+
+        let am_task = &mut self.apps[app as usize].tasks[task as usize];
+        let mem = am_task.memory.as_mut().expect("synced");
+        match self
+            .criu
+            .dump_with(key, mem, origin as u32, &mut self.nms[origin].device, now, service)
+        {
+            Ok(result) => {
+                for (origin, bytes) in &result.freed {
+                    self.nms[*origin as usize].device.release(*bytes);
+                }
+                self.checkpoints += 1;
+                let cores = self.apps[app as usize].tasks[task as usize]
+                    .spec
+                    .resources
+                    .cores_f64();
+                // CPU wastage counts the dump's service time only: a queued
+                // victim is stopped and burns no CPU (queueing still delays
+                // resource release through the DumpDone event time).
+                self.dump_overhead_cpu_secs +=
+                    result.op.end.since(result.op.start).as_secs_f64() * cores;
+                let am_task = &mut self.apps[app as usize].tasks[task as usize];
+                am_task.status = AmTaskStatus::Dumping { node: node as u32, container: cid };
+                am_task.epoch += 1;
+                am_task.preemptions += 1;
+                let epoch = am_task.epoch;
+                q.push(
+                    result.op.end,
+                    YarnEvent::DumpDone { app, task, epoch, started: now },
+                );
+                if let Some(grace) = self.cfg.graceful_timeout {
+                    q.push(now + grace, YarnEvent::ForceKill { app, task, epoch });
+                }
+            }
+            Err(_) => {
+                self.capacity_fallbacks += 1;
+                self.kill(app, task, now, q);
+            }
+        }
+    }
+}
+
+impl Simulation for YarnSim {
+    type Event = YarnEvent;
+
+    fn handle(&mut self, now: SimTime, event: YarnEvent, q: &mut EventQueue<YarnEvent>) {
+        match event {
+            YarnEvent::JobSubmit(app) => {
+                let job = &self.workload.jobs()[app as usize];
+                let queue = if job.priority.band() == PriorityBand::Production {
+                    QueueKind::Production
+                } else {
+                    QueueKind::Default
+                };
+                let am = match self.barriers.get(&job.id) {
+                    Some(&barrier) => AppMaster::new_with_barrier(
+                        app,
+                        queue,
+                        job.submit,
+                        &job.tasks,
+                        barrier,
+                    ),
+                    None => AppMaster::new(app, queue, job.submit, &job.tasks),
+                };
+                let asks = am.launch_queue.len() as u32;
+                self.apps.push(am);
+                self.rm.register_app(app, queue);
+                self.rm.add_asks(app, asks);
+                q.push(now + self.cfg.rpc_delay, YarnEvent::RmSchedule);
+            }
+            YarnEvent::RmSchedule => {
+                self.rm_schedule(now, q);
+            }
+            YarnEvent::PreemptDecision { app, task, epoch } => {
+                let am_task = &self.apps[app as usize].tasks[task as usize];
+                if am_task.epoch != epoch
+                    || !matches!(am_task.status, AmTaskStatus::Running { .. })
+                {
+                    return; // finished or already transitioned
+                }
+                let node = match am_task.status {
+                    AmTaskStatus::Running { node, .. } => node as usize,
+                    _ => unreachable!(),
+                };
+                // Algorithm 1 needs the current dirty estimate.
+                self.apps[app as usize].tasks[task as usize].sync_progress(now);
+                self.apps[app as usize].tasks[task as usize].sync_memory(now);
+                let decision = {
+                    let am_task = &self.apps[app as usize].tasks[task as usize];
+                    let est = self.criu.estimate(
+                        task_key(app, task),
+                        am_task.memory.as_ref().expect("synced"),
+                        &self.nms[node].device,
+                        now,
+                    );
+                    preemption_decision(self.cfg.policy, am_task.progress_at_risk(), &est)
+                };
+                match decision {
+                    PreemptDecision::Kill => self.kill(app, task, now, q),
+                    PreemptDecision::Checkpoint => self.dump(app, task, now, q),
+                }
+            }
+            YarnEvent::ForceKill { app, task, epoch } => {
+                let am_task = &self.apps[app as usize].tasks[task as usize];
+                if am_task.epoch != epoch {
+                    return; // the dump completed in time
+                }
+                let AmTaskStatus::Dumping { node, .. } = am_task.status else {
+                    return;
+                };
+                // Abort the half-written dump and kill the container.
+                let key = task_key(app, task);
+                if let Some((origin, bytes)) = self.criu.abort_tip(key) {
+                    self.nms[origin as usize].device.release(bytes);
+                }
+                let _ = self.apps[app as usize].tasks[task as usize].dfs_paths.pop();
+                self.force_kills += 1;
+                let _ = node;
+                // The container is still held; transition it through a kill.
+                // kill() handles Running; emulate by restoring Running-like
+                // state first.
+                let am_task = &mut self.apps[app as usize].tasks[task as usize];
+                let AmTaskStatus::Dumping { node, container } = am_task.status else {
+                    unreachable!()
+                };
+                am_task.status = AmTaskStatus::Running { node, container };
+                self.kill(app, task, now, q);
+            }
+            YarnEvent::DumpDone { app, task, epoch, started: _ } => {
+                let am_task = &self.apps[app as usize].tasks[task as usize];
+                if am_task.epoch != epoch {
+                    return;
+                }
+                let AmTaskStatus::Dumping { node, .. } = am_task.status else {
+                    return;
+                };
+                self.release_container(app, task, now);
+                self.nms[node as usize].device.on_advance(now);
+                let am_task = &mut self.apps[app as usize].tasks[task as usize];
+                am_task.checkpointed_progress = am_task.progress;
+                am_task.preempt_requested = false;
+                am_task.status = AmTaskStatus::Suspended { origin: node };
+                self.apps[app as usize].requeue(task);
+                self.rm.add_asks(app, 1);
+                q.push(now + self.cfg.rpc_delay, YarnEvent::RmSchedule);
+            }
+            YarnEvent::RestoreDone { app, task, epoch, started } => {
+                let am_task = &self.apps[app as usize].tasks[task as usize];
+                if am_task.epoch != epoch {
+                    return;
+                }
+                let AmTaskStatus::Restoring { node, container } = am_task.status else {
+                    return;
+                };
+                self.nms[node as usize].device.on_advance(now);
+                self.restores += 1;
+                let cores = am_task.spec.resources.cores_f64();
+                self.restore_overhead_cpu_secs += now.since(started).as_secs_f64() * cores;
+                let am_task = &mut self.apps[app as usize].tasks[task as usize];
+                am_task.status = AmTaskStatus::Running { node, container };
+                am_task.run_started = now;
+                am_task.mem_synced = now;
+                if let Some(mem) = am_task.memory.as_mut() {
+                    mem.clear_dirty();
+                }
+                let epoch = am_task.epoch;
+                q.push(
+                    now + am_task.remaining(),
+                    YarnEvent::TaskFinish { app, task, epoch },
+                );
+            }
+            YarnEvent::TaskFinish { app, task, epoch } => {
+                let am_task = &self.apps[app as usize].tasks[task as usize];
+                if am_task.epoch != epoch
+                    || !matches!(am_task.status, AmTaskStatus::Running { .. })
+                {
+                    return;
+                }
+                self.apps[app as usize].tasks[task as usize].sync_progress(now);
+                self.release_container(app, task, now);
+                let am_task = &mut self.apps[app as usize].tasks[task as usize];
+                am_task.status = AmTaskStatus::Done;
+                let cores = am_task.spec.resources.cores_f64();
+                let work = am_task.spec.duration.as_secs_f64();
+                self.useful_cpu_secs += cores * work;
+                self.tasks_finished += 1;
+
+                let key = task_key(app, task);
+                for (origin, bytes) in self.criu.discard(key) {
+                    self.nms[origin as usize].device.release(bytes);
+                }
+                for path in std::mem::take(&mut self.apps[app as usize].tasks[task as usize].dfs_paths)
+                {
+                    let _ = self.dfs.delete(&path);
+                }
+
+                let am = &mut self.apps[app as usize];
+                let released_reduces = am.on_task_done(task);
+                if released_reduces > 0 {
+                    self.rm.add_asks(app, released_reduces);
+                }
+                let am = &mut self.apps[app as usize];
+                if am.unfinished == 0 {
+                    am.finished_at = Some(now);
+                    let response = now.since(am.submit).as_secs_f64();
+                    match am.queue {
+                        QueueKind::Default => self.low_responses.push(response),
+                        QueueKind::Production => self.high_responses.push(response),
+                    }
+                }
+                q.push(now + self.cfg.rpc_delay, YarnEvent::RmSchedule);
+            }
+        }
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = iter.fold((0.0, 0usize), |(s, n), x| (s + x, n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}

@@ -1,0 +1,23 @@
+//! # cbp — checkpoint-based preemption for shared clusters
+//!
+//! A Rust reproduction of *"Improving Preemptive Scheduling with
+//! Application-Transparent Checkpointing in Shared Clusters"* (Middleware
+//! 2015). This facade crate re-exports the workspace's sub-crates under one
+//! namespace; see the repository `README.md` and `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the reproduced tables and figures.
+//!
+//! ```
+//! use cbp::simkit::SimTime;
+//! assert_eq!(SimTime::from_secs(1).as_micros(), 1_000_000);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use cbp_checkpoint as checkpoint;
+pub use cbp_cluster as cluster;
+pub use cbp_core as core;
+pub use cbp_dfs as dfs;
+pub use cbp_simkit as simkit;
+pub use cbp_storage as storage;
+pub use cbp_workload as workload;
+pub use cbp_yarn as yarn;
