@@ -50,9 +50,7 @@ fn bench_dump_cycle(c: &mut Criterion) {
                 |(mut criu, mut dev, mut mem)| {
                     let d1 = criu.dump(1, &mut mem, 0, &mut dev, SimTime::ZERO).unwrap();
                     mem.touch_fraction(0.10);
-                    let d2 = criu
-                        .dump(1, &mut mem, 0, &mut dev, d1.op.end)
-                        .unwrap();
+                    let d2 = criu.dump(1, &mut mem, 0, &mut dev, d1.op.end).unwrap();
                     let r = criu.restore(1, &mut dev, d2.op.end).unwrap();
                     black_box((d1.size, d2.size, r.size))
                 },
@@ -96,5 +94,11 @@ fn bench_estimate(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dirty_tracking, bench_dump_cycle, bench_nvram, bench_estimate);
+criterion_group!(
+    benches,
+    bench_dirty_tracking,
+    bench_dump_cycle,
+    bench_nvram,
+    bench_estimate
+);
 criterion_main!(benches);

@@ -72,5 +72,10 @@ fn bench_workload_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trace_sim, bench_yarn_sim, bench_workload_generation);
+criterion_group!(
+    benches,
+    bench_trace_sim,
+    bench_yarn_sim,
+    bench_workload_generation
+);
 criterion_main!(benches);

@@ -54,7 +54,8 @@ fn bench_dfs(c: &mut Criterion) {
             |mut dfs| {
                 for i in 0..100 {
                     let path = format!("/f{i}");
-                    dfs.create(&path, ByteSize::from_mb(256), DnId(i % 8)).unwrap();
+                    dfs.create(&path, ByteSize::from_mb(256), DnId(i % 8))
+                        .unwrap();
                     black_box(dfs.read_cost(&path, DnId((i + 1) % 8)).unwrap().duration);
                 }
                 for i in 0..100 {
@@ -79,5 +80,11 @@ fn bench_energy(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_device_queue, bench_dfs, bench_energy);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_device_queue,
+    bench_dfs,
+    bench_energy
+);
 criterion_main!(benches);

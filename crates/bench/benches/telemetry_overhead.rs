@@ -1,0 +1,63 @@
+//! Criterion benchmark proving the telemetry wiring is free when disabled.
+//!
+//! Every trace point in `ClusterSim` is guarded by a cached
+//! `tracer.enabled()` bool, so a run with the default `NullTracer` must be
+//! within noise (the PR's acceptance bar: <2%) of the pre-telemetry
+//! baseline. Since the baseline no longer exists in-tree, we compare
+//!
+//! * `null_tracer` — the default, exactly what every experiment runs, vs.
+//! * `sink_tracer` — a `JsonlTracer` writing to `std::io::sink()`, the
+//!   full record-construction + serialization cost, vs.
+//! * `sampled` — `NullTracer` plus the 60 s time-series probe.
+//!
+//! `null_tracer` is the number to watch: it is the disabled-path cost.
+
+use cbp_core::{ClusterSim, PreemptionPolicy, SimConfig};
+use cbp_simkit::SimDuration;
+use cbp_storage::MediaKind;
+use cbp_telemetry::JsonlTracer;
+use cbp_workload::google::GoogleTraceConfig;
+use cbp_workload::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn setup() -> (Workload, SimConfig) {
+    let workload = GoogleTraceConfig::small(120.0).generate(7);
+    let cfg = SimConfig::trace_sim(PreemptionPolicy::Adaptive, MediaKind::Ssd).with_nodes(4);
+    (workload, cfg)
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let (workload, cfg) = setup();
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(20);
+
+    group.bench_function("null_tracer", |b| {
+        b.iter(|| {
+            // Default tracer: the disabled path (one branch per trace point).
+            let sim = ClusterSim::new(cfg.clone(), workload.clone());
+            black_box(sim.run().metrics.preemptions)
+        })
+    });
+
+    group.bench_function("sink_tracer", |b| {
+        b.iter(|| {
+            let mut sim = ClusterSim::new(cfg.clone(), workload.clone());
+            sim.set_tracer(Box::new(JsonlTracer::new(std::io::sink())));
+            black_box(sim.run().metrics.preemptions)
+        })
+    });
+
+    group.bench_function("sampled", |b| {
+        b.iter(|| {
+            let mut sim = ClusterSim::new(cfg.clone(), workload.clone());
+            sim.enable_sampling(SimDuration::from_secs(60));
+            black_box(sim.run().metrics.preemptions)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -15,7 +15,9 @@ use super::google_setup;
 /// Runs all three ablations on the (scaled) one-day trace.
 pub fn ablations(scale: Scale, seed: u64) -> Experiment {
     let (workload, base) = google_setup(scale, seed);
-    let base = base.with_policy(PreemptionPolicy::Checkpoint).with_media(MediaKind::Hdd.spec());
+    let base = base
+        .with_policy(PreemptionPolicy::Checkpoint)
+        .with_media(MediaKind::Hdd.spec());
 
     let mut exp = Experiment::new(
         "ablate",
@@ -33,7 +35,12 @@ pub fn ablations(scale: Scale, seed: u64) -> Experiment {
         let mut t = Table::new(
             "ablate-incremental",
             "Incremental (soft-dirty) checkpointing, Chk-HDD",
-            &["variant", "dump overhead [core-h]", "incremental dumps", "mean response low [s]"],
+            &[
+                "variant",
+                "dump overhead [core-h]",
+                "incremental dumps",
+                "mean response low [s]",
+            ],
         );
         for (label, r) in [("on", &on), ("off", &off)] {
             t.row(vec![
@@ -53,7 +60,12 @@ pub fn ablations(scale: Scale, seed: u64) -> Experiment {
         let mut t = Table::new(
             "ablate-victims",
             "Victim selection under checkpoint-based preemption, Chk-HDD",
-            &["variant", "wasted core-h", "checkpoints", "mean response high [s]"],
+            &[
+                "variant",
+                "wasted core-h",
+                "checkpoints",
+                "mean response high [s]",
+            ],
         );
         for (label, r) in [("cost-aware", &aware), ("naive", &naive)] {
             t.row(vec![
@@ -112,7 +124,12 @@ pub fn ablations(scale: Scale, seed: u64) -> Experiment {
         let mut t = Table::new(
             "ablate-compression",
             "Checkpoint-image stream compression, Chk-HDD",
-            &["variant", "chk overhead [core-h]", "mean response low [s]", "peak storage"],
+            &[
+                "variant",
+                "chk overhead [core-h]",
+                "mean response low [s]",
+                "peak storage",
+            ],
         );
         for (label, r) in [("none", &plain), ("lz4", &lz4), ("zstd", &zstd)] {
             t.row(vec![
@@ -134,7 +151,10 @@ pub fn ablations(scale: Scale, seed: u64) -> Experiment {
         let flaky = base
             .clone()
             .with_failures(SimDuration::from_secs(3_600), SimDuration::from_secs(300));
-        let kill = flaky.clone().with_policy(PreemptionPolicy::Kill).run(&workload);
+        let kill = flaky
+            .clone()
+            .with_policy(PreemptionPolicy::Kill)
+            .run(&workload);
         let chk = flaky.run(&workload);
         let mut t = Table::new(
             "ablate-failures",
@@ -167,7 +187,11 @@ pub fn ablations(scale: Scale, seed: u64) -> Experiment {
         let mut t = Table::new(
             "ablate-discipline",
             "Intra-priority queue discipline, Chk-HDD",
-            &["variant", "mean response low [s]", "mean response overall [s]"],
+            &[
+                "variant",
+                "mean response low [s]",
+                "mean response overall [s]",
+            ],
         );
         for (label, r) in [("fifo", &fifo), ("fair", &fair)] {
             t.row(vec![
@@ -186,7 +210,12 @@ pub fn ablations(scale: Scale, seed: u64) -> Experiment {
         let mut t = Table::new(
             "ablate-restore",
             "Restore placement (Algorithm 2), Chk-HDD",
-            &["variant", "remote restores", "mean response low [s]", "makespan [s]"],
+            &[
+                "variant",
+                "remote restores",
+                "mean response low [s]",
+                "makespan [s]",
+            ],
         );
         for (label, r) in [("cost-aware", &aware), ("local-only", &local)] {
             t.row(vec![

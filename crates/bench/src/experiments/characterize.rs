@@ -80,7 +80,11 @@ pub fn fig1_tables12(scale: Scale, seed: u64) -> Experiment {
         &["preemptions", "tasks"],
     );
     for (i, count) in analysis.preemption_count_histogram.iter().enumerate() {
-        let label = if i == 9 { ">=10".to_string() } else { (i + 1).to_string() };
+        let label = if i == 9 {
+            ">=10".to_string()
+        } else {
+            (i + 1).to_string()
+        };
         fig1c.row(vec![label, count.to_string()]);
     }
     fig1c.note(format!(
@@ -93,9 +97,18 @@ pub fn fig1_tables12(scale: Scale, seed: u64) -> Experiment {
     let mut t1 = Table::new(
         "table1",
         "Preempted tasks per priority band",
-        &["priority band", "scheduled tasks", "percent preempted", "paper"],
+        &[
+            "priority band",
+            "scheduled tasks",
+            "percent preempted",
+            "paper",
+        ],
     );
-    let paper = [("Free (0-1)", "20.26%"), ("Middle (2-8)", "0.55%"), ("Production (9-11)", "1.02%")];
+    let paper = [
+        ("Free (0-1)", "20.26%"),
+        ("Middle (2-8)", "0.55%"),
+        ("Production (9-11)", "1.02%"),
+    ];
     for ((band, counts), (label, paper_pct)) in analysis.per_band.iter().zip(paper) {
         let _ = band;
         t1.row(vec![
@@ -119,7 +132,12 @@ pub fn fig1_tables12(scale: Scale, seed: u64) -> Experiment {
     let mut t2 = Table::new(
         "table2",
         "Preempted tasks per latency-sensitivity class",
-        &["latency class", "scheduled tasks", "percent preempted", "paper"],
+        &[
+            "latency class",
+            "scheduled tasks",
+            "percent preempted",
+            "paper",
+        ],
     );
     let paper2 = ["11.76%", "18.87%", "8.14%", "14.80%"];
     for (class, paper_pct) in LatencyClass::ALL.iter().zip(paper2) {

@@ -75,7 +75,13 @@ pub fn mapreduce(scale: Scale, seed: u64) -> Experiment {
     let mut grace = Table::new(
         "mapreduce-grace",
         "NodeManager grace period vs checkpointing viability (Chk, MapReduce)",
-        &["grace", "medium", "checkpoints", "force-kills", "wasted core-h"],
+        &[
+            "grace",
+            "medium",
+            "checkpoints",
+            "force-kills",
+            "wasted core-h",
+        ],
     );
     for (label, secs) in [("5 s (stock)", 5u64), ("10 min", 600)] {
         for media in [MediaKind::Hdd, MediaKind::Nvm] {

@@ -34,9 +34,15 @@ pub fn fig2() -> Experiment {
         fig2a.row(cells);
     }
     {
-        let hdd = MediaSpec::hdd().round_trip_time(ByteSize::from_gb(10)).as_secs_f64();
-        let ssd = MediaSpec::ssd().round_trip_time(ByteSize::from_gb(10)).as_secs_f64();
-        let nvm = MediaSpec::nvm().round_trip_time(ByteSize::from_gb(10)).as_secs_f64();
+        let hdd = MediaSpec::hdd()
+            .round_trip_time(ByteSize::from_gb(10))
+            .as_secs_f64();
+        let ssd = MediaSpec::ssd()
+            .round_trip_time(ByteSize::from_gb(10))
+            .as_secs_f64();
+        let nvm = MediaSpec::nvm()
+            .round_trip_time(ByteSize::from_gb(10))
+            .as_secs_f64();
         fig2a.note(format!(
             "ratios at 10 GB: HDD/SSD = {:.1}x (paper 3-4x), SSD/NVM = {:.1}x (paper 10-15x)",
             hdd / ssd,
@@ -55,7 +61,10 @@ pub fn fig2() -> Experiment {
         let mut cells = vec![fmt(gb, 1)];
         for media in [MediaSpec::hdd(), MediaSpec::ssd(), MediaSpec::nvm()] {
             let mut dfs = DfsCluster::homogeneous(DfsConfig::default(), media, 4, 11);
-            let write = dfs.create("/img", size, DnId(0)).expect("fresh path").duration;
+            let write = dfs
+                .create("/img", size, DnId(0))
+                .expect("fresh path")
+                .duration;
             // Restore on another node, as remote resume does.
             let read = dfs.read_cost("/img", DnId(1)).expect("exists").duration;
             cells.push(fmt((write + read).as_secs_f64(), 1));
@@ -80,11 +89,22 @@ pub fn table3() -> Experiment {
     let mut t = Table::new(
         "table3",
         "Benefits of incremental checkpointing (5 GB task, 10% dirtied)",
-        &["storage", "first checkpoint [s]", "second checkpoint [s]", "paper first", "paper second"],
+        &[
+            "storage",
+            "first checkpoint [s]",
+            "second checkpoint [s]",
+            "paper first",
+            "paper second",
+        ],
     );
-    let paper = [("HDD", 169.18, 15.34), ("SSD", 43.73, 4.08), ("PMFS", 2.92, 0.28)];
-    for (spec, (label, p1, p2)) in
-        [MediaSpec::hdd(), MediaSpec::ssd(), MediaSpec::nvm()].into_iter().zip(paper)
+    let paper = [
+        ("HDD", 169.18, 15.34),
+        ("SSD", 43.73, 4.08),
+        ("PMFS", 2.92, 0.28),
+    ];
+    for (spec, (label, p1, p2)) in [MediaSpec::hdd(), MediaSpec::ssd(), MediaSpec::nvm()]
+        .into_iter()
+        .zip(paper)
     {
         let mut criu = Criu::new(true);
         let mut dev = Device::new(spec);

@@ -26,7 +26,6 @@ pub fn google_setup(scale: Scale, seed: u64) -> (Workload, SimConfig) {
         .with_load_factor(1.35)
         .generate(seed);
     let nodes = scale.apply(200, 4);
-    let config =
-        SimConfig::trace_sim(PreemptionPolicy::Kill, MediaKind::Hdd).with_nodes(nodes);
+    let config = SimConfig::trace_sim(PreemptionPolicy::Kill, MediaKind::Hdd).with_nodes(nodes);
     (workload, config)
 }

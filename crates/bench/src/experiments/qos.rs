@@ -15,7 +15,10 @@ use super::google_setup;
 /// Mean response per latency class under each policy, normalized to Kill.
 pub fn qos(scale: Scale, seed: u64) -> Experiment {
     let (workload, base) = google_setup(scale, seed);
-    let kill = base.clone().with_policy(PreemptionPolicy::Kill).run(&workload);
+    let kill = base
+        .clone()
+        .with_policy(PreemptionPolicy::Kill)
+        .run(&workload);
 
     let mut exp = Experiment::new(
         "qos",

@@ -39,12 +39,20 @@ fn sweep_tables(id_prefix: &str, policies: &[PreemptionPolicy]) -> Vec<Table> {
         let wait_energy = scenario.run(PreemptionPolicy::Wait, bw).energy_kwh;
         high.row(
             std::iter::once(fmt(bw, 1))
-                .chain(outcomes.iter().map(|o| fmt(o.high_normalized(undisturbed), 2)))
+                .chain(
+                    outcomes
+                        .iter()
+                        .map(|o| fmt(o.high_normalized(undisturbed), 2)),
+                )
                 .collect(),
         );
         low.row(
             std::iter::once(fmt(bw, 1))
-                .chain(outcomes.iter().map(|o| fmt(o.low_normalized(undisturbed), 2)))
+                .chain(
+                    outcomes
+                        .iter()
+                        .map(|o| fmt(o.low_normalized(undisturbed), 2)),
+                )
                 .collect(),
         );
         energy.row(
@@ -77,7 +85,11 @@ pub fn fig4() -> Experiment {
     );
     for t in sweep_tables(
         "fig4",
-        &[PreemptionPolicy::Wait, PreemptionPolicy::Kill, PreemptionPolicy::Checkpoint],
+        &[
+            PreemptionPolicy::Wait,
+            PreemptionPolicy::Kill,
+            PreemptionPolicy::Checkpoint,
+        ],
     ) {
         exp.push(t);
     }

@@ -10,8 +10,11 @@ use crate::Scale;
 
 use super::google_setup;
 
-const BANDS: [PriorityBand; 3] =
-    [PriorityBand::Free, PriorityBand::Middle, PriorityBand::Production];
+const BANDS: [PriorityBand; 3] = [
+    PriorityBand::Free,
+    PriorityBand::Middle,
+    PriorityBand::Production,
+];
 
 fn run(config: &SimConfig, workload: &cbp_workload::Workload) -> RunReport {
     config.run(workload)
@@ -82,7 +85,12 @@ pub fn fig3(scale: Scale, seed: u64) -> Experiment {
             r.metrics.mean_response(band) / k
         }
     };
-    c.row(vec!["Kill".into(), "1.00".into(), "1.00".into(), "1.00".into()]);
+    c.row(vec![
+        "Kill".into(),
+        "1.00".into(),
+        "1.00".into(),
+        "1.00".into(),
+    ]);
     for (media, r) in &chk {
         c.row(vec![
             format!("Chk-{media}"),
@@ -127,7 +135,12 @@ pub fn fig5(scale: Scale, seed: u64) -> Experiment {
             format!("{media}: response normalized to Basic"),
             &["policy", "low", "medium", "high"],
         );
-        t.row(vec!["Basic".into(), "1.00".into(), "1.00".into(), "1.00".into()]);
+        t.row(vec![
+            "Basic".into(),
+            "1.00".into(),
+            "1.00".into(),
+            "1.00".into(),
+        ]);
         let norm = |band: PriorityBand| {
             let b = basic.metrics.mean_response(band);
             if b == 0.0 {

@@ -26,7 +26,12 @@ fn setup(scale: Scale, seed: u64) -> (Workload, YarnConfig) {
     (workload, config)
 }
 
-fn run(config: &YarnConfig, w: &Workload, policy: PreemptionPolicy, media: MediaKind) -> YarnReport {
+fn run(
+    config: &YarnConfig,
+    w: &Workload,
+    policy: PreemptionPolicy,
+    media: MediaKind,
+) -> YarnReport {
     config
         .clone()
         .with_policy(policy)
@@ -54,7 +59,12 @@ pub fn fig8(scale: Scale, seed: u64) -> Experiment {
     let mut a = Table::new(
         "fig8a",
         "CPU wastage [core-hours]",
-        &["policy", "wasted core-h", "waste fraction", "reduction vs kill"],
+        &[
+            "policy",
+            "wasted core-h",
+            "waste fraction",
+            "reduction vs kill",
+        ],
     );
     a.row(vec![
         "Kill".into(),
@@ -156,7 +166,13 @@ pub fn fig10(scale: Scale, seed: u64) -> Experiment {
         let mut t = Table::new(
             format!("fig10-{m}"),
             format!("{m}: mean response [min]"),
-            &["policy", "low priority", "high priority", "kills", "checkpoints"],
+            &[
+                "policy",
+                "low priority",
+                "high priority",
+                "kills",
+                "checkpoints",
+            ],
         );
         for (label, r) in [("Basic", &basic), ("Adaptive", &adaptive)] {
             t.row(vec![

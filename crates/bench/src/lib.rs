@@ -12,8 +12,10 @@
 
 pub mod experiments;
 mod table;
+pub mod telemetry_run;
 
 pub use table::{Experiment, Table};
+pub use telemetry_run::{run_instrumented, TelemetryOptions};
 
 /// Scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,9 +63,7 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<Experiment> {
 /// Looks up one experiment by id (`fig1`, `table3`, `fig8`, `ablate`, ...).
 pub fn run_one(id: &str, scale: Scale, seed: u64) -> Option<Experiment> {
     let exp = match id {
-        "fig1" | "table1" | "table2" => {
-            experiments::characterize::fig1_tables12(scale, seed)
-        }
+        "fig1" | "table1" | "table2" => experiments::characterize::fig1_tables12(scale, seed),
         "fig2" => experiments::micro::fig2(),
         "table3" => experiments::micro::table3(),
         "fig3" => experiments::tracesim::fig3(scale, seed),
@@ -85,8 +85,23 @@ pub fn run_one(id: &str, scale: Scale, seed: u64) -> Option<Experiment> {
 
 /// All experiment ids accepted by [`run_one`].
 pub const EXPERIMENT_IDS: [&str; 17] = [
-    "fig1", "table1", "table2", "fig2", "table3", "fig3", "fig4", "fig5", "fig6", "fig8",
-    "fig9", "fig10", "fig11", "fig12", "ablate", "mapreduce", "qos",
+    "fig1",
+    "table1",
+    "table2",
+    "fig2",
+    "table3",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablate",
+    "mapreduce",
+    "qos",
 ];
 
 impl Scale {

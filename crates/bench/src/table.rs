@@ -21,11 +21,7 @@ pub struct Table {
 
 impl Table {
     /// Creates a table with headers.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
         Table {
             id: id.into(),
             title: title.into(),
@@ -63,7 +59,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -124,7 +124,11 @@ pub struct Experiment {
 impl Experiment {
     /// Creates an experiment shell.
     pub fn new(id: impl Into<String>, paper_claim: impl Into<String>) -> Self {
-        Experiment { id: id.into(), paper_claim: paper_claim.into(), tables: Vec::new() }
+        Experiment {
+            id: id.into(),
+            paper_claim: paper_claim.into(),
+            tables: Vec::new(),
+        }
     }
 
     /// Adds a table.

@@ -1,0 +1,237 @@
+//! Instrumented ("observability") runs behind `repro`'s telemetry flags.
+//!
+//! The experiment functions in [`crate::experiments`] run many
+//! configurations to assemble a table; tracing all of them at once would
+//! interleave unrelated runs in one file. Instead, when any of
+//! `--trace-out` / `--chrome-trace` / `--timeseries` / `--telemetry` is
+//! passed, `repro` performs **one additional instrumented run**
+//! representative of the requested experiment (the adaptive checkpoint
+//! policy on the experiment's workload) and emits the requested artifacts
+//! from it.
+//!
+//! All sinks are deterministic per `(experiment, scale, seed)`: the JSONL
+//! trace, the Chrome trace and the time series are byte-identical across
+//! repeated invocations. Registry snapshots exclude wall-clock quantities
+//! for the same reason; engine throughput is printed separately.
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use cbp_core::{ClusterSim, PreemptionPolicy, TelemetryReport};
+use cbp_simkit::SimDuration;
+use cbp_storage::MediaKind;
+use cbp_telemetry::{ChromeTraceTracer, JsonlTracer, MultiTracer, Tracer};
+use cbp_workload::facebook::FacebookConfig;
+use cbp_yarn::{YarnConfig, YarnSim};
+
+use crate::experiments::google_setup;
+use crate::Scale;
+
+/// Which telemetry artifacts `repro` was asked to produce.
+#[derive(Debug, Default, Clone)]
+pub struct TelemetryOptions {
+    /// `--trace-out PATH`: structured JSONL trace.
+    pub trace_out: Option<String>,
+    /// `--chrome-trace PATH`: Chrome/Perfetto `trace.json`.
+    pub chrome_trace: Option<String>,
+    /// `--timeseries PATH`: columnar time-series JSON.
+    pub timeseries: Option<String>,
+    /// `--telemetry`: print the metrics registry and engine throughput.
+    pub telemetry: bool,
+}
+
+impl TelemetryOptions {
+    /// True if any artifact was requested (default is fully silent).
+    pub fn any(&self) -> bool {
+        self.trace_out.is_some()
+            || self.chrome_trace.is_some()
+            || self.timeseries.is_some()
+            || self.telemetry
+    }
+}
+
+/// Experiments driven by the YARN protocol simulator.
+const YARN_IDS: [&str; 6] = ["fig8", "fig9", "fig10", "fig11", "fig12", "mapreduce"];
+
+/// Experiments with no backing discrete-event simulation (analytic models
+/// and microbenchmark tables); there is nothing to trace.
+const ANALYTIC_IDS: [&str; 4] = ["fig2", "table3", "fig4", "fig6"];
+
+/// Sim-time gap between time-series samples.
+const SAMPLE_INTERVAL_SECS: u64 = 60;
+
+/// Runs one instrumented simulation representative of `id` and emits the
+/// artifacts selected in `opts`. Returns `Ok(false)` if the experiment has
+/// no backing simulation (nothing was written).
+pub fn run_instrumented(
+    id: &str,
+    scale: Scale,
+    seed: u64,
+    opts: &TelemetryOptions,
+) -> Result<bool, String> {
+    if ANALYTIC_IDS.contains(&id) {
+        return Ok(false);
+    }
+    let telemetry = if YARN_IDS.contains(&id) {
+        run_yarn(scale, seed, opts)?
+    } else {
+        run_trace_sim(scale, seed, opts)?
+    };
+    emit(&telemetry, opts)?;
+    Ok(true)
+}
+
+/// Builds the fan-out tracer for the requested file sinks (None if no
+/// trace output was requested, so the simulator keeps its `NullTracer`).
+fn build_tracer(opts: &TelemetryOptions) -> Result<Option<Box<dyn Tracer>>, String> {
+    let mut multi = MultiTracer::new();
+    if let Some(path) = &opts.trace_out {
+        let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        multi.push(Box::new(JsonlTracer::new(BufWriter::new(f))));
+    }
+    if let Some(path) = &opts.chrome_trace {
+        let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        multi.push(Box::new(ChromeTraceTracer::new(BufWriter::new(f))));
+    }
+    Ok(if multi.is_empty() {
+        None
+    } else {
+        Some(Box::new(multi))
+    })
+}
+
+/// Instrumented Google-trace run (adaptive policy, default media).
+fn run_trace_sim(
+    scale: Scale,
+    seed: u64,
+    opts: &TelemetryOptions,
+) -> Result<TelemetryReport, String> {
+    let (workload, base) = google_setup(scale, seed);
+    let cfg = base.with_policy(PreemptionPolicy::Adaptive);
+    let mut sim = ClusterSim::new(cfg, workload);
+    if let Some(tracer) = build_tracer(opts)? {
+        sim.set_tracer(tracer);
+    }
+    if opts.timeseries.is_some() {
+        sim.enable_sampling(SimDuration::from_secs(SAMPLE_INTERVAL_SECS));
+    }
+    Ok(sim.run().telemetry)
+}
+
+/// Instrumented YARN run (adaptive policy on the Facebook workload).
+fn run_yarn(scale: Scale, seed: u64, opts: &TelemetryOptions) -> Result<TelemetryReport, String> {
+    let nodes = scale.apply(8, 2);
+    let slots = nodes * 24;
+    let workload = FacebookConfig {
+        jobs: scale.apply(40, 10),
+        total_tasks: scale.apply(7_000, 260),
+        giant_job_tasks: (slots as f64 * 1.3) as usize,
+        ..Default::default()
+    }
+    .generate(seed);
+    let mut cfg = YarnConfig::paper_cluster(PreemptionPolicy::Adaptive, MediaKind::Hdd);
+    cfg.nodes = nodes;
+    let mut sim = YarnSim::new(cfg, workload);
+    if let Some(tracer) = build_tracer(opts)? {
+        sim.set_tracer(tracer);
+    }
+    let (_, telemetry) = sim.run_with_telemetry();
+    Ok(telemetry)
+}
+
+/// Writes the time series (if requested) and prints the registry table and
+/// engine throughput (if requested).
+fn emit(telemetry: &TelemetryReport, opts: &TelemetryOptions) -> Result<(), String> {
+    if let Some(path) = &opts.trace_out {
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &opts.chrome_trace {
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &opts.timeseries {
+        match &telemetry.timeseries {
+            Some(series) => {
+                std::fs::write(path, series.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            None => eprintln!(
+                "warning: --timeseries is only available for trace-driven \
+                 (ClusterSim) experiments; nothing written to {path}"
+            ),
+        }
+    }
+    if opts.telemetry {
+        println!("################ telemetry ################");
+        print!("{}", telemetry.registry.render_table());
+        println!(
+            "engine: {} events in {:.3}s wall ({:.0} events/s)",
+            telemetry.engine_events,
+            telemetry.engine_wall_secs,
+            telemetry.events_per_sec()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The `ResponseSummary` percentiles must survive JSON serialization —
+    /// `BandMetrics.responses` is `#[serde(skip)]`, so the summary is the
+    /// only percentile information a JSON consumer gets.
+    #[test]
+    fn response_summary_survives_json_export() {
+        let (workload, base) = google_setup(Scale::SMOKE, 3);
+        let report = base.with_policy(PreemptionPolicy::Kill).run(&workload);
+        let json = serde_json::to_value(&report.metrics).expect("serialize RunMetrics");
+        let bands = json
+            .get("per_band")
+            .and_then(|b| b.as_object())
+            .expect("per_band object");
+        assert!(!bands.is_empty(), "smoke run finishes jobs in some band");
+        for (band, metrics) in bands {
+            let summary = metrics
+                .get("response_summary")
+                .unwrap_or_else(|| panic!("band {band} missing response_summary"));
+            for key in ["p50", "p95", "p99", "max"] {
+                let v = summary
+                    .get(key)
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or_else(|| panic!("band {band} summary missing {key}"));
+                assert!(v >= 0.0);
+            }
+            // raw samples must stay out of the export
+            assert!(metrics.get("responses").is_none());
+        }
+    }
+
+    #[test]
+    fn instrumented_run_produces_deterministic_registry() {
+        let opts = TelemetryOptions::default();
+        let a = run_trace_sim(Scale::SMOKE, 11, &opts).unwrap();
+        let b = run_trace_sim(Scale::SMOKE, 11, &opts).unwrap();
+        assert_eq!(
+            a.registry.to_json(),
+            b.registry.to_json(),
+            "registry snapshots must be byte-stable per seed"
+        );
+        assert!(a.engine_events > 0);
+    }
+
+    #[test]
+    fn yarn_instrumented_run_has_engine_stats() {
+        let opts = TelemetryOptions::default();
+        let t = run_yarn(Scale::SMOKE, 5, &opts).unwrap();
+        assert!(t.engine_events > 0);
+        assert_eq!(
+            t.registry.counter("engine.events"),
+            Some(t.engine_events),
+            "registry mirrors the engine event count"
+        );
+        assert!(
+            t.timeseries.is_none(),
+            "YARN runs do not sample time series"
+        );
+    }
+}

@@ -46,7 +46,10 @@ fn fig2_is_linear_and_ordered() {
     // Roughly linear: time(10 GB) ≈ 2x time(5 GB) on HDD.
     let t5: f64 = fig2a.rows[3][1].parse().unwrap();
     let t10: f64 = fig2a.rows[5][1].parse().unwrap();
-    assert!((t10 / t5 - 2.0).abs() < 0.1, "HDD not linear: {t5} -> {t10}");
+    assert!(
+        (t10 / t5 - 2.0).abs() < 0.1,
+        "HDD not linear: {t5} -> {t10}"
+    );
     // HDFS (fig2b) is slower than local on every cell.
     let fig2b = &exp.tables[1];
     for (ra, rb) in fig2a.rows.iter().zip(&fig2b.rows) {
@@ -65,7 +68,10 @@ fn fig4_crossovers() {
     // Wait is flat at 1.5; kill flat at 1.0; checkpoint decreasing.
     let chk_first: f64 = high.rows[0][3].parse().unwrap();
     let chk_last: f64 = high.rows[4][3].parse().unwrap();
-    assert!(chk_first > chk_last, "checkpoint should improve with bandwidth");
+    assert!(
+        chk_first > chk_last,
+        "checkpoint should improve with bandwidth"
+    );
     let kill: f64 = high.rows[0][2].parse().unwrap();
     assert!((kill - 1.0).abs() < 0.05);
     let wait: f64 = high.rows[0][1].parse().unwrap();

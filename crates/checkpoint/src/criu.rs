@@ -294,9 +294,7 @@ impl Criu {
             Vec::new()
         };
         let op = match service {
-            Some(service) => {
-                device.submit_custom(now, cbp_storage::OpKind::Write, size, service)
-            }
+            Some(service) => device.submit_custom(now, cbp_storage::OpKind::Write, size, service),
             None => device.submit_write(now, size),
         };
         let id = ImageId(self.next_image);
@@ -323,7 +321,12 @@ impl Criu {
             origin_node,
         });
         mem.clear_dirty();
-        Ok(DumpResult { op, size, kind, freed })
+        Ok(DumpResult {
+            op,
+            size,
+            kind,
+            freed,
+        })
     }
 
     /// Restores `task` by reading its whole image chain from `device` at
@@ -577,8 +580,12 @@ mod compression_tests {
         let mut mem_a = TaskMemory::new(ByteSize::from_gb(5));
         let mut mem_b = TaskMemory::new(ByteSize::from_gb(5));
 
-        let a = plain.dump(1, &mut mem_a, 0, &mut dev_a, SimTime::ZERO).unwrap();
-        let b = zipped.dump(1, &mut mem_b, 0, &mut dev_b, SimTime::ZERO).unwrap();
+        let a = plain
+            .dump(1, &mut mem_a, 0, &mut dev_a, SimTime::ZERO)
+            .unwrap();
+        let b = zipped
+            .dump(1, &mut mem_b, 0, &mut dev_b, SimTime::ZERO)
+            .unwrap();
         assert_eq!(b.size, ByteSize::from_gb_f64(5.0 * 0.45));
         // On HDD (30 MB/s) the compressor (700 MB/s) is never the
         // bottleneck: the dump speeds up by the full ratio.
@@ -596,7 +603,9 @@ mod compression_tests {
         let mut zipped = Criu::new(true).with_compression(CompressionSpec::zstd());
         let mut dev = Device::new(MediaSpec::nvm());
         let mut mem = TaskMemory::new(ByteSize::from_gb(5));
-        let d = zipped.dump(1, &mut mem, 0, &mut dev, SimTime::ZERO).unwrap();
+        let d = zipped
+            .dump(1, &mut mem, 0, &mut dev, SimTime::ZERO)
+            .unwrap();
         // NVM writes 1.65 GB in ~1s, but zstd consumes 5 GB at 350 MB/s:
         // ~14.3s — compression makes NVM dumps slower, as expected.
         let t = d.op.end.since(d.op.start).as_secs_f64();

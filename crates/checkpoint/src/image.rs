@@ -5,9 +5,7 @@ use cbp_simkit::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of one dumped image (unique within a [`crate::Criu`] catalog).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ImageId(pub u64);
 
 /// Whether an image holds the whole address space or only pages dirtied
@@ -145,8 +143,16 @@ mod tests {
         let mut c = ImageChain::new();
         assert!(c.is_empty());
         c.push(rec(1, CheckpointKind::Full, 5000));
-        c.push(rec(2, CheckpointKind::Incremental { parent: ImageId(1) }, 500));
-        c.push(rec(3, CheckpointKind::Incremental { parent: ImageId(2) }, 500));
+        c.push(rec(
+            2,
+            CheckpointKind::Incremental { parent: ImageId(1) },
+            500,
+        ));
+        c.push(rec(
+            3,
+            CheckpointKind::Incremental { parent: ImageId(2) },
+            500,
+        ));
         assert_eq!(c.len(), 3);
         assert_eq!(c.total_size(), ByteSize::from_mb(6000));
         assert_eq!(c.tip().unwrap().id, ImageId(3));
@@ -166,7 +172,13 @@ mod tests {
     fn incremental_must_chain_to_tip() {
         let mut c = ImageChain::new();
         c.push(rec(1, CheckpointKind::Full, 100));
-        c.push(rec(2, CheckpointKind::Incremental { parent: ImageId(99) }, 10));
+        c.push(rec(
+            2,
+            CheckpointKind::Incremental {
+                parent: ImageId(99),
+            },
+            10,
+        ));
     }
 
     #[test]
@@ -181,6 +193,10 @@ mod tests {
     #[should_panic(expected = "needs a parent")]
     fn incremental_needs_parent() {
         let mut c = ImageChain::new();
-        c.push(rec(1, CheckpointKind::Incremental { parent: ImageId(0) }, 10));
+        c.push(rec(
+            1,
+            CheckpointKind::Incremental { parent: ImageId(0) },
+            10,
+        ));
     }
 }

@@ -47,7 +47,9 @@ mod image;
 mod memory;
 mod nvram;
 
-pub use criu::{CompressionSpec, Criu, DumpResult, OverheadEstimate, RestoreResult, DEFAULT_MAX_CHAIN_LEN};
+pub use criu::{
+    CompressionSpec, Criu, DumpResult, OverheadEstimate, RestoreResult, DEFAULT_MAX_CHAIN_LEN,
+};
 pub use image::{CheckpointKind, ImageChain, ImageId, ImageRecord};
 pub use memory::{DirtyBitmap, TaskMemory, DEFAULT_PAGE_SIZE};
 pub use nvram::{

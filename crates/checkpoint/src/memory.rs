@@ -193,7 +193,11 @@ impl TaskMemory {
     pub fn touch_range(&mut self, offset: ByteSize, len: ByteSize) {
         let end_byte = offset.as_u64() + len.as_u64();
         assert!(
-            end_byte <= self.size.as_u64().max(self.page_count() as u64 * self.page_size.as_u64()),
+            end_byte
+                <= self
+                    .size
+                    .as_u64()
+                    .max(self.page_count() as u64 * self.page_size.as_u64()),
             "touch past end of memory"
         );
         if len.is_zero() {
@@ -314,10 +318,7 @@ mod tests {
     fn dirty_bytes_capped_at_footprint() {
         // 1.5 MB footprint with 1 MB pages -> 2 pages, but dirty_bytes is
         // capped at the footprint.
-        let mem = TaskMemory::with_page_size(
-            ByteSize::from_kb(1500),
-            ByteSize::from_mb(1),
-        );
+        let mem = TaskMemory::with_page_size(ByteSize::from_kb(1500), ByteSize::from_mb(1));
         assert_eq!(mem.page_count(), 2);
         assert_eq!(mem.dirty_bytes(), ByteSize::from_kb(1500));
     }

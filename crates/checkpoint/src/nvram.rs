@@ -110,7 +110,10 @@ pub enum NvramError {
 impl std::fmt::Display for NvramError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            NvramError::CapacityExceeded { requested, available } => write!(
+            NvramError::CapacityExceeded {
+                requested,
+                available,
+            } => write!(
                 f,
                 "NVRAM mirror of {requested} exceeds available {available}"
             ),
@@ -199,7 +202,10 @@ impl NvramCheckpointer {
     /// The suspend-time estimate (the Algorithm 1 `size/bw` term, NVRAM
     /// edition — symmetric restore assumed eager).
     pub fn estimate_total(&self, task: u64, mem: &TaskMemory) -> SimDuration {
-        let copy = self.spec.copy_bw.transfer_time(self.pending_copy_bytes(task, mem));
+        let copy = self
+            .spec
+            .copy_bw
+            .transfer_time(self.pending_copy_bytes(task, mem));
         let restore = self
             .spec
             .restore_bw
@@ -221,11 +227,7 @@ impl NvramCheckpointer {
     ///
     /// [`NvramError::CapacityExceeded`] if a new mirror would not fit; the
     /// state is unchanged.
-    pub fn suspend(
-        &mut self,
-        task: u64,
-        mem: &mut TaskMemory,
-    ) -> Result<NvramSuspend, NvramError> {
+    pub fn suspend(&mut self, task: u64, mem: &mut TaskMemory) -> Result<NvramSuspend, NvramError> {
         let had_mirror = self.has_mirror(task);
         if !self.mirrors.contains_key(&task) {
             let available = self.spec.capacity.saturating_sub(self.used);
@@ -236,11 +238,20 @@ impl NvramCheckpointer {
                 });
             }
             self.used += mem.size();
-            self.mirrors
-                .insert(task, Mirror { footprint: mem.size(), valid: false });
+            self.mirrors.insert(
+                task,
+                Mirror {
+                    footprint: mem.size(),
+                    valid: false,
+                },
+            );
         }
 
-        let dirty = if had_mirror { mem.dirty_bytes() } else { mem.size() };
+        let dirty = if had_mirror {
+            mem.dirty_bytes()
+        } else {
+            mem.size()
+        };
         let shadow_absorbed = if self.spec.shadow_buffering && had_mirror {
             dirty.mul_f64(self.spec.shadow_coverage.clamp(0.0, 1.0))
         } else {
@@ -256,7 +267,11 @@ impl NvramCheckpointer {
         mem.clear_dirty();
         self.suspends += 1;
         self.bytes_copied += copied;
-        Ok(NvramSuspend { duration, copied, shadow_absorbed })
+        Ok(NvramSuspend {
+            duration,
+            copied,
+            shadow_absorbed,
+        })
     }
 
     /// Resumes `task` from its mirror. With `lazy`, only
@@ -388,7 +403,10 @@ mod tests {
 
     #[test]
     fn shadow_buffering_shrinks_second_suspend() {
-        let spec = NvramSpec { shadow_coverage: 0.8, ..NvramSpec::default() };
+        let spec = NvramSpec {
+            shadow_coverage: 0.8,
+            ..NvramSpec::default()
+        };
         let mut nvram = NvramCheckpointer::new(spec);
         let mut mem = five_gb();
         nvram.suspend(1, &mut mem).unwrap();
@@ -401,7 +419,10 @@ mod tests {
 
     #[test]
     fn no_shadow_means_full_dirty_copy() {
-        let spec = NvramSpec { shadow_buffering: false, ..NvramSpec::default() };
+        let spec = NvramSpec {
+            shadow_buffering: false,
+            ..NvramSpec::default()
+        };
         let mut nvram = NvramCheckpointer::new(spec);
         let mut mem = five_gb();
         nvram.suspend(1, &mut mem).unwrap();
@@ -429,7 +450,10 @@ mod tests {
 
     #[test]
     fn capacity_enforced_and_discard_frees() {
-        let spec = NvramSpec { capacity: ByteSize::from_gb(6), ..NvramSpec::default() };
+        let spec = NvramSpec {
+            capacity: ByteSize::from_gb(6),
+            ..NvramSpec::default()
+        };
         let mut nvram = NvramCheckpointer::new(spec);
         let mut a = five_gb();
         nvram.suspend(1, &mut a).unwrap();
@@ -468,9 +492,7 @@ mod tests {
             &NvramSpec::default(),
         );
         assert!(cmp.nvram_suspend.as_secs_f64() * 10.0 < cmp.pmfs_dump.as_secs_f64());
-        assert!(
-            cmp.nvram_resume_lazy.as_secs_f64() * 10.0 < cmp.pmfs_restore.as_secs_f64()
-        );
+        assert!(cmp.nvram_resume_lazy.as_secs_f64() * 10.0 < cmp.pmfs_restore.as_secs_f64());
         // Eager resume is the same order as PMFS reads (both move 5 GB).
         assert!(cmp.nvram_resume_eager < cmp.pmfs_restore);
     }

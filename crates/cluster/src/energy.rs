@@ -21,7 +21,10 @@ pub struct EnergyModel {
 
 impl Default for EnergyModel {
     fn default() -> Self {
-        EnergyModel { idle_watts: 100.0, peak_watts: 250.0 }
+        EnergyModel {
+            idle_watts: 100.0,
+            peak_watts: 250.0,
+        }
     }
 }
 
@@ -34,7 +37,10 @@ impl EnergyModel {
     pub fn new(idle_watts: f64, peak_watts: f64) -> Self {
         assert!(idle_watts >= 0.0, "idle power must be non-negative");
         assert!(peak_watts >= idle_watts, "peak power must be >= idle power");
-        EnergyModel { idle_watts, peak_watts }
+        EnergyModel {
+            idle_watts,
+            peak_watts,
+        }
     }
 
     /// Power draw at CPU utilization `u` (clamped to `[0, 1]`).

@@ -8,15 +8,11 @@ use serde::{Deserialize, Serialize};
 use crate::resources::Resources;
 
 /// Identifier of a compute node.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 /// Identifier of a container (unique across the cluster for one run).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ContainerId(pub u64);
 
 /// A resource lease on a node, running one task.
@@ -33,7 +29,11 @@ pub struct Container {
 impl Container {
     /// Creates a container lease description.
     pub const fn new(id: ContainerId, resources: Resources, task: u64) -> Self {
-        Container { id, resources, task }
+        Container {
+            id,
+            resources,
+            task,
+        }
     }
 
     /// The container id.
@@ -69,8 +69,14 @@ pub enum AllocError {
 impl fmt::Display for AllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AllocError::Insufficient { requested, available } => {
-                write!(f, "insufficient resources: requested {requested}, available {available}")
+            AllocError::Insufficient {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "insufficient resources: requested {requested}, available {available}"
+                )
             }
             AllocError::DuplicateContainer(id) => {
                 write!(f, "container {id:?} already allocated")
@@ -204,7 +210,10 @@ mod tests {
         let mut n = node();
         n.allocate(container(1, 4, 8)).unwrap();
         assert_eq!(n.allocated(), Resources::new_cores(4, ByteSize::from_gb(8)));
-        assert_eq!(n.available(), Resources::new_cores(20, ByteSize::from_gb(40)));
+        assert_eq!(
+            n.available(),
+            Resources::new_cores(20, ByteSize::from_gb(40))
+        );
         assert_eq!(n.container_count(), 1);
         assert_eq!(n.container(ContainerId(1)).unwrap().task(), 1);
         let released = n.release(ContainerId(1)).unwrap();

@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 /// expresses demand as core fractions. Comparison is component-wise:
 /// use [`Resources::fits_in`] rather than `<=` (resource vectors are only
 /// partially ordered).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct Resources {
     cpu_milli: u64,
     mem: ByteSize,
@@ -23,7 +21,10 @@ pub struct Resources {
 
 impl Resources {
     /// The zero vector.
-    pub const ZERO: Resources = Resources { cpu_milli: 0, mem: ByteSize::ZERO };
+    pub const ZERO: Resources = Resources {
+        cpu_milli: 0,
+        mem: ByteSize::ZERO,
+    };
 
     /// Creates a vector from millicores and memory.
     pub const fn new(cpu_milli: u64, mem: ByteSize) -> Self {
@@ -32,7 +33,10 @@ impl Resources {
 
     /// Creates a vector from whole cores and memory.
     pub const fn new_cores(cores: u64, mem: ByteSize) -> Self {
-        Resources { cpu_milli: cores * 1000, mem }
+        Resources {
+            cpu_milli: cores * 1000,
+            mem,
+        }
     }
 
     /// CPU demand in millicores.

@@ -42,7 +42,10 @@ impl PreemptionPolicy {
 
     /// True if this policy ever writes checkpoints.
     pub fn uses_checkpoints(self) -> bool {
-        matches!(self, PreemptionPolicy::Checkpoint | PreemptionPolicy::Adaptive)
+        matches!(
+            self,
+            PreemptionPolicy::Checkpoint | PreemptionPolicy::Adaptive
+        )
     }
 }
 

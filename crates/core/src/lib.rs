@@ -47,6 +47,6 @@ mod sim;
 mod task;
 
 pub use config::{PreemptionPolicy, QueueDiscipline, RestorePlacement, SimConfig, VictimSelection};
-pub use metrics::{BandMetrics, RunMetrics, RunReport};
+pub use metrics::{BandMetrics, ResponseSummary, RunMetrics, RunReport, TelemetryReport};
 pub use sim::ClusterSim;
 pub use task::TaskStatus;

@@ -4,9 +4,39 @@ use std::collections::BTreeMap;
 
 use cbp_simkit::stats::Samples;
 use cbp_simkit::{SimDuration, SimTime};
+use cbp_telemetry::{MetricsRegistry, TimeSeries};
 use cbp_workload::analysis::TraceLog;
 use cbp_workload::{LatencyClass, PriorityBand};
 use serde::Serialize;
+
+/// Percentile summary of a band's response times, seconds.
+///
+/// `BandMetrics.responses` is `#[serde(skip)]` (raw samples are too big to
+/// export), so this summary is computed on snapshot and serialized in its
+/// place — `--json` output carries p50/p95/p99/max per band.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ResponseSummary {
+    /// Median response time.
+    pub p50: f64,
+    /// 95th-percentile response time.
+    pub p95: f64,
+    /// 99th-percentile response time.
+    pub p99: f64,
+    /// Worst response time.
+    pub max: f64,
+}
+
+impl ResponseSummary {
+    /// Computes the summary from raw samples (zeros if empty).
+    pub fn from_samples(samples: &mut Samples) -> Self {
+        ResponseSummary {
+            p50: samples.percentile(50.0).unwrap_or(0.0),
+            p95: samples.percentile(95.0).unwrap_or(0.0),
+            p99: samples.percentile(99.0).unwrap_or(0.0),
+            max: samples.percentile(100.0).unwrap_or(0.0),
+        }
+    }
+}
 
 /// Response-time statistics for one priority band.
 #[derive(Debug, Clone, Default, Serialize)]
@@ -15,6 +45,8 @@ pub struct BandMetrics {
     pub jobs: u64,
     /// Mean response time (submission → last task finish), seconds.
     pub mean_response_secs: f64,
+    /// Percentile summary (serialized; computed when the run snapshots).
+    pub response_summary: ResponseSummary,
     /// All response times, seconds (for CDFs and percentiles).
     #[serde(skip)]
     pub responses: Samples,
@@ -129,6 +161,31 @@ impl RunMetrics {
     }
 }
 
+/// Observability artifacts of one run: the metrics-registry snapshot, the
+/// optional periodic time series, and engine throughput.
+#[derive(Debug, Default, Clone)]
+pub struct TelemetryReport {
+    /// Snapshot of every `subsystem.metric` the run registered.
+    pub registry: MetricsRegistry,
+    /// Periodic samples (present iff sampling was enabled).
+    pub timeseries: Option<TimeSeries>,
+    /// Events the engine processed.
+    pub engine_events: u64,
+    /// Host wall-clock seconds the engine loop took.
+    pub engine_wall_secs: f64,
+}
+
+impl TelemetryReport {
+    /// Engine throughput in events per wall-clock second (0 if instant).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.engine_wall_secs > 0.0 {
+            self.engine_events as f64 / self.engine_wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// A finished run: metrics plus the raw event trace (for §2-style analysis)
 /// and the response-time samples.
 #[derive(Debug)]
@@ -139,6 +196,9 @@ pub struct RunReport {
     pub metrics: RunMetrics,
     /// The scheduler event log.
     pub trace: TraceLog,
+    /// Observability artifacts (registry snapshot, time series, engine
+    /// throughput).
+    pub telemetry: TelemetryReport,
 }
 
 /// Internal accumulator the simulator writes into.
@@ -185,7 +245,13 @@ impl MetricsCollector {
         self.kill_lost_cpu_secs += lost.as_secs_f64() * cores;
     }
 
-    pub fn charge_dump(&mut self, duration: SimDuration, cores: f64, incremental_count: &mut u64, incremental: bool) {
+    pub fn charge_dump(
+        &mut self,
+        duration: SimDuration,
+        cores: f64,
+        incremental_count: &mut u64,
+        incremental: bool,
+    ) {
         self.checkpoints += 1;
         self.preemptions += 1;
         self.dump_overhead_cpu_secs += duration.as_secs_f64() * cores;
@@ -210,10 +276,12 @@ impl MetricsCollector {
         storage_peak_fraction: f64,
         incremental_checkpoints: u64,
     ) -> RunMetrics {
-        fn to_band_metrics(samples: Samples) -> BandMetrics {
+        fn to_band_metrics(mut samples: Samples) -> BandMetrics {
+            let response_summary = ResponseSummary::from_samples(&mut samples);
             BandMetrics {
                 jobs: samples.len() as u64,
                 mean_response_secs: samples.mean(),
+                response_summary,
                 responses: samples,
             }
         }
@@ -304,6 +372,28 @@ mod tests {
         assert!((m.mean_response_latency(LatencyClass::new(3)) - 60.0).abs() < 1e-9);
         assert_eq!(m.mean_response_latency(LatencyClass::new(2)), 0.0);
         assert_eq!(m.energy_kwh, 12.5);
+    }
+
+    #[test]
+    fn response_summary_percentiles() {
+        let mut c = MetricsCollector::default();
+        for i in 1..=100u64 {
+            c.record_response(
+                PriorityBand::Middle,
+                LatencyClass::new(0),
+                SimTime::ZERO,
+                SimTime::from_secs(i),
+            );
+        }
+        let m = c.into_metrics(SimTime::from_secs(100), 0.0, 0.0, 0.0, 0);
+        let band = &m.per_band[&PriorityBand::Middle];
+        let s = band.response_summary;
+        assert!((s.p50 - 50.5).abs() < 1e-9, "p50 = {}", s.p50);
+        assert!((s.p95 - 95.05).abs() < 1e-9, "p95 = {}", s.p95);
+        assert!((s.p99 - 99.01).abs() < 1e-9, "p99 = {}", s.p99);
+        assert!((s.max - 100.0).abs() < 1e-9, "max = {}", s.max);
+        // JSON export of the summary is asserted in cbp-bench (which has
+        // serde_json); this crate stays serde-only.
     }
 
     #[test]

@@ -79,14 +79,20 @@ impl SensitivityScenario {
             submit: SimTime::ZERO,
             priority: Priority::new(0),
             latency: LatencyClass::new(0),
-            tasks: vec![self.job.task_spec(TaskId { job: JobId(0), index: 0 })],
+            tasks: vec![self.job.task_spec(TaskId {
+                job: JobId(0),
+                index: 0,
+            })],
         };
         let high = JobSpec {
             id: JobId(1),
             submit: SimTime::ZERO + self.head_start,
             priority: Priority::new(9),
             latency: LatencyClass::new(3),
-            tasks: vec![self.job.task_spec(TaskId { job: JobId(1), index: 0 })],
+            tasks: vec![self.job.task_spec(TaskId {
+                job: JobId(1),
+                index: 0,
+            })],
         };
         Workload::new(vec![low, high])
     }
@@ -234,7 +240,10 @@ mod tests {
         let kill = s.run(PreemptionPolicy::Kill, 1.0);
         let chk = s.run(PreemptionPolicy::Checkpoint, 1.0);
         assert!(wait.energy_kwh <= kill.energy_kwh);
-        assert!(chk.energy_kwh > kill.energy_kwh, "chk {chk:?} kill {kill:?}");
+        assert!(
+            chk.energy_kwh > kill.energy_kwh,
+            "chk {chk:?} kill {kill:?}"
+        );
         // At high bandwidth checkpoint beats kill on energy.
         let chk5 = s.run(PreemptionPolicy::Checkpoint, 5.0);
         let kill5 = s.run(PreemptionPolicy::Kill, 5.0);

@@ -12,14 +12,38 @@ use std::collections::{BTreeSet, HashMap};
 use cbp_checkpoint::{Criu, NvramCheckpointer};
 use cbp_cluster::{Container, ContainerId, EnergyMeter, Node, NodeId, Resources};
 use cbp_dfs::{DfsCluster, DnId};
-use cbp_simkit::{run as engine_run, EventQueue, SimDuration, SimRng, SimTime, Simulation};
-use cbp_storage::{Device, OpKind};
+use cbp_simkit::{
+    run_until_observed, EventQueue, RunStats, SimDuration, SimRng, SimTime, Simulation,
+};
+use cbp_storage::{Device, MediaKind, OpKind};
+use cbp_telemetry::{
+    MetricsRegistry, NullTracer, PreemptAction, StreamingQuantiles, TimeSeries, TraceRecord, Tracer,
+};
 use cbp_workload::analysis::{TraceEvent, TraceEventKind, TraceLog};
-use cbp_workload::{TaskSpec, Workload};
+use cbp_workload::{Priority, PriorityBand, TaskSpec, Workload};
 
 use crate::config::{PreemptionPolicy, RestorePlacement, SimConfig, VictimSelection};
-use crate::metrics::{MetricsCollector, RunReport};
+use crate::metrics::{MetricsCollector, RunReport, TelemetryReport};
 use crate::task::{TaskState, TaskStatus};
+
+/// Short stable device name for trace records.
+fn media_name(kind: MediaKind) -> &'static str {
+    match kind {
+        MediaKind::Hdd => "hdd",
+        MediaKind::Ssd => "ssd",
+        MediaKind::Nvm => "nvm",
+    }
+}
+
+/// Periodic sim-time probe state (see [`ClusterSim::enable_sampling`]).
+struct Sampler {
+    interval: SimDuration,
+    next: SimTime,
+    /// Cumulative device busy seconds at the previous sample, per node
+    /// (used to derive a per-interval busy fraction).
+    prev_busy: Vec<f64>,
+    series: TimeSeries,
+}
 
 /// Simulation events (public because it is [`ClusterSim`]'s associated
 /// [`Simulation::Event`] type; not intended for direct construction).
@@ -30,9 +54,17 @@ pub enum Event {
     /// A running task completes (stale if the epoch moved on).
     TaskFinish { task: u32, epoch: u32 },
     /// A checkpoint dump finished; the victim's resources can be released.
-    DumpDone { task: u32, epoch: u32, started: SimTime },
+    DumpDone {
+        task: u32,
+        epoch: u32,
+        started: SimTime,
+    },
     /// A restore finished; the task resumes execution.
-    RestoreDone { task: u32, epoch: u32, started: SimTime },
+    RestoreDone {
+        task: u32,
+        epoch: u32,
+        started: SimTime,
+    },
     /// A node fails: every container on it is lost.
     NodeFail(u32),
     /// A failed node comes back into service.
@@ -82,6 +114,14 @@ pub struct ClusterSim {
     node_reserved: Vec<Resources>,
     job_remaining: Vec<u32>,
     place_cursor: usize,
+    /// Structured-event sink ([`NullTracer`] by default).
+    tracer: Box<dyn Tracer>,
+    /// Cached `tracer.enabled()` so the disabled path costs one branch.
+    trace_on: bool,
+    /// Periodic time-series probe (absent unless enabled).
+    sampler: Option<Sampler>,
+    /// Pending-queue depth after the previous event (for change records).
+    last_queue_depth: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -148,7 +188,38 @@ impl ClusterSim {
             node_reserved: vec![Resources::ZERO; n_nodes],
             job_remaining,
             place_cursor: 0,
+            tracer: Box::new(NullTracer),
+            trace_on: false,
+            sampler: None,
+            last_queue_depth: 0,
         }
+    }
+
+    /// Replaces the structured-event tracer. The default is a
+    /// [`NullTracer`]; pass a `JsonlTracer` / `ChromeTraceTracer` /
+    /// `MultiTracer` to capture the run. The tracer's `finish()` is called
+    /// at the end of [`ClusterSim::run`].
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.trace_on = tracer.enabled();
+        self.tracer = tracer;
+    }
+
+    /// Enables the periodic time-series probe: every `interval` of sim
+    /// time the simulator records cluster utilization, pending-queue depth
+    /// per band, checkpoint-storage occupancy per node and device busy
+    /// fraction. The series is returned in `RunReport.telemetry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn enable_sampling(&mut self, interval: SimDuration) {
+        assert!(!interval.is_zero(), "sampling interval must be non-zero");
+        self.sampler = Some(Sampler {
+            interval,
+            next: SimTime::ZERO,
+            prev_busy: vec![0.0; self.nodes.len()],
+            series: TimeSeries::new(),
+        });
     }
 
     fn schedule_next_failure(&mut self, node: usize, now: SimTime, q: &mut EventQueue<Event>) {
@@ -159,8 +230,10 @@ impl ClusterSim {
             return;
         }
         if let Some(mtbf) = self.cfg.failure_mtbf_per_node {
-            let gap = cbp_simkit::dist::Dist::Exp { mean: mtbf.as_secs_f64() }
-                .sample(&mut self.rng);
+            let gap = cbp_simkit::dist::Dist::Exp {
+                mean: mtbf.as_secs_f64(),
+            }
+            .sample(&mut self.rng);
             q.push(
                 now + SimDuration::from_secs_f64(gap),
                 Event::NodeFail(node as u32),
@@ -180,7 +253,9 @@ impl ClusterSim {
                 self.schedule_next_failure(node, SimTime::ZERO, &mut queue);
             }
         }
-        let makespan = engine_run(&mut self, &mut queue);
+        let stats = run_until_observed(&mut self, &mut queue, SimTime::MAX, &mut |_| {});
+        let makespan = stats.now;
+        self.tracer.finish();
 
         let label = format!("{}-{}", self.cfg.policy, self.cfg.media.kind());
         let energy_kwh: f64 = self.nodes.iter().map(|n| n.meter.kwh(makespan)).sum();
@@ -188,14 +263,181 @@ impl ClusterSim {
         let io_overhead = mean(self.nodes.iter().map(|n| n.device.busy_fraction(horizon)));
         let storage_peak = mean(self.nodes.iter().map(|n| n.device.peak_used_fraction()));
         let incremental = self.criu.incremental_dumps();
-        let metrics = self.metrics.into_metrics(
-            makespan,
-            energy_kwh,
-            io_overhead,
-            storage_peak,
-            incremental,
+        let registry = self.build_registry(makespan, energy_kwh, io_overhead, storage_peak, &stats);
+        let telemetry = TelemetryReport {
+            registry,
+            timeseries: self.sampler.take().map(|s| s.series),
+            engine_events: stats.events,
+            engine_wall_secs: stats.wall.as_secs_f64(),
+        };
+        let metrics =
+            self.metrics
+                .into_metrics(makespan, energy_kwh, io_overhead, storage_peak, incremental);
+        RunReport {
+            label,
+            metrics,
+            trace: self.trace,
+            telemetry,
+        }
+    }
+
+    /// Snapshots every `subsystem.metric` this run tracked into a
+    /// [`MetricsRegistry`].
+    ///
+    /// Everything registered here is a pure function of the simulation
+    /// state, so the registry JSON is byte-stable across runs with the
+    /// same seed (wall-clock engine throughput lives on
+    /// [`TelemetryReport`] instead).
+    fn build_registry(
+        &self,
+        makespan: SimTime,
+        energy_kwh: f64,
+        io_overhead: f64,
+        storage_peak: f64,
+        stats: &RunStats,
+    ) -> MetricsRegistry {
+        let m = &self.metrics;
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("engine.events", "events", stats.events);
+        reg.set_counter("scheduler.preemptions", "ops", m.preemptions);
+        reg.set_counter("scheduler.kills", "ops", m.kills);
+        reg.set_counter("scheduler.checkpoints", "ops", m.checkpoints);
+        reg.set_counter("scheduler.restores", "ops", m.restores);
+        reg.set_counter("scheduler.remote_restores", "ops", m.remote_restores);
+        reg.set_counter("scheduler.capacity_fallbacks", "ops", m.capacity_fallbacks);
+        reg.set_counter("scheduler.failure_evictions", "ops", m.failure_evictions);
+        reg.set_counter(
+            "scheduler.images_lost_to_failures",
+            "ops",
+            m.images_lost_to_failures,
         );
-        RunReport { label, metrics, trace: self.trace }
+        reg.set_counter("scheduler.tasks_finished", "ops", m.tasks_finished);
+        reg.set_counter("scheduler.jobs_finished", "ops", m.jobs_finished);
+        reg.set_gauge("scheduler.makespan_secs", "s", makespan.as_secs_f64());
+        reg.set_gauge("cpu.useful_hours", "cpu-hours", m.useful_cpu_secs / 3600.0);
+        reg.set_gauge(
+            "cpu.kill_lost_hours",
+            "cpu-hours",
+            m.kill_lost_cpu_secs / 3600.0,
+        );
+        reg.set_gauge(
+            "cpu.dump_overhead_hours",
+            "cpu-hours",
+            m.dump_overhead_cpu_secs / 3600.0,
+        );
+        reg.set_gauge(
+            "cpu.restore_overhead_hours",
+            "cpu-hours",
+            m.restore_overhead_cpu_secs / 3600.0,
+        );
+        reg.set_gauge("energy.total_kwh", "kWh", energy_kwh);
+        reg.set_gauge("storage.io_busy_fraction", "fraction", io_overhead);
+        reg.set_gauge("storage.peak_used_fraction", "fraction", storage_peak);
+        if let Some(first) = self.nodes.first() {
+            let mut writes = first.device.write_latency().clone();
+            let mut reads = first.device.read_latency().clone();
+            for slot in &self.nodes[1..] {
+                writes.merge(slot.device.write_latency());
+                reads.merge(slot.device.read_latency());
+            }
+            reg.set_histogram("storage.write_latency_secs", "s", &writes);
+            reg.set_histogram("storage.read_latency_secs", "s", &reads);
+            let written: u64 = self
+                .nodes
+                .iter()
+                .map(|n| n.device.bytes_written().as_u64())
+                .sum();
+            let read: u64 = self
+                .nodes
+                .iter()
+                .map(|n| n.device.bytes_read().as_u64())
+                .sum();
+            reg.set_counter("storage.bytes_written", "bytes", written);
+            reg.set_counter("storage.bytes_read", "bytes", read);
+        }
+        let mut responses = StreamingQuantiles::new();
+        for samples in m.responses.values() {
+            for &v in samples.values() {
+                responses.observe(v);
+            }
+        }
+        if responses.count() > 0 {
+            reg.set_quantiles("scheduler.response_secs", "s", responses.snapshot());
+        }
+        reg
+    }
+
+    // ---- telemetry probes ----------------------------------------------
+
+    /// Records every due sample up to (and including) `now`. Samples are
+    /// timestamped at their exact interval boundary and reflect the state
+    /// *before* the event at `now` is processed, so the series is a pure
+    /// function of the event stream (deterministic per seed).
+    fn sample_up_to(&mut self, now: SimTime) {
+        let Some(mut s) = self.sampler.take() else {
+            return;
+        };
+        while s.next <= now {
+            let t = s.next;
+            self.record_sample(&mut s, t);
+            s.next = t + s.interval;
+        }
+        self.sampler = Some(s);
+    }
+
+    fn record_sample(&mut self, s: &mut Sampler, t: SimTime) {
+        let n = self.nodes.len();
+        let mut util_sum = 0.0;
+        let mut up_nodes = 0usize;
+        let mut ckpt = Vec::with_capacity(n);
+        let mut busy = Vec::with_capacity(n);
+        for (i, slot) in self.nodes.iter().enumerate() {
+            if slot.up {
+                util_sum += slot.node.cpu_utilization();
+                up_nodes += 1;
+            }
+            ckpt.push(slot.device.used_fraction());
+            let total = slot.device.busy_time().as_secs_f64();
+            let delta = (total - s.prev_busy[i]).max(0.0);
+            s.prev_busy[i] = total;
+            busy.push((delta / s.interval.as_secs_f64()).min(1.0));
+        }
+        let utilization = if up_nodes == 0 {
+            0.0
+        } else {
+            util_sum / up_nodes as f64
+        };
+        let ckpt_mean = if n == 0 {
+            0.0
+        } else {
+            ckpt.iter().sum::<f64>() / n as f64
+        };
+        let busy_mean = if n == 0 {
+            0.0
+        } else {
+            busy.iter().sum::<f64>() / n as f64
+        };
+        let (mut free, mut middle, mut production) = (0u64, 0u64, 0u64);
+        for key in &self.pending {
+            match Priority(key.0 .0).band() {
+                PriorityBand::Free => free += 1,
+                PriorityBand::Middle => middle += 1,
+                PriorityBand::Production => production += 1,
+            }
+        }
+        s.series.push(
+            t.as_micros(),
+            &[
+                ("ckpt_used_frac_mean", ckpt_mean),
+                ("dev_busy_frac_mean", busy_mean),
+                ("pending_free", free as f64),
+                ("pending_middle", middle as f64),
+                ("pending_production", production as f64),
+                ("pending_total", (free + middle + production) as f64),
+                ("utilization", utilization),
+            ],
+            &[("ckpt_used_frac", &ckpt), ("dev_busy_frac", &busy)],
+        );
     }
 
     // ---- helpers -------------------------------------------------------
@@ -228,9 +470,7 @@ impl ClusterSim {
         let prio = self.tasks[t as usize].priority.0;
         let fair = match self.cfg.queue_discipline {
             crate::config::QueueDiscipline::Fifo => 0,
-            crate::config::QueueDiscipline::Fair => {
-                self.tasks[t as usize].spec.id.index as u64
-            }
+            crate::config::QueueDiscipline::Fair => self.tasks[t as usize].spec.id.index as u64,
         };
         self.tasks[t as usize].status = TaskStatus::Pending;
         self.pending.insert((Reverse(prio), fair, seq, t));
@@ -409,9 +649,25 @@ impl ClusterSim {
             .expect("placement checked can_fit before allocating");
         self.update_meter(node, now);
         self.cancel_reservation(t);
-        self.emit(now, t, TraceEventKind::Schedule { machine: node as u32 });
+        self.emit(
+            now,
+            t,
+            TraceEventKind::Schedule {
+                machine: node as u32,
+            },
+        );
 
         let has_image = self.has_checkpoint(t);
+        if self.trace_on {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::TaskSchedule {
+                    task: t as u64,
+                    node: node as u32,
+                    restore: has_image,
+                },
+            );
+        }
         if has_image {
             // Resume from checkpoint: read the image chain (or NVRAM
             // mirror) first.
@@ -434,8 +690,35 @@ impl ClusterSim {
                     .submit_custom(now, OpKind::Read, size, service);
                 (op.start, op.end)
             };
+            if self.trace_on {
+                let (device, bytes) = if self.cfg.nvram.is_some() {
+                    (
+                        "nvram",
+                        self.tasks[t as usize].spec.resources.mem().as_u64(),
+                    )
+                } else {
+                    (
+                        media_name(self.cfg.media.kind()),
+                        self.criu.image_size(handle_u64(t)).as_u64(),
+                    )
+                };
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::RestoreStart {
+                        task: t as u64,
+                        node: node as u32,
+                        origin,
+                        device,
+                        bytes,
+                        remote: origin != node as u32,
+                    },
+                );
+            }
             let task = &mut self.tasks[t as usize];
-            task.status = TaskStatus::Restoring { node: node as u32, container: cid };
+            task.status = TaskStatus::Restoring {
+                node: node as u32,
+                container: cid,
+            };
             let epoch = task.epoch;
             let remote = origin != node as u32;
             if remote {
@@ -443,10 +726,20 @@ impl ClusterSim {
                 self.metrics.remote_restores += 1;
             }
             // `started` is the service start: queue wait burns no CPU.
-            q.push(end, Event::RestoreDone { task: t, epoch, started: start });
+            q.push(
+                end,
+                Event::RestoreDone {
+                    task: t,
+                    epoch,
+                    started: start,
+                },
+            );
         } else {
             let task = &mut self.tasks[t as usize];
-            task.status = TaskStatus::Running { node: node as u32, container: cid };
+            task.status = TaskStatus::Running {
+                node: node as u32,
+                container: cid,
+            };
             task.run_started = now;
             task.mem_synced = now;
             let epoch = task.epoch;
@@ -476,7 +769,23 @@ impl ClusterSim {
         let lost = self.tasks[t as usize].progress_at_risk();
         let cores = self.tasks[t as usize].spec.resources.cores_f64();
         self.metrics.charge_kill(lost, cores);
-        self.emit(now, t, TraceEventKind::Evict { machine: node as u32 });
+        self.emit(
+            now,
+            t,
+            TraceEventKind::Evict {
+                machine: node as u32,
+            },
+        );
+        if self.trace_on {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::TaskEvict {
+                    task: t as u64,
+                    node: node as u32,
+                    reason: "kill",
+                },
+            );
+        }
         self.release_container(t, now);
 
         let has_image = self.has_checkpoint(t);
@@ -557,19 +866,52 @@ impl ClusterSim {
                 self.metrics
                     .charge_dump(suspend.duration, cores, &mut unused, incremental);
                 self.nvram_origin.insert(t, node as u32);
-                self.emit(now, t, TraceEventKind::Evict { machine: node as u32 });
+                self.emit(
+                    now,
+                    t,
+                    TraceEventKind::Evict {
+                        machine: node as u32,
+                    },
+                );
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::DumpStart {
+                            task: t as u64,
+                            node: node as u32,
+                            device: "nvram",
+                            bytes: suspend.copied.as_u64(),
+                            incremental,
+                        },
+                    );
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::TaskEvict {
+                            task: t as u64,
+                            node: node as u32,
+                            reason: "dump",
+                        },
+                    );
+                }
                 let task = &mut self.tasks[t as usize];
                 let container = match task.status {
                     TaskStatus::Running { container, .. } => container,
                     _ => unreachable!("dump victim must be running"),
                 };
-                task.status = TaskStatus::Dumping { node: node as u32, container };
+                task.status = TaskStatus::Dumping {
+                    node: node as u32,
+                    container,
+                };
                 task.epoch += 1;
                 task.preemptions += 1;
                 let epoch = task.epoch;
                 q.push(
                     now + suspend.duration,
-                    Event::DumpDone { task: t, epoch, started: now },
+                    Event::DumpDone {
+                        task: t,
+                        epoch,
+                        started: now,
+                    },
                 );
                 false
             }
@@ -577,6 +919,16 @@ impl ClusterSim {
                 // The node's NVRAM is full; mirrors are node-local so there
                 // is nowhere to spill.
                 self.metrics.capacity_fallbacks += 1;
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::DumpFallback {
+                            task: t as u64,
+                            node: node as u32,
+                            reason: "nvram-full",
+                        },
+                    );
+                }
                 self.kill_task(t, node, now);
                 true
             }
@@ -602,6 +954,16 @@ impl ClusterSim {
         let Some(origin) = self.dump_origin_for(node, size) else {
             // No node can hold the image: fall back to killing.
             self.metrics.capacity_fallbacks += 1;
+            if self.trace_on {
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::DumpFallback {
+                        task: t as u64,
+                        node: node as u32,
+                        reason: "no-capacity",
+                    },
+                );
+            }
             self.kill_task(t, node, now);
             return false;
         };
@@ -617,7 +979,10 @@ impl ClusterSim {
         let epoch = self.tasks[t as usize].epoch;
         let service = match &mut self.dfs {
             Some(dfs) => {
-                let path = format!("/ckpt/{t}/{epoch}/{}", self.tasks[t as usize].dfs_paths.len());
+                let path = format!(
+                    "/ckpt/{t}/{epoch}/{}",
+                    self.tasks[t as usize].dfs_paths.len()
+                );
                 match dfs.create(&path, wire_size, DnId(node as u32)) {
                     Ok(receipt) => {
                         self.tasks[t as usize].dfs_paths.push(path);
@@ -644,8 +1009,10 @@ impl ClusterSim {
                 for (origin, bytes) in &result.freed {
                     self.nodes[*origin as usize].device.release(*bytes);
                 }
-                let was_incremental =
-                    matches!(result.kind, cbp_checkpoint::CheckpointKind::Incremental { .. });
+                let was_incremental = matches!(
+                    result.kind,
+                    cbp_checkpoint::CheckpointKind::Incremental { .. }
+                );
                 let cores = self.tasks[t as usize].spec.resources.cores_f64();
                 let mut unused = 0;
                 // Wastage is *CPU time*: the dump burns CPU while copying
@@ -658,22 +1025,68 @@ impl ClusterSim {
                     &mut unused,
                     was_incremental,
                 );
-                self.emit(now, t, TraceEventKind::Evict { machine: node as u32 });
+                self.emit(
+                    now,
+                    t,
+                    TraceEventKind::Evict {
+                        machine: node as u32,
+                    },
+                );
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::DumpStart {
+                            task: t as u64,
+                            node: node as u32,
+                            device: media_name(self.cfg.media.kind()),
+                            bytes: wire_size.as_u64(),
+                            incremental: was_incremental,
+                        },
+                    );
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::TaskEvict {
+                            task: t as u64,
+                            node: node as u32,
+                            reason: "dump",
+                        },
+                    );
+                }
                 let task = &mut self.tasks[t as usize];
                 let container = match task.status {
                     TaskStatus::Running { container, .. } => container,
                     _ => unreachable!("dump victim must be running"),
                 };
-                task.status = TaskStatus::Dumping { node: node as u32, container };
+                task.status = TaskStatus::Dumping {
+                    node: node as u32,
+                    container,
+                };
                 task.epoch += 1;
                 task.preemptions += 1;
                 let epoch = task.epoch;
-                q.push(result.op.end, Event::DumpDone { task: t, epoch, started: now });
+                q.push(
+                    result.op.end,
+                    Event::DumpDone {
+                        task: t,
+                        epoch,
+                        started: now,
+                    },
+                );
                 true
             }
             Err(_) => {
                 // Checkpoint storage is full: fall back to killing.
                 self.metrics.capacity_fallbacks += 1;
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::DumpFallback {
+                            task: t as u64,
+                            node: node as u32,
+                            reason: "storage-full",
+                        },
+                    );
+                }
                 self.kill_task(t, node, now);
                 false
             }
@@ -683,14 +1096,31 @@ impl ClusterSim {
     /// Preempts one victim according to the active policy. Returns `true` if
     /// its resources were freed synchronously (kill), `false` if a dump is
     /// in flight.
-    fn preempt_victim(&mut self, v: u32, node: usize, now: SimTime, q: &mut EventQueue<Event>) -> bool {
+    fn preempt_victim(
+        &mut self,
+        v: u32,
+        node: usize,
+        now: SimTime,
+        q: &mut EventQueue<Event>,
+    ) -> bool {
         match self.cfg.policy {
             PreemptionPolicy::Wait => unreachable!("Wait never preempts"),
             PreemptionPolicy::Kill => {
+                self.trace_preempt_decision(now, v, node, PreemptAction::Kill, "kill", "policy");
                 self.kill_task(v, node, now);
                 true
             }
-            PreemptionPolicy::Checkpoint => !self.dump_task(v, node, now, q),
+            PreemptionPolicy::Checkpoint => {
+                self.trace_preempt_decision(
+                    now,
+                    v,
+                    node,
+                    PreemptAction::Checkpoint,
+                    "checkpoint",
+                    "policy",
+                );
+                !self.dump_task(v, node, now, q)
+            }
             PreemptionPolicy::Adaptive => {
                 // Algorithm 1: checkpoint only if the progress at risk
                 // exceeds the estimated dump + restore + queue overhead.
@@ -708,12 +1138,52 @@ impl ClusterSim {
                     }
                 };
                 if self.tasks[v as usize].progress_at_risk() > est_total {
+                    self.trace_preempt_decision(
+                        now,
+                        v,
+                        node,
+                        PreemptAction::Checkpoint,
+                        "adaptive",
+                        "progress-at-risk",
+                    );
                     !self.dump_task(v, node, now, q)
                 } else {
+                    self.trace_preempt_decision(
+                        now,
+                        v,
+                        node,
+                        PreemptAction::Kill,
+                        "adaptive",
+                        "overhead-exceeds-risk",
+                    );
                     self.kill_task(v, node, now);
                     true
                 }
             }
+        }
+    }
+
+    /// Records a [`TraceRecord::PreemptDecision`] if tracing is enabled.
+    fn trace_preempt_decision(
+        &mut self,
+        now: SimTime,
+        victim: u32,
+        node: usize,
+        action: PreemptAction,
+        policy: &'static str,
+        reason: &'static str,
+    ) {
+        if self.trace_on {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::PreemptDecision {
+                    victim: victim as u64,
+                    node: node as u32,
+                    action,
+                    policy,
+                    reason,
+                },
+            );
         }
     }
 
@@ -843,8 +1313,14 @@ impl ClusterSim {
         if drains > 0 {
             // Earmark the whole demand on this node so backfill cannot
             // steal the capacity the drains are freeing.
-            self.reservations
-                .insert(t, Reservation { node, amount: demand, drains_left: drains });
+            self.reservations.insert(
+                t,
+                Reservation {
+                    node,
+                    amount: demand,
+                    drains_left: drains,
+                },
+            );
             self.node_reserved[node] += demand;
             false
         } else {
@@ -860,7 +1336,23 @@ impl ClusterSim {
         let cores = self.tasks[t as usize].spec.resources.cores_f64();
         self.metrics.failure_evictions += 1;
         self.metrics.kill_lost_cpu_secs += lost.as_secs_f64() * cores;
-        self.emit(now, t, TraceEventKind::Evict { machine: node as u32 });
+        self.emit(
+            now,
+            t,
+            TraceEventKind::Evict {
+                machine: node as u32,
+            },
+        );
+        if self.trace_on {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::TaskEvict {
+                    task: t as u64,
+                    node: node as u32,
+                    reason: "node-fail",
+                },
+            );
+        }
         self.release_container(t, now);
         // An in-flight dump died with the node: abort its half-written tip.
         if matches!(self.tasks[t as usize].status, TaskStatus::Dumping { .. }) {
@@ -926,6 +1418,12 @@ impl ClusterSim {
             return; // already down (stale event)
         }
         self.nodes[node].up = false;
+        if self.trace_on {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::NodeFail { node: node as u32 },
+            );
+        }
         let victims: Vec<u32> = self.nodes[node]
             .node
             .containers()
@@ -947,7 +1445,10 @@ impl ClusterSim {
             self.cancel_reservation(t);
         }
         self.update_meter(node, now);
-        q.push(now + self.cfg.failure_downtime, Event::NodeRecover(node as u32));
+        q.push(
+            now + self.cfg.failure_downtime,
+            Event::NodeRecover(node as u32),
+        );
     }
 
     /// One scheduling pass: serve the pending queue in priority order.
@@ -1033,11 +1534,45 @@ impl Simulation for ClusterSim {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, q: &mut EventQueue<Event>) {
+        // The probe fires before the event so samples reflect pre-event
+        // state at exact interval boundaries.
+        if self.sampler.is_some() {
+            self.sample_up_to(now);
+        }
+        self.dispatch(now, event, q);
+        let depth = self.pending.len();
+        if self.trace_on && depth != self.last_queue_depth {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::QueueDepth {
+                    pending: depth as u64,
+                },
+            );
+        }
+        self.last_queue_depth = depth;
+    }
+}
+
+impl ClusterSim {
+    /// Processes one event (the body of [`Simulation::handle`], separated
+    /// so the telemetry probes wrap every arm uniformly).
+    fn dispatch(&mut self, now: SimTime, event: Event, q: &mut EventQueue<Event>) {
         match event {
             Event::JobSubmit(job_idx) => {
                 let range = self.task_handle_range(job_idx);
                 for t in range {
                     self.emit(now, t as u32, TraceEventKind::Submit);
+                    if self.trace_on {
+                        let priority = self.tasks[t].priority.0;
+                        self.tracer.record(
+                            now.as_micros(),
+                            &TraceRecord::TaskSubmit {
+                                task: t as u64,
+                                job: job_idx as u64,
+                                priority,
+                            },
+                        );
+                    }
                     self.enqueue_pending(t as u32);
                 }
                 self.schedule_pass(now, q);
@@ -1052,6 +1587,17 @@ impl Simulation for ClusterSim {
                 debug_assert!(self.tasks[task as usize].remaining().is_zero());
                 debug_assert!(now >= self.tasks[task as usize].submit);
                 self.emit(now, task, TraceEventKind::Finish);
+                if self.trace_on {
+                    if let TaskStatus::Running { node, .. } = self.tasks[task as usize].status {
+                        self.tracer.record(
+                            now.as_micros(),
+                            &TraceRecord::TaskFinish {
+                                task: task as u64,
+                                node,
+                            },
+                        );
+                    }
+                }
                 self.release_container(task, now);
                 let cores = self.tasks[task as usize].spec.resources.cores_f64();
                 let work = self.tasks[task as usize].spec.duration.as_secs_f64();
@@ -1080,16 +1626,16 @@ impl Simulation for ClusterSim {
                 self.job_remaining[job_idx] -= 1;
                 if self.job_remaining[job_idx] == 0 {
                     let job = &self.workload.jobs()[job_idx];
-                    self.metrics.record_response(
-                        job.priority.band(),
-                        job.latency,
-                        job.submit,
-                        now,
-                    );
+                    self.metrics
+                        .record_response(job.priority.band(), job.latency, job.submit, now);
                 }
                 self.schedule_pass(now, q);
             }
-            Event::DumpDone { task, epoch, started } => {
+            Event::DumpDone {
+                task,
+                epoch,
+                started,
+            } => {
                 if self.tasks[task as usize].epoch != epoch {
                     return;
                 }
@@ -1098,7 +1644,18 @@ impl Simulation for ClusterSim {
                 };
                 self.release_container(task, now);
                 self.nodes[node as usize].device.on_advance(now);
-                let _ = started; // overhead was charged at dump submission
+                // Overhead was charged at dump submission; `started` only
+                // feeds the trace record.
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::DumpDone {
+                            task: task as u64,
+                            node,
+                            start_us: started.as_micros(),
+                        },
+                    );
+                }
                 let task_state = &mut self.tasks[task as usize];
                 task_state.checkpointed_progress = task_state.progress;
                 task_state.status = TaskStatus::Checkpointed { origin: node };
@@ -1118,10 +1675,18 @@ impl Simulation for ClusterSim {
             }
             Event::NodeRecover(node) => {
                 self.nodes[node as usize].up = true;
+                if self.trace_on {
+                    self.tracer
+                        .record(now.as_micros(), &TraceRecord::NodeRecover { node });
+                }
                 self.schedule_next_failure(node as usize, now, q);
                 self.schedule_pass(now, q);
             }
-            Event::RestoreDone { task, epoch, started } => {
+            Event::RestoreDone {
+                task,
+                epoch,
+                started,
+            } => {
                 if self.tasks[task as usize].epoch != epoch {
                     return;
                 }
@@ -1130,9 +1695,20 @@ impl Simulation for ClusterSim {
                     return;
                 };
                 self.nodes[node as usize].device.on_advance(now);
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::RestoreDone {
+                            task: task as u64,
+                            node,
+                            start_us: started.as_micros(),
+                        },
+                    );
+                }
                 let cores = self.tasks[task as usize].spec.resources.cores_f64();
                 // The remote flag was already recorded at placement time.
-                self.metrics.charge_restore(now.since(started), cores, false);
+                self.metrics
+                    .charge_restore(now.since(started), cores, false);
                 let task_state = &mut self.tasks[task as usize];
                 task_state.status = TaskStatus::Running { node, container };
                 task_state.run_started = now;

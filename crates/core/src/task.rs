@@ -84,7 +84,13 @@ pub struct TaskState {
 
 impl TaskState {
     /// Creates the initial (pending) state.
-    pub fn new(spec: TaskSpec, priority: Priority, latency: LatencyClass, job_idx: u32, submit: SimTime) -> Self {
+    pub fn new(
+        spec: TaskSpec,
+        priority: Priority,
+        latency: LatencyClass,
+        job_idx: u32,
+        submit: SimTime,
+    ) -> Self {
         TaskState {
             spec,
             priority,
@@ -114,8 +120,7 @@ impl TaskState {
     /// Call before any transition out of `Running`.
     pub fn sync_progress(&mut self, now: SimTime) {
         if matches!(self.status, TaskStatus::Running { .. }) {
-            self.progress =
-                (self.progress + now.since(self.run_started)).min(self.spec.duration);
+            self.progress = (self.progress + now.since(self.run_started)).min(self.spec.duration);
             self.run_started = now;
         }
     }
@@ -157,18 +162,30 @@ mod tests {
 
     fn state() -> TaskState {
         let spec = TaskSpec {
-            id: TaskId { job: JobId(0), index: 0 },
+            id: TaskId {
+                job: JobId(0),
+                index: 0,
+            },
             resources: Resources::new_cores(1, ByteSize::from_gb(1)),
             duration: SimDuration::from_secs(100),
             dirty_rate_per_sec: 0.01,
         };
-        TaskState::new(spec, Priority::new(0), LatencyClass::new(0), 0, SimTime::ZERO)
+        TaskState::new(
+            spec,
+            Priority::new(0),
+            LatencyClass::new(0),
+            0,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
     fn progress_sync_and_remaining() {
         let mut t = state();
-        t.status = TaskStatus::Running { node: 0, container: ContainerId(1) };
+        t.status = TaskStatus::Running {
+            node: 0,
+            container: ContainerId(1),
+        };
         t.run_started = SimTime::from_secs(10);
         t.sync_progress(SimTime::from_secs(40));
         assert_eq!(t.progress, SimDuration::from_secs(30));
@@ -191,7 +208,10 @@ mod tests {
     #[test]
     fn memory_sync_applies_dirty_rate() {
         let mut t = state();
-        t.status = TaskStatus::Running { node: 0, container: ContainerId(1) };
+        t.status = TaskStatus::Running {
+            node: 0,
+            container: ContainerId(1),
+        };
         t.sync_memory(SimTime::ZERO);
         t.memory.as_mut().unwrap().clear_dirty();
         // 10 s at 1%/s -> ~10% dirty.
@@ -206,9 +226,15 @@ mod tests {
         t.sync_progress(SimTime::from_secs(100));
         assert_eq!(t.progress, SimDuration::ZERO);
         assert!(!t.is_preemptible());
-        t.status = TaskStatus::Running { node: 0, container: ContainerId(1) };
+        t.status = TaskStatus::Running {
+            node: 0,
+            container: ContainerId(1),
+        };
         assert!(t.is_preemptible());
-        t.status = TaskStatus::Dumping { node: 0, container: ContainerId(1) };
+        t.status = TaskStatus::Dumping {
+            node: 0,
+            container: ContainerId(1),
+        };
         assert!(!t.is_preemptible());
     }
 }

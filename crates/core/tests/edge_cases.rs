@@ -20,7 +20,10 @@ fn job(id: u64, submit: u64, prio: u8, tasks: Vec<TaskSpec>) -> JobSpec {
 
 fn task(id: u64, index: u32, cores: u64, gb: u64, secs: u64) -> TaskSpec {
     TaskSpec {
-        id: TaskId { job: JobId(id), index },
+        id: TaskId {
+            job: JobId(id),
+            index,
+        },
         resources: Resources::new_cores(cores, ByteSize::from_gb(gb)),
         duration: SimDuration::from_secs(secs),
         dirty_rate_per_sec: 0.002,
@@ -78,7 +81,9 @@ fn preemption_chain_across_three_priorities() {
     assert_eq!(r.metrics.jobs_finished, 3);
     assert!(r.metrics.checkpoints >= 2, "both lower tasks suspended");
     // Highest priority job is barely disturbed (one dump's delay).
-    let high = r.metrics.mean_response(cbp_workload::PriorityBand::Production);
+    let high = r
+        .metrics
+        .mean_response(cbp_workload::PriorityBand::Production);
     assert!(high < 400.0, "p9 response {high}");
 }
 

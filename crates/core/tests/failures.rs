@@ -93,7 +93,10 @@ fn fair_discipline_helps_small_jobs() {
     // One 60-task job followed by five 2-task jobs, same priority, on a
     // tiny cluster.
     let task = |job: u64, index: u32| TaskSpec {
-        id: TaskId { job: JobId(job), index },
+        id: TaskId {
+            job: JobId(job),
+            index,
+        },
         resources: Resources::new_cores(1, ByteSize::from_gb(1)),
         duration: SimDuration::from_secs(300),
         dirty_rate_per_sec: 0.002,
@@ -123,9 +126,7 @@ fn fair_discipline_helps_small_jobs() {
         .clone()
         .with_queue_discipline(QueueDiscipline::Fifo)
         .run(&w);
-    let fair = base
-        .with_queue_discipline(QueueDiscipline::Fair)
-        .run(&w);
+    let fair = base.with_queue_discipline(QueueDiscipline::Fair).run(&w);
 
     // Under FIFO the five small jobs wait behind all 60 tasks of job 0;
     // under Fair they interleave and finish far earlier. Mean response over

@@ -103,11 +103,20 @@ fn faster_media_reduce_checkpoint_overhead() {
     let hdd = run(PreemptionPolicy::Checkpoint, MediaKind::Hdd, 5);
     let ssd = run(PreemptionPolicy::Checkpoint, MediaKind::Ssd, 5);
     let nvm = run(PreemptionPolicy::Checkpoint, MediaKind::Nvm, 5);
-    let overhead = |r: &RunReport| {
-        r.metrics.dump_overhead_cpu_hours + r.metrics.restore_overhead_cpu_hours
-    };
-    assert!(overhead(&hdd) > overhead(&ssd), "HDD {} vs SSD {}", overhead(&hdd), overhead(&ssd));
-    assert!(overhead(&ssd) > overhead(&nvm), "SSD {} vs NVM {}", overhead(&ssd), overhead(&nvm));
+    let overhead =
+        |r: &RunReport| r.metrics.dump_overhead_cpu_hours + r.metrics.restore_overhead_cpu_hours;
+    assert!(
+        overhead(&hdd) > overhead(&ssd),
+        "HDD {} vs SSD {}",
+        overhead(&hdd),
+        overhead(&ssd)
+    );
+    assert!(
+        overhead(&ssd) > overhead(&nvm),
+        "SSD {} vs NVM {}",
+        overhead(&ssd),
+        overhead(&nvm)
+    );
 }
 
 /// Adaptive (Fig. 5): never slower than basic checkpointing for high
@@ -122,8 +131,7 @@ fn adaptive_mixes_mechanisms() {
     );
     // On NVM almost everything is worth checkpointing.
     let nvm = run(PreemptionPolicy::Adaptive, MediaKind::Nvm, 6);
-    let chk_share =
-        nvm.metrics.checkpoints as f64 / nvm.metrics.preemptions.max(1) as f64;
+    let chk_share = nvm.metrics.checkpoints as f64 / nvm.metrics.preemptions.max(1) as f64;
     assert!(chk_share > 0.5, "NVM adaptive checkpoint share {chk_share}");
 }
 
@@ -234,9 +242,8 @@ fn nvram_backend_works_and_beats_pmfs_files() {
     // No file-system image traffic: the storage device never gets used.
     assert_eq!(nvram.metrics.io_overhead_fraction, 0.0);
     // Memory-path overhead undercuts the PMFS file-system path.
-    let overhead = |m: &cbp_core::RunMetrics| {
-        m.dump_overhead_cpu_hours + m.restore_overhead_cpu_hours
-    };
+    let overhead =
+        |m: &cbp_core::RunMetrics| m.dump_overhead_cpu_hours + m.restore_overhead_cpu_hours;
     assert!(
         overhead(&nvram.metrics) < overhead(&fs_nvm.metrics),
         "nvram {} vs pmfs-files {}",
@@ -253,10 +260,7 @@ fn metrics_are_populated() {
     assert!(m.energy_kwh > 0.0);
     assert!(m.makespan_secs > 0.0);
     for band in [PriorityBand::Free, PriorityBand::Middle] {
-        assert!(
-            m.mean_response(band) > 0.0,
-            "band {band} has no responses"
-        );
+        assert!(m.mean_response(band) > 0.0, "band {band} has no responses");
     }
     assert!(m.mean_response_overall() > 0.0);
     assert!(m.io_overhead_fraction >= 0.0 && m.io_overhead_fraction <= 1.0);

@@ -1,0 +1,194 @@
+//! End-to-end telemetry determinism: the JSONL trace, the Chrome trace,
+//! the time series and the metrics registry must be byte-identical across
+//! runs with the same seed, and structurally valid.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+use cbp_core::{ClusterSim, PreemptionPolicy, RunReport, SimConfig};
+use cbp_simkit::SimDuration;
+use cbp_storage::MediaKind;
+use cbp_telemetry::{json, ChromeTraceTracer, JsonlTracer, Tracer};
+use cbp_workload::google::GoogleTraceConfig;
+use cbp_workload::Workload;
+
+/// A `Write` sink whose buffer outlives the `Box<dyn Tracer>` that owns
+/// the writer, so tests can inspect what the simulator wrote.
+#[derive(Clone, Default)]
+struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+impl SharedBuf {
+    fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut self.0.borrow_mut())
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn workload() -> Workload {
+    GoogleTraceConfig::small(60.0).generate(7)
+}
+
+fn config() -> SimConfig {
+    SimConfig::trace_sim(PreemptionPolicy::Adaptive, MediaKind::Ssd).with_nodes(4)
+}
+
+fn traced_run(tracer: Box<dyn Tracer>, sample: bool) -> RunReport {
+    let mut sim = ClusterSim::new(config(), workload());
+    sim.set_tracer(tracer);
+    if sample {
+        sim.enable_sampling(SimDuration::from_secs(120));
+    }
+    sim.run()
+}
+
+#[test]
+fn jsonl_trace_is_byte_stable_and_valid() {
+    let run = || {
+        let buf = SharedBuf::default();
+        traced_run(Box::new(JsonlTracer::new(buf.clone())), false);
+        buf.take()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty(), "an adaptive run must emit trace records");
+    assert_eq!(a, b, "same seed must produce a byte-identical JSONL trace");
+
+    let text = String::from_utf8(a).expect("trace is UTF-8");
+    let mut last_t = 0u64;
+    let mut names = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        assert!(json::is_valid(line), "invalid JSONL line: {line}");
+        // Fixed field order: every line opens with the timestamp.
+        assert!(
+            line.starts_with("{\"t_us\":"),
+            "line must open with t_us: {line}"
+        );
+        let t: u64 = line["{\"t_us\":".len()..]
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("integer timestamp");
+        assert!(t >= last_t, "timestamps must be monotonic");
+        last_t = t;
+        let name = line
+            .split("\"event\":\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .expect("event field");
+        names.insert(name.to_string());
+    }
+    for expected in ["task_submit", "task_schedule", "task_finish", "queue_depth"] {
+        assert!(names.contains(expected), "missing {expected} in {names:?}");
+    }
+}
+
+#[test]
+fn chrome_trace_is_one_valid_json_value() {
+    let buf = SharedBuf::default();
+    traced_run(Box::new(ChromeTraceTracer::new(buf.clone())), false);
+    let text = String::from_utf8(buf.take()).expect("trace is UTF-8");
+    assert!(
+        json::is_valid(text.trim()),
+        "ChromeTraceTracer output must be a single valid JSON value after finish()"
+    );
+    assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(text.contains("\"thread_name\""), "nodes are named threads");
+}
+
+#[test]
+fn timeseries_and_registry_are_deterministic() {
+    let run = || {
+        let buf = SharedBuf::default();
+        let report = traced_run(Box::new(JsonlTracer::new(buf.clone())), true);
+        (report, buf.take())
+    };
+    let (ra, ta) = run();
+    let (rb, tb) = run();
+    assert_eq!(ta, tb);
+    assert_eq!(
+        ra.telemetry.registry.to_json(),
+        rb.telemetry.registry.to_json(),
+        "registry snapshots must be byte-stable per seed"
+    );
+
+    let series = ra.telemetry.timeseries.as_ref().expect("sampling enabled");
+    assert!(series.len() > 1, "run spans multiple sampling intervals");
+    let ts = series.timestamps();
+    for pair in ts.windows(2) {
+        assert_eq!(pair[1] - pair[0], 120_000_000, "exact 120s spacing in µs");
+    }
+    for key in [
+        "utilization",
+        "pending_total",
+        "pending_free",
+        "pending_middle",
+        "pending_production",
+        "ckpt_used_frac_mean",
+        "dev_busy_frac_mean",
+    ] {
+        let col = series
+            .scalar(key)
+            .unwrap_or_else(|| panic!("missing scalar {key}"));
+        assert_eq!(col.len(), series.len());
+    }
+    for key in ["ckpt_used_frac", "dev_busy_frac"] {
+        let col = series
+            .per_node(key)
+            .unwrap_or_else(|| panic!("missing per-node {key}"));
+        assert_eq!(col.len(), series.len());
+        assert!(col.iter().all(|row| row.len() == 4), "4 nodes per sample");
+    }
+    let json_out = series.to_json();
+    assert!(json::is_valid(&json_out), "time-series JSON must be valid");
+    assert_eq!(json_out, rb.telemetry.timeseries.unwrap().to_json());
+}
+
+#[test]
+fn registry_mirrors_run_metrics() {
+    let report = traced_run(Box::new(cbp_telemetry::NullTracer), false);
+    let reg = &report.telemetry.registry;
+    let m = &report.metrics;
+    assert_eq!(reg.counter("scheduler.kills"), Some(m.kills));
+    assert_eq!(reg.counter("scheduler.checkpoints"), Some(m.checkpoints));
+    assert_eq!(reg.counter("scheduler.restores"), Some(m.restores));
+    assert_eq!(
+        reg.counter("scheduler.tasks_finished"),
+        Some(m.tasks_finished)
+    );
+    assert_eq!(
+        reg.counter("scheduler.jobs_finished"),
+        Some(m.jobs_finished)
+    );
+    assert_eq!(
+        reg.counter("engine.events"),
+        Some(report.telemetry.engine_events)
+    );
+    assert!(report.telemetry.engine_events > 0);
+    assert!(
+        reg.gauge("scheduler.makespan_secs").unwrap() > 0.0,
+        "makespan gauge present and positive"
+    );
+    // Wall-clock throughput is intentionally NOT in the registry (it would
+    // break byte-stability); it lives on the TelemetryReport.
+    assert!(reg.counter("engine.events_per_sec").is_none());
+    assert!(report.telemetry.engine_wall_secs >= 0.0);
+}
+
+#[test]
+fn untraced_run_report_has_empty_timeseries() {
+    let report = config().run(&workload());
+    assert!(report.telemetry.timeseries.is_none());
+    assert!(report.telemetry.engine_events > 0);
+}

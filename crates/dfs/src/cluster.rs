@@ -103,7 +103,14 @@ impl DfsCluster {
         assert!(config.replication >= 1, "replication factor must be >= 1");
         DfsCluster {
             config,
-            nodes: vec![DataNode { media, used: ByteSize::ZERO, alive: true }; n],
+            nodes: vec![
+                DataNode {
+                    media,
+                    used: ByteSize::ZERO,
+                    alive: true
+                };
+                n
+            ],
             namespace: Namespace::new(),
             rng: SimRng::seed_from_u64(seed),
         }
@@ -181,7 +188,11 @@ impl DfsCluster {
             for &dn in &replicas {
                 self.nodes[dn.0 as usize].used += bsize;
             }
-            blocks.push(BlockInfo { id, size: bsize, replicas });
+            blocks.push(BlockInfo {
+                id,
+                size: bsize,
+                replicas,
+            });
         }
         // Zero-byte files still occupy a namespace entry.
         let nblocks = blocks.len();
@@ -192,7 +203,11 @@ impl DfsCluster {
         let duration = writer_node.media.setup()
             + bw.transfer_time(size)
             + self.config.per_block_overhead * nblocks as u64;
-        Ok(WriteReceipt { file, duration, blocks: nblocks })
+        Ok(WriteReceipt {
+            file,
+            duration,
+            blocks: nblocks,
+        })
     }
 
     fn place_replicas(&mut self, writer: DnId) -> Vec<DnId> {
@@ -314,7 +329,11 @@ impl DfsCluster {
             + reader_node.media.read_bw().transfer_time(local)
             + remote_bw.transfer_time(remote)
             + self.config.per_block_overhead * file.blocks.len() as u64;
-        Ok(ReadCost { local_bytes: local, remote_bytes: remote, duration })
+        Ok(ReadCost {
+            local_bytes: local,
+            remote_bytes: remote,
+            duration,
+        })
     }
 
     /// Deletes `path`, releasing replica space on every datanode.
@@ -344,7 +363,10 @@ mod tests {
     use super::*;
 
     fn cluster(n: usize, replication: usize) -> DfsCluster {
-        let config = DfsConfig { replication, ..DfsConfig::default() };
+        let config = DfsConfig {
+            replication,
+            ..DfsConfig::default()
+        };
         DfsCluster::homogeneous(config, MediaSpec::ssd(), n, 42)
     }
 
@@ -440,7 +462,10 @@ mod tests {
             dfs.create("/g", ByteSize::from_mb(1), DnId(9)),
             Err(DfsError::UnknownDataNode(_))
         ));
-        assert!(matches!(dfs.read_cost("/nope", DnId(0)), Err(DfsError::NotFound(_))));
+        assert!(matches!(
+            dfs.read_cost("/nope", DnId(0)),
+            Err(DfsError::NotFound(_))
+        ));
         assert!(matches!(dfs.delete("/nope"), Err(DfsError::NotFound(_))));
         // Display formatting is meaningful.
         let msg = DfsError::NoSpace { requested: 10 }.to_string();

@@ -15,11 +15,7 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u16..40, 1u32..2_000, 0u8..8).prop_map(|(id, mb, writer)| Op::Create {
-            id,
-            mb,
-            writer
-        }),
+        (0u16..40, 1u32..2_000, 0u8..8).prop_map(|(id, mb, writer)| Op::Create { id, mb, writer }),
         (0u16..40, 0u8..8).prop_map(|(id, reader)| Op::Read { id, reader }),
         (0u16..40).prop_map(|id| Op::Delete { id }),
     ]

@@ -86,7 +86,9 @@ impl Dist {
                 .sample(rng.rng()),
             Dist::Exp { mean } => {
                 let lambda = 1.0 / mean;
-                Exp::new(lambda).expect("exp mean must be positive").sample(rng.rng())
+                Exp::new(lambda)
+                    .expect("exp mean must be positive")
+                    .sample(rng.rng())
             }
             Dist::LogNormal { mu, sigma } => LogNormal::new(*mu, *sigma)
                 .expect("log-normal sigma must be finite and non-negative")
@@ -108,9 +110,7 @@ impl Dist {
             Dist::Uniform { lo, hi } => Some((lo + hi) / 2.0),
             Dist::Exp { mean } => Some(*mean),
             Dist::LogNormal { mu, sigma } => Some((mu + sigma * sigma / 2.0).exp()),
-            Dist::Pareto { x_min, alpha } => {
-                (*alpha > 1.0).then(|| alpha * x_min / (alpha - 1.0))
-            }
+            Dist::Pareto { x_min, alpha } => (*alpha > 1.0).then(|| alpha * x_min / (alpha - 1.0)),
             Dist::Empirical(e) => Some(e.mean()),
         }
     }
@@ -228,7 +228,10 @@ impl<T: Clone> Categorical<T> {
         let total: f64 = items
             .iter()
             .map(|(_, w)| {
-                assert!(w.is_finite() && *w >= 0.0, "weights must be finite and >= 0");
+                assert!(
+                    w.is_finite() && *w >= 0.0,
+                    "weights must be finite and >= 0"
+                );
                 w
             })
             .sum();
@@ -306,9 +309,15 @@ mod tests {
 
     #[test]
     fn pareto_mean() {
-        let d = Dist::Pareto { x_min: 1.0, alpha: 2.0 };
+        let d = Dist::Pareto {
+            x_min: 1.0,
+            alpha: 2.0,
+        };
         assert_eq!(d.mean(), Some(2.0));
-        let heavy = Dist::Pareto { x_min: 1.0, alpha: 0.9 };
+        let heavy = Dist::Pareto {
+            x_min: 1.0,
+            alpha: 0.9,
+        };
         assert_eq!(heavy.mean(), None);
     }
 

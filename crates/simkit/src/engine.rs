@@ -3,6 +3,39 @@
 use crate::event::EventQueue;
 use crate::time::SimTime;
 
+/// Progress statistics reported by [`run_until_observed`].
+///
+/// The observer receives a snapshot every [`OBSERVE_EVERY`] processed
+/// events and once more when the run ends; the final snapshot is also
+/// returned. `wall` is host wall-clock time, so `events_per_sec` is the
+/// engine-throughput figure the `repro` harness prints — our perf
+/// baseline for hot-path work.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Events processed so far.
+    pub events: u64,
+    /// Sim time of the most recently processed event.
+    pub now: SimTime,
+    /// Host wall-clock time elapsed since the run started.
+    pub wall: std::time::Duration,
+}
+
+impl RunStats {
+    /// Events processed per wall-clock second (0 if no time elapsed).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// How often (in processed events) [`run_until_observed`] invokes its
+/// observer.
+pub const OBSERVE_EVERY: u64 = 1_000_000;
+
 /// A discrete-event simulation.
 ///
 /// The engine ([`run`] / [`run_until`]) pops events in time order and hands
@@ -17,7 +50,8 @@ pub trait Simulation {
     /// Processes one event at simulated time `now`.
     ///
     /// New events may be pushed onto `queue`; pushing an event earlier than
-    /// `now` is a logic error (the engine panics in debug builds).
+    /// `now` is a logic error (the engine panics, in all build profiles,
+    /// when it pops an event older than the one it just processed).
     fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
 }
 
@@ -41,11 +75,60 @@ pub fn run_until<S: Simulation>(
             break;
         }
         let (t, ev) = queue.pop().expect("peeked event must exist");
-        debug_assert!(t >= now, "event queue went backwards: {t} < {now}");
+        // Hard assert (not debug_assert): silent time travel in release
+        // builds would corrupt every downstream metric.
+        assert!(
+            t >= now,
+            "event queue went backwards: popped t={t} after processing t={now}; \
+             a handler scheduled an event in the past"
+        );
         now = t;
         sim.handle(now, ev, queue);
     }
     now
+}
+
+/// Like [`run_until`], but reports progress: `observer` is called with a
+/// [`RunStats`] snapshot every [`OBSERVE_EVERY`] processed events and once
+/// at the end of the run. Returns the final stats (whose `now` is the time
+/// of the last processed event, like [`run_until`]'s return value).
+pub fn run_until_observed<S: Simulation>(
+    sim: &mut S,
+    queue: &mut EventQueue<S::Event>,
+    deadline: SimTime,
+    observer: &mut dyn FnMut(&RunStats),
+) -> RunStats {
+    let start = std::time::Instant::now();
+    let mut now = SimTime::ZERO;
+    let mut events: u64 = 0;
+    while let Some(t) = queue.peek_time() {
+        if t > deadline {
+            break;
+        }
+        let (t, ev) = queue.pop().expect("peeked event must exist");
+        assert!(
+            t >= now,
+            "event queue went backwards: popped t={t} after processing t={now}; \
+             a handler scheduled an event in the past"
+        );
+        now = t;
+        sim.handle(now, ev, queue);
+        events += 1;
+        if events % OBSERVE_EVERY == 0 {
+            observer(&RunStats {
+                events,
+                now,
+                wall: start.elapsed(),
+            });
+        }
+    }
+    let stats = RunStats {
+        events,
+        now,
+        wall: start.elapsed(),
+    };
+    observer(&stats);
+    stats
 }
 
 #[cfg(test)]
@@ -70,7 +153,10 @@ mod tests {
 
     #[test]
     fn run_drains_queue() {
-        let mut sim = Counter { fired: vec![], respawn: true };
+        let mut sim = Counter {
+            fired: vec![],
+            respawn: true,
+        };
         let mut q = EventQueue::new();
         q.push(SimTime::ZERO, 0);
         let end = run(&mut sim, &mut q);
@@ -81,7 +167,10 @@ mod tests {
 
     #[test]
     fn run_until_respects_deadline_inclusive() {
-        let mut sim = Counter { fired: vec![], respawn: true };
+        let mut sim = Counter {
+            fired: vec![],
+            respawn: true,
+        };
         let mut q = EventQueue::new();
         q.push(SimTime::ZERO, 0);
         let end = run_until(&mut sim, &mut q, SimTime::from_secs(2));
@@ -93,8 +182,52 @@ mod tests {
 
     #[test]
     fn empty_queue_returns_zero() {
-        let mut sim = Counter { fired: vec![], respawn: false };
+        let mut sim = Counter {
+            fired: vec![],
+            respawn: false,
+        };
         let mut q = EventQueue::new();
         assert_eq!(run(&mut sim, &mut q), SimTime::ZERO);
+    }
+
+    #[test]
+    fn observed_run_reports_final_stats() {
+        let mut sim = Counter {
+            fired: vec![],
+            respawn: true,
+        };
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 0);
+        let mut snapshots = 0u32;
+        let stats = run_until_observed(&mut sim, &mut q, SimTime::MAX, &mut |_s| snapshots += 1);
+        assert_eq!(stats.events, 6);
+        assert_eq!(stats.now, SimTime::from_secs(5));
+        // 6 events < OBSERVE_EVERY, so only the final snapshot fires.
+        assert_eq!(snapshots, 1);
+        assert_eq!(sim.fired, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    struct TimeTraveler;
+
+    impl Simulation for TimeTraveler {
+        type Event = u8;
+        fn handle(&mut self, now: SimTime, ev: u8, q: &mut EventQueue<u8>) {
+            if ev == 0 {
+                // Schedule an event in the past relative to the *next*
+                // event we also schedule, so the queue pops backwards.
+                q.push(now + SimDuration::from_secs(10), 1);
+            } else if ev == 1 {
+                q.push(SimTime::from_secs(1), 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "event queue went backwards")]
+    fn time_regression_panics_in_all_builds() {
+        let mut sim = TimeTraveler;
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 0);
+        run(&mut sim, &mut q);
     }
 }

@@ -64,7 +64,7 @@ pub mod stats;
 mod stats_p2;
 pub mod units;
 
-pub use engine::{run, run_until, Simulation};
+pub use engine::{run, run_until, run_until_observed, RunStats, Simulation, OBSERVE_EVERY};
 pub use event::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -124,7 +124,10 @@ pub struct Samples {
 impl Samples {
     /// Creates an empty sample set.
     pub fn new() -> Self {
-        Samples { values: Vec::new(), sorted: true }
+        Samples {
+            values: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Adds one observation.

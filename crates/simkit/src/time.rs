@@ -283,10 +283,7 @@ mod tests {
     fn negative_and_nan_saturate_to_zero() {
         assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(
-            SimDuration::from_secs_f64(f64::INFINITY),
-            SimDuration::MAX
-        );
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
     }
 
     #[test]

@@ -158,9 +158,7 @@ impl fmt::Display for ByteSize {
 /// let t = bw.transfer_time(ByteSize::from_gb(1));
 /// assert_eq!(t.as_secs_f64(), 10.0);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Bandwidth(u64);
 
 impl Bandwidth {

@@ -2,6 +2,7 @@
 
 use cbp_simkit::units::ByteSize;
 use cbp_simkit::{SimDuration, SimTime};
+use cbp_telemetry::Histogram;
 use serde::{Deserialize, Serialize};
 
 use crate::media::MediaSpec;
@@ -55,6 +56,17 @@ pub struct Device {
     bytes_written: ByteSize,
     bytes_read: ByteSize,
     ops: u64,
+    /// Submission→completion latency of every accepted write, seconds.
+    write_latency: Histogram,
+    /// Submission→completion latency of every accepted read, seconds.
+    read_latency: Histogram,
+}
+
+/// Latency buckets shared by the per-device op histograms: 100 µs to
+/// ~1.7 h in ×4 steps — wide enough for NVM memcpys and pathological
+/// HDD queueing alike.
+fn latency_buckets() -> Histogram {
+    Histogram::exponential(1e-4, 4.0, 13)
 }
 
 impl Device {
@@ -70,6 +82,8 @@ impl Device {
             bytes_written: ByteSize::ZERO,
             bytes_read: ByteSize::ZERO,
             ops: 0,
+            write_latency: latency_buckets(),
+            read_latency: latency_buckets(),
         }
     }
 
@@ -157,9 +171,16 @@ impl Device {
         self.queue_len += 1;
         self.ops += 1;
         self.busy_time += op.end.since(op.start);
+        let latency = op.latency().as_secs_f64();
         match kind {
-            OpKind::Write => self.bytes_written += size,
-            OpKind::Read => self.bytes_read += size,
+            OpKind::Write => {
+                self.bytes_written += size;
+                self.write_latency.record(latency);
+            }
+            OpKind::Read => {
+                self.bytes_read += size;
+                self.read_latency.record(latency);
+            }
         }
     }
 
@@ -257,6 +278,18 @@ impl Device {
     pub fn ops(&self) -> u64 {
         self.ops
     }
+
+    /// Latency histogram (seconds, submission→completion) of accepted
+    /// writes.
+    pub fn write_latency(&self) -> &Histogram {
+        &self.write_latency
+    }
+
+    /// Latency histogram (seconds, submission→completion) of accepted
+    /// reads.
+    pub fn read_latency(&self) -> &Histogram {
+        &self.read_latency
+    }
 }
 
 /// Returned when a checkpoint reservation would exceed device capacity.
@@ -332,7 +365,10 @@ mod tests {
         // A later op starts immediately.
         let op = dev.submit_read(SimTime::from_secs(2), ByteSize::from_mb(50));
         assert_eq!(op.queued, SimDuration::ZERO);
-        assert_eq!(op.end, SimTime::from_secs(2) + SimDuration::from_millis(500));
+        assert_eq!(
+            op.end,
+            SimTime::from_secs(2) + SimDuration::from_millis(500)
+        );
     }
 
     #[test]
@@ -389,6 +425,17 @@ mod tests {
         assert_eq!(op.queued, SimDuration::from_secs(1));
         assert_eq!(dev.bytes_written(), ByteSize::from_mb(110));
         assert_eq!(dev.busy_time(), SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn latency_histograms_record_ops() {
+        let mut dev = Device::new(test_spec());
+        dev.submit_write(SimTime::ZERO, ByteSize::from_mb(100)); // 1 s service
+        dev.submit_read(SimTime::ZERO, ByteSize::from_mb(100)); // 1 s queued + 1 s
+        assert_eq!(dev.write_latency().count(), 1);
+        assert_eq!(dev.read_latency().count(), 1);
+        assert!((dev.write_latency().sum() - 1.0).abs() < 1e-9);
+        assert!((dev.read_latency().sum() - 2.0).abs() < 1e-9);
     }
 
     #[test]

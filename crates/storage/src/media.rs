@@ -108,7 +108,13 @@ impl MediaSpec {
         setup: SimDuration,
         capacity: ByteSize,
     ) -> Self {
-        MediaSpec { kind, write_bw, read_bw, setup, capacity }
+        MediaSpec {
+            kind,
+            write_bw,
+            read_bw,
+            setup,
+            capacity,
+        }
     }
 
     /// The medium class.
@@ -221,7 +227,10 @@ mod tests {
             "SSD/NVM ratio {ssd_over_nvm:.2}"
         );
         // And the 10 GB HDD round trip lands in the paper's 500–600 s band.
-        assert!((450.0..=620.0).contains(&hdd), "HDD 10 GB round trip {hdd:.0}s");
+        assert!(
+            (450.0..=620.0).contains(&hdd),
+            "HDD 10 GB round trip {hdd:.0}s"
+        );
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Minimal, deterministic JSON emission (and a small validator for tests).
+//!
+//! `serde_json` would work, but hand-rolling keeps this crate dependency
+//! free and guarantees byte-stable output: fixed field order, sorted map
+//! keys, and Rust's shortest-roundtrip float formatting.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a JSON string literal (with quotes), escaping
+/// control characters, quotes and backslashes.
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `x` as a JSON number. Non-finite values (which JSON cannot
+/// represent) are emitted as `null`.
+pub fn push_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // Rust's Display for f64 is the shortest representation that
+        // round-trips and never uses exponent notation — deterministic and
+        // JSON-valid. Integral values print without a fractional part
+        // ("3"), which is still a valid JSON number.
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `x` as a JSON number.
+pub fn push_u64(out: &mut String, x: u64) {
+    let _ = write!(out, "{x}");
+}
+
+/// Appends a `"key":` prefix (escaped) to an object under construction.
+pub fn push_key(out: &mut String, key: &str) {
+    push_str_escaped(out, key);
+    out.push(':');
+}
+
+/// Appends a slice of floats as a JSON array.
+pub fn push_f64_array(out: &mut String, xs: &[f64]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, *x);
+    }
+    out.push(']');
+}
+
+/// Appends a slice of u64s as a JSON array.
+pub fn push_u64_array(out: &mut String, xs: &[u64]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_u64(out, *x);
+    }
+    out.push(']');
+}
+
+/// True if `s` parses as exactly one JSON value (object, array, string,
+/// number, boolean or null) with nothing but whitespace around it.
+///
+/// This is a strict little recursive-descent parser used by the golden
+/// tests to check that every emitted line/file is well-formed JSON without
+/// pulling in `serde_json`.
+pub fn is_valid(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    if !p.value() {
+        return false;
+    }
+    p.skip_ws();
+    p.i == b.len()
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn lit(&mut self, lit: &str) -> bool {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> bool {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.lit("true"),
+            Some(b'f') => self.lit("false"),
+            Some(b'n') => self.lit("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => false,
+        }
+    }
+
+    fn object(&mut self) -> bool {
+        if !self.eat(b'{') {
+            return false;
+        }
+        self.skip_ws();
+        if self.eat(b'}') {
+            return true;
+        }
+        loop {
+            self.skip_ws();
+            if !self.string() {
+                return false;
+            }
+            self.skip_ws();
+            if !self.eat(b':') {
+                return false;
+            }
+            self.skip_ws();
+            if !self.value() {
+                return false;
+            }
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            return self.eat(b'}');
+        }
+    }
+
+    fn array(&mut self) -> bool {
+        if !self.eat(b'[') {
+            return false;
+        }
+        self.skip_ws();
+        if self.eat(b']') {
+            return true;
+        }
+        loop {
+            self.skip_ws();
+            if !self.value() {
+                return false;
+            }
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            return self.eat(b']');
+        }
+    }
+
+    fn string(&mut self) -> bool {
+        if !self.eat(b'"') {
+            return false;
+        }
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return true,
+                b'\\' => {
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return false,
+                                }
+                            }
+                        }
+                        _ => return false,
+                    };
+                }
+                0x00..=0x1f => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    fn digits(&mut self) -> bool {
+        let start = self.i;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+        self.i > start
+    }
+
+    fn number(&mut self) -> bool {
+        self.eat(b'-');
+        if self.eat(b'0') {
+            // leading zero must not be followed by digits
+            if matches!(self.peek(), Some(b'0'..=b'9')) {
+                return false;
+            }
+        } else if !self.digits() {
+            return false;
+        }
+        if self.eat(b'.') && !self.digits() {
+            return false;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !self.digits() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        let mut s = String::new();
+        push_str_escaped(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        assert!(is_valid(&s));
+    }
+
+    #[test]
+    fn float_formatting() {
+        let mut s = String::new();
+        push_f64(&mut s, 0.1);
+        s.push(' ');
+        push_f64(&mut s, 3.0);
+        s.push(' ');
+        push_f64(&mut s, f64::NAN);
+        s.push(' ');
+        push_f64(&mut s, f64::INFINITY);
+        assert_eq!(s, "0.1 3 null null");
+    }
+
+    #[test]
+    fn validator_accepts_good_json() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-0.5e10",
+            "\"hi\\n\"",
+            "{\"a\":[1,2.5,{\"b\":null}],\"c\":\"x\"}",
+            "  [1, 2, 3]  ",
+            "{\"u\":\"\\u00e9\"}",
+        ] {
+            assert!(is_valid(good), "should accept: {good}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_bad_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "nulla",
+            "\"unterminated",
+            "[1] [2]",
+            "{'a':1}",
+            "+1",
+        ] {
+            assert!(!is_valid(bad), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn arrays() {
+        let mut s = String::new();
+        push_f64_array(&mut s, &[1.0, 2.5]);
+        assert_eq!(s, "[1,2.5]");
+        let mut s = String::new();
+        push_u64_array(&mut s, &[7, 8]);
+        assert_eq!(s, "[7,8]");
+    }
+}

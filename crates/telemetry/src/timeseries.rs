@@ -1,0 +1,209 @@
+//! Columnar time-series sampling.
+//!
+//! The simulators run a periodic sim-time probe and append one row per
+//! sample: a timestamp, a set of scalar columns (cluster utilization,
+//! pending depth per band, ...) and a set of per-node columns (checkpoint
+//! storage occupancy, device busy fraction). Storage is columnar so the
+//! JSON export is directly plottable (`t_us` vs any column) without
+//! client-side reshaping.
+
+use std::collections::BTreeMap;
+
+use crate::json;
+
+/// A columnar time series: one shared `t_us` axis, named scalar columns,
+/// and named per-node columns (each row of a per-node column is a vector
+/// with one entry per node).
+///
+/// Column sets must be identical on every [`TimeSeries::push`]; this is
+/// asserted so a probe that drifts out of shape fails fast rather than
+/// silently producing ragged JSON.
+#[derive(Debug, Default, Clone)]
+pub struct TimeSeries {
+    t_us: Vec<u64>,
+    scalars: BTreeMap<String, Vec<f64>>,
+    per_node: BTreeMap<String, Vec<Vec<f64>>>,
+}
+
+impl TimeSeries {
+    /// Creates an empty time series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one sample row.
+    ///
+    /// `scalars` and `per_node` must name the same columns on every call
+    /// (order within the slice does not matter; columns are keyed by
+    /// name). Panics on a column-set mismatch.
+    pub fn push(&mut self, t_us: u64, scalars: &[(&str, f64)], per_node: &[(&str, &[f64])]) {
+        let n = self.t_us.len();
+        self.t_us.push(t_us);
+        for &(name, v) in scalars {
+            let col = self.scalars.entry(name.to_string()).or_default();
+            assert_eq!(
+                col.len(),
+                n,
+                "scalar column {name:?} missed earlier samples"
+            );
+            col.push(v);
+        }
+        for &(name, vs) in per_node {
+            let col = self.per_node.entry(name.to_string()).or_default();
+            assert_eq!(
+                col.len(),
+                n,
+                "per-node column {name:?} missed earlier samples"
+            );
+            col.push(vs.to_vec());
+        }
+        for (name, col) in &self.scalars {
+            assert_eq!(
+                col.len(),
+                n + 1,
+                "scalar column {name:?} missing from this sample"
+            );
+        }
+        for (name, col) in &self.per_node {
+            assert_eq!(
+                col.len(),
+                n + 1,
+                "per-node column {name:?} missing from this sample"
+            );
+        }
+    }
+
+    /// Number of sample rows.
+    pub fn len(&self) -> usize {
+        self.t_us.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.t_us.is_empty()
+    }
+
+    /// The shared timestamp axis (integer microseconds of sim time).
+    pub fn timestamps(&self) -> &[u64] {
+        &self.t_us
+    }
+
+    /// A scalar column by name, if present.
+    pub fn scalar(&self, name: &str) -> Option<&[f64]> {
+        self.scalars.get(name).map(|v| v.as_slice())
+    }
+
+    /// A per-node column by name, if present (rows × nodes).
+    pub fn per_node(&self, name: &str) -> Option<&[Vec<f64>]> {
+        self.per_node.get(name).map(|v| v.as_slice())
+    }
+
+    /// Serializes to columnar JSON:
+    ///
+    /// ```json
+    /// {"t_us":[...],
+    ///  "scalars":{"utilization":[...], ...},
+    ///  "per_node":{"ckpt_used_frac":[[n0,n1,...],...], ...}}
+    /// ```
+    ///
+    /// Keys are sorted and floats use shortest-roundtrip formatting, so
+    /// the same samples always produce identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.t_us.len() * 16);
+        out.push('{');
+        json::push_key(&mut out, "t_us");
+        json::push_u64_array(&mut out, &self.t_us);
+        out.push(',');
+        json::push_key(&mut out, "scalars");
+        out.push('{');
+        for (i, (name, col)) in self.scalars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, name);
+            json::push_f64_array(&mut out, col);
+        }
+        out.push('}');
+        out.push(',');
+        json::push_key(&mut out, "per_node");
+        out.push('{');
+        for (i, (name, col)) in self.per_node.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, name);
+            out.push('[');
+            for (j, row) in col.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json::push_f64_array(&mut out, row);
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_accessors() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        ts.push(
+            0,
+            &[("utilization", 0.5), ("pending_total", 3.0)],
+            &[("ckpt_used_frac", &[0.1, 0.2])],
+        );
+        ts.push(
+            1_000_000,
+            &[("utilization", 0.75), ("pending_total", 1.0)],
+            &[("ckpt_used_frac", &[0.15, 0.25])],
+        );
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.timestamps(), &[0, 1_000_000]);
+        assert_eq!(ts.scalar("utilization").unwrap(), &[0.5, 0.75]);
+        assert_eq!(ts.per_node("ckpt_used_frac").unwrap()[1], vec![0.15, 0.25]);
+        assert!(ts.scalar("nope").is_none());
+    }
+
+    #[test]
+    fn json_is_valid_columnar_and_stable() {
+        let build = || {
+            let mut ts = TimeSeries::new();
+            ts.push(0, &[("b", 1.0), ("a", 0.25)], &[("x", &[1.0, 2.0])]);
+            ts.push(7, &[("a", 0.5), ("b", 2.0)], &[("x", &[3.0, 4.0])]);
+            ts.to_json()
+        };
+        let j = build();
+        assert_eq!(j, build(), "same samples must serialize identically");
+        assert!(json::is_valid(&j), "invalid JSON: {j}");
+        // Keys are sorted regardless of push order.
+        assert_eq!(
+            j,
+            "{\"t_us\":[0,7],\"scalars\":{\"a\":[0.25,0.5],\"b\":[1,2]},\
+             \"per_node\":{\"x\":[[1,2],[3,4]]}}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from this sample")]
+    fn missing_column_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push(0, &[("a", 1.0)], &[]);
+        ts.push(1, &[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missed earlier samples")]
+    fn late_column_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push(0, &[("a", 1.0)], &[]);
+        ts.push(1, &[("a", 1.0), ("b", 2.0)], &[]);
+    }
+}

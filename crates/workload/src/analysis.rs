@@ -170,16 +170,16 @@ impl PreemptionAnalysis {
     /// Runs the analysis with the paper's 5-second window and 1-day
     /// timeline buckets.
     pub fn analyze(log: &TraceLog) -> Self {
-        Self::analyze_with(log, SimDuration::from_secs(5), SimDuration::from_secs(86_400))
+        Self::analyze_with(
+            log,
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(86_400),
+        )
     }
 
     /// Runs the analysis with explicit detection window and timeline bucket
     /// size.
-    pub fn analyze_with(
-        log: &TraceLog,
-        window: SimDuration,
-        bucket: SimDuration,
-    ) -> Self {
+    pub fn analyze_with(log: &TraceLog, window: SimDuration, bucket: SimDuration) -> Self {
         // Index schedule events per machine for the window query.
         let mut schedules_per_machine: HashMap<u32, Vec<(SimTime, Priority)>> = HashMap::new();
         for e in log.events() {
@@ -201,8 +201,7 @@ impl PreemptionAnalysis {
         let mut last_schedule: HashMap<TaskId, SimTime> = HashMap::new();
 
         let horizon = log.events().last().map(|e| e.time).unwrap_or(SimTime::ZERO);
-        let n_buckets =
-            (horizon.as_micros() / bucket.as_micros().max(1)) as usize + 1;
+        let n_buckets = (horizon.as_micros() / bucket.as_micros().max(1)) as usize + 1;
         let mut timeline: Vec<TimelineBucket> = (0..n_buckets)
             .map(|i| TimelineBucket {
                 start: SimTime::from_micros(i as u64 * bucket.as_micros()),
@@ -215,8 +214,7 @@ impl PreemptionAnalysis {
 
         for e in log.events() {
             let bidx = band_index(e.priority);
-            let bucket_idx =
-                (e.time.as_micros() / bucket.as_micros().max(1)) as usize;
+            let bucket_idx = (e.time.as_micros() / bucket.as_micros().max(1)) as usize;
             match e.kind {
                 TraceEventKind::Submit => {}
                 TraceEventKind::Schedule { .. } => {
@@ -330,15 +328,13 @@ mod tests {
     use super::*;
     use crate::spec::JobId;
 
-    fn ev(
-        secs: u64,
-        job: u64,
-        prio: u8,
-        kind: TraceEventKind,
-    ) -> TraceEvent {
+    fn ev(secs: u64, job: u64, prio: u8, kind: TraceEventKind) -> TraceEvent {
         TraceEvent {
             time: SimTime::from_secs(secs),
-            task: TaskId { job: JobId(job), index: 0 },
+            task: TaskId {
+                job: JobId(job),
+                index: 0,
+            },
             priority: Priority::new(prio),
             latency: LatencyClass::new(0),
             cpu_cores: 1.0,

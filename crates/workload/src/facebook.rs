@@ -93,14 +93,16 @@ impl FacebookConfig {
         // Sizes: production jobs (other than the giant) are
         // interactive-sized; the low-priority jobs share the remaining task
         // budget with heavy-tailed proportions.
-        let size_dist = Dist::Pareto { x_min: 1.0, alpha: 1.1 };
+        let size_dist = Dist::Pareto {
+            x_min: 1.0,
+            alpha: 1.1,
+        };
         let mut sizes = vec![self.giant_job_tasks];
         let mut prod_total = self.giant_job_tasks;
         let mut low_raw: Vec<(usize, f64)> = Vec::new();
         for (i, &high) in high_flags.iter().enumerate().skip(1) {
             if high {
-                let size = (rng.range_u64(4, self.max_production_tasks.max(5) as u64)
-                    as usize)
+                let size = (rng.range_u64(4, self.max_production_tasks.max(5) as u64) as usize)
                     .min(self.max_production_tasks);
                 prod_total += size;
                 sizes.push(size);
@@ -109,14 +111,16 @@ impl FacebookConfig {
                 sizes.push(0); // filled below
             }
         }
-        let budget = self.total_tasks.saturating_sub(prod_total).max(low_raw.len()) as f64;
+        let budget = self
+            .total_tasks
+            .saturating_sub(prod_total)
+            .max(low_raw.len()) as f64;
         let raw_sum: f64 = low_raw.iter().map(|(_, r)| r).sum();
         for &(i, r) in &low_raw {
             sizes[i] = (((r / raw_sum) * budget).round() as usize).max(1);
         }
         // Fix rounding drift on the largest low job.
-        let drift = budget as i64
-            - low_raw.iter().map(|&(i, _)| sizes[i] as i64).sum::<i64>();
+        let drift = budget as i64 - low_raw.iter().map(|&(i, _)| sizes[i] as i64).sum::<i64>();
         if let Some(&(max_idx, _)) = low_raw
             .iter()
             .max_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
@@ -124,7 +128,9 @@ impl FacebookConfig {
             sizes[max_idx] = (sizes[max_idx] as i64 + drift).max(1) as usize;
         }
 
-        let gap = Dist::Exp { mean: self.mean_interarrival.as_secs_f64() };
+        let gap = Dist::Exp {
+            mean: self.mean_interarrival.as_secs_f64(),
+        };
         let mut jobs = Vec::with_capacity(self.jobs);
         let mut now = 0.0f64;
 
@@ -139,7 +145,11 @@ impl FacebookConfig {
                 SimTime::from_secs_f64(now)
             };
             let high = high_flags[i];
-            let priority = if high { Priority::new(9) } else { Priority::new(0) };
+            let priority = if high {
+                Priority::new(9)
+            } else {
+                Priority::new(0)
+            };
             let id = JobId(i as u64);
             let tasks: Vec<TaskSpec> = (0..size as u32)
                 .map(|index| self.task_model.task_spec(TaskId { job: id, index }))
@@ -182,7 +192,10 @@ mod tests {
             .map(|j| j.tasks.len())
             .max()
             .unwrap();
-        assert!(giant >= 250, "giant production job has {giant} tasks < 192 containers");
+        assert!(
+            giant >= 250,
+            "giant production job has {giant} tasks < 192 containers"
+        );
     }
 
     #[test]

@@ -106,7 +106,10 @@ impl GoogleTraceConfig {
     /// size — useful to run the same *shape* on a proportionally smaller
     /// simulated cluster.
     pub fn scaled(mut self, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0,1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0,1]"
+        );
         self.jobs_per_day *= factor;
         self
     }
@@ -182,8 +185,7 @@ impl GoogleTraceConfig {
         let n_tasks = if rng.chance(self.single_task_prob) {
             1
         } else {
-            (self.multi_task_count.sample(rng).round() as u32)
-                .clamp(2, self.max_tasks_per_job)
+            (self.multi_task_count.sample(rng).round() as u32).clamp(2, self.max_tasks_per_job)
         };
 
         // Tasks within a job are homogeneous up to small jitter, as in the
@@ -208,7 +210,13 @@ impl GoogleTraceConfig {
             })
             .collect();
 
-        JobSpec { id, submit, priority, latency, tasks }
+        JobSpec {
+            id,
+            submit,
+            priority,
+            latency,
+            tasks,
+        }
     }
 }
 

@@ -188,8 +188,7 @@ mod tests {
         mem.clear_dirty();
         job.run_interval(&mut mem, job.iteration_time);
         let dirty = mem.dirty_bytes().as_u64() as f64;
-        let expected =
-            (job.assignment_bytes() + job.centroid_bytes()).as_u64() as f64;
+        let expected = (job.assignment_bytes() + job.centroid_bytes()).as_u64() as f64;
         // Page rounding makes dirty slightly larger than the working set.
         assert!(dirty >= expected, "dirty {dirty} < working set {expected}");
         assert!(dirty < expected * 1.05, "dirty {dirty} too large");
@@ -221,7 +220,10 @@ mod tests {
     #[test]
     fn task_spec_matches_model() {
         let job = KMeansJob::yarn_container();
-        let spec = job.task_spec(TaskId { job: JobId(1), index: 0 });
+        let spec = job.task_spec(TaskId {
+            job: JobId(1),
+            index: 0,
+        });
         assert_eq!(spec.resources.mem(), job.footprint());
         assert_eq!(spec.duration, job.duration());
         assert!((spec.dirty_rate_per_sec - job.dirty_rate_per_sec()).abs() < 1e-12);

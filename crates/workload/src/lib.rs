@@ -30,6 +30,4 @@ pub mod mapreduce;
 
 mod spec;
 
-pub use spec::{
-    JobId, JobSpec, LatencyClass, Priority, PriorityBand, TaskId, TaskSpec, Workload,
-};
+pub use spec::{JobId, JobSpec, LatencyClass, Priority, PriorityBand, TaskId, TaskSpec, Workload};

@@ -93,7 +93,9 @@ impl MapReduceConfig {
     pub fn generate(&self, seed: u64) -> MapReducePlan {
         assert!(self.jobs >= 1, "need at least one job");
         let mut rng = SimRng::seed_from_u64(seed);
-        let gap = Dist::Exp { mean: self.mean_interarrival.as_secs_f64() };
+        let gap = Dist::Exp {
+            mean: self.mean_interarrival.as_secs_f64(),
+        };
         let mut now = 0.0f64;
         let mut jobs = Vec::with_capacity(self.jobs);
         let mut barriers = HashMap::new();
@@ -119,7 +121,10 @@ impl MapReduceConfig {
             }
             for r in 0..reduces {
                 tasks.push(TaskSpec {
-                    id: TaskId { job: id, index: maps + r },
+                    id: TaskId {
+                        job: id,
+                        index: maps + r,
+                    },
                     resources: Resources::new_cores(1, self.shape.reduce_mem),
                     duration: self.shape.reduce_duration,
                     // Reduces churn their merge buffers harder.
@@ -130,12 +135,19 @@ impl MapReduceConfig {
             jobs.push(JobSpec {
                 id,
                 submit: SimTime::from_secs_f64(now),
-                priority: if high { Priority::new(9) } else { Priority::new(0) },
+                priority: if high {
+                    Priority::new(9)
+                } else {
+                    Priority::new(0)
+                },
                 latency: LatencyClass::new(if high { 2 } else { 0 }),
                 tasks,
             });
         }
-        MapReducePlan { workload: Workload::new(jobs), barriers }
+        MapReducePlan {
+            workload: Workload::new(jobs),
+            barriers,
+        }
     }
 }
 
@@ -190,7 +202,11 @@ mod tests {
 
     #[test]
     fn priority_mix() {
-        let plan = MapReduceConfig { jobs: 40, ..Default::default() }.generate(3);
+        let plan = MapReduceConfig {
+            jobs: 40,
+            ..Default::default()
+        }
+        .generate(3);
         let high = plan
             .workload
             .jobs()

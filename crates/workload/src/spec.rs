@@ -7,9 +7,7 @@ use cbp_simkit::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// A Google-style scheduling priority, 0 (lowest) to 11 (highest).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Priority(pub u8);
 
 impl Priority {
@@ -38,9 +36,7 @@ impl fmt::Display for Priority {
 }
 
 /// The paper's three priority bands.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PriorityBand {
     /// Priorities 0–1 ("free" tier; 20.26% of its tasks preempted).
     Free,
@@ -52,8 +48,11 @@ pub enum PriorityBand {
 
 impl PriorityBand {
     /// All bands, low to high.
-    pub const ALL: [PriorityBand; 3] =
-        [PriorityBand::Free, PriorityBand::Middle, PriorityBand::Production];
+    pub const ALL: [PriorityBand; 3] = [
+        PriorityBand::Free,
+        PriorityBand::Middle,
+        PriorityBand::Production,
+    ];
 
     /// The paper's label for the band (used in figure legends).
     pub fn label(self) -> &'static str {
@@ -72,15 +71,17 @@ impl fmt::Display for PriorityBand {
 }
 
 /// Latency-sensitivity scheduling class, 0 (least) to 3 (most sensitive).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LatencyClass(pub u8);
 
 impl LatencyClass {
     /// All four classes.
-    pub const ALL: [LatencyClass; 4] =
-        [LatencyClass(0), LatencyClass(1), LatencyClass(2), LatencyClass(3)];
+    pub const ALL: [LatencyClass; 4] = [
+        LatencyClass(0),
+        LatencyClass(1),
+        LatencyClass(2),
+        LatencyClass(3),
+    ];
 
     /// Creates a class, clamping to 0–3.
     pub fn new(level: u8) -> Self {
@@ -95,15 +96,11 @@ impl fmt::Display for LatencyClass {
 }
 
 /// Identifier of a job within a [`Workload`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
 /// Identifier of a task: a job plus the task's index within it.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TaskId {
     /// The owning job.
     pub job: JobId,
@@ -203,7 +200,11 @@ impl Workload {
 
     /// Total CPU-hours of work submitted.
     pub fn total_cpu_hours(&self) -> f64 {
-        self.jobs.iter().map(JobSpec::total_cpu_seconds).sum::<f64>() / 3600.0
+        self.jobs
+            .iter()
+            .map(JobSpec::total_cpu_seconds)
+            .sum::<f64>()
+            / 3600.0
     }
 
     /// Submission time of the last job.
@@ -282,7 +283,10 @@ mod tests {
             latency: LatencyClass::new(0),
             tasks: (0..ntasks)
                 .map(|i| TaskSpec {
-                    id: TaskId { job: JobId(id), index: i },
+                    id: TaskId {
+                        job: JobId(id),
+                        index: i,
+                    },
                     resources: Resources::new_cores(1, ByteSize::from_gb(1)),
                     duration: SimDuration::from_secs(60),
                     dirty_rate_per_sec: 0.002,
@@ -339,7 +343,9 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
-        let w: Workload = vec![job(1, 0, 0, 3), job(2, 10, 9, 2)].into_iter().collect();
+        let w: Workload = vec![job(1, 0, 0, 3), job(2, 10, 9, 2)]
+            .into_iter()
+            .collect();
         let dir = std::env::temp_dir().join("cbp-workload-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("w.json");
@@ -364,7 +370,10 @@ mod tests {
         assert_eq!(Priority(3).to_string(), "p3");
         assert_eq!(PriorityBand::Free.to_string(), "Low Priority");
         assert_eq!(LatencyClass(2).to_string(), "class 2");
-        let t = TaskId { job: JobId(4), index: 9 };
+        let t = TaskId {
+            job: JobId(4),
+            index: 9,
+        };
         assert_eq!(t.to_string(), "4#9");
     }
 }

@@ -40,7 +40,11 @@ impl ResourceManager {
     /// Registers application `app` (dense ids, registration order is the
     /// FIFO order).
     pub fn register_app(&mut self, app: u32, queue: QueueKind) {
-        assert_eq!(app as usize, self.queue_of.len(), "apps register densely in order");
+        assert_eq!(
+            app as usize,
+            self.queue_of.len(),
+            "apps register densely in order"
+        );
         self.queue_of.push(queue);
         self.asks.push(0);
         self.order.push(app);
@@ -230,8 +234,8 @@ impl AmTask {
     /// future) has made no progress.
     pub fn sync_progress(&mut self, now: SimTime) {
         if matches!(self.status, AmTaskStatus::Running { .. }) {
-            self.progress = (self.progress + now.saturating_since(self.run_started))
-                .min(self.spec.duration);
+            self.progress =
+                (self.progress + now.saturating_since(self.run_started)).min(self.spec.duration);
             self.run_started = now.max(self.run_started);
         }
     }
@@ -378,7 +382,10 @@ mod tests {
 
     fn spec(secs: u64) -> TaskSpec {
         TaskSpec {
-            id: TaskId { job: JobId(0), index: 0 },
+            id: TaskId {
+                job: JobId(0),
+                index: 0,
+            },
             resources: Resources::new_cores(1, ByteSize::from_gb(2)),
             duration: SimDuration::from_secs(secs),
             dirty_rate_per_sec: 0.002,
@@ -407,10 +414,8 @@ mod tests {
 
     #[test]
     fn cost_aware_victims_cheapest_first() {
-        let victims = ResourceManager::select_victims(
-            vec![(10.0, 1), (2.0, 2), (5.0, 3), (2.0, 0)],
-            3,
-        );
+        let victims =
+            ResourceManager::select_victims(vec![(10.0, 1), (2.0, 2), (5.0, 3), (2.0, 0)], 3);
         assert_eq!(victims, vec![0, 2, 3]);
     }
 
@@ -422,11 +427,7 @@ mod tests {
         let est = criu.estimate(1, &mem, &dev, SimTime::ZERO);
         // HDD 5 GB: overhead ~= 250 s. 30 s of progress -> kill.
         assert_eq!(
-            preemption_decision(
-                PreemptionPolicy::Adaptive,
-                SimDuration::from_secs(30),
-                &est
-            ),
+            preemption_decision(PreemptionPolicy::Adaptive, SimDuration::from_secs(30), &est),
             PreemptDecision::Kill
         );
         // 1000 s of progress -> checkpoint.
@@ -443,11 +444,7 @@ mod tests {
             PreemptDecision::Kill
         );
         assert_eq!(
-            preemption_decision(
-                PreemptionPolicy::Checkpoint,
-                SimDuration::ZERO,
-                &est
-            ),
+            preemption_decision(PreemptionPolicy::Checkpoint, SimDuration::ZERO, &est),
             PreemptDecision::Checkpoint
         );
     }
@@ -525,7 +522,10 @@ mod tests {
     #[test]
     fn am_task_progress_and_risk() {
         let mut t = AmTask::new(spec(100));
-        t.status = AmTaskStatus::Running { node: 0, container: ContainerId(1) };
+        t.status = AmTaskStatus::Running {
+            node: 0,
+            container: ContainerId(1),
+        };
         t.run_started = SimTime::ZERO;
         t.sync_progress(SimTime::from_secs(40));
         assert_eq!(t.progress, SimDuration::from_secs(40));

@@ -95,7 +95,10 @@ impl YarnConfig {
     ///
     /// Panics unless `guarantee` is in `[0, 1]`.
     pub fn with_prod_guarantee(mut self, guarantee: f64) -> Self {
-        assert!((0.0..=1.0).contains(&guarantee), "guarantee must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&guarantee),
+            "guarantee must be in [0,1]"
+        );
         self.prod_queue_guarantee = guarantee;
         self
     }
@@ -144,7 +147,7 @@ mod tests {
             .with_prod_guarantee(0.5);
         assert_eq!(cfg.policy, PreemptionPolicy::Adaptive);
         assert_eq!(cfg.media.kind(), MediaKind::Nvm);
-        
+
         assert!(!cfg.incremental);
         assert_eq!(cfg.prod_queue_guarantee, 0.5);
     }
@@ -152,7 +155,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "guarantee")]
     fn bad_guarantee_rejected() {
-        YarnConfig::paper_cluster(PreemptionPolicy::Kill, MediaKind::Hdd)
-            .with_prod_guarantee(1.5);
+        YarnConfig::paper_cluster(PreemptionPolicy::Kill, MediaKind::Hdd).with_prod_guarantee(1.5);
     }
 }

@@ -3,10 +3,14 @@
 use cbp_checkpoint::Criu;
 use cbp_cluster::{Container, ContainerId, EnergyMeter, Node, NodeId};
 use cbp_core::PreemptionPolicy;
+use cbp_core::TelemetryReport;
 use cbp_dfs::{DfsCluster, DnId};
 use cbp_simkit::stats::Samples;
-use cbp_simkit::{run as engine_run, EventQueue, SimRng, SimTime, Simulation};
-use cbp_storage::{Device, OpKind};
+use cbp_simkit::{run_until_observed, EventQueue, RunStats, SimRng, SimTime, Simulation};
+use cbp_storage::{Device, MediaKind, OpKind};
+use cbp_telemetry::{
+    MetricsRegistry, NullTracer, PreemptAction, StreamingQuantiles, TraceRecord, Tracer,
+};
 use cbp_workload::{PriorityBand, Workload};
 
 use std::collections::HashMap;
@@ -84,6 +88,15 @@ struct NodeManager {
     meter: EnergyMeter,
 }
 
+/// Short stable device name for trace records.
+fn media_name(kind: MediaKind) -> &'static str {
+    match kind {
+        MediaKind::Hdd => "hdd",
+        MediaKind::Ssd => "ssd",
+        MediaKind::Nvm => "nvm",
+    }
+}
+
 /// The YARN cluster simulation (see the [crate docs](crate) for the
 /// component roles).
 pub struct YarnSim {
@@ -112,6 +125,10 @@ pub struct YarnSim {
     tasks_finished: u64,
     low_responses: Samples,
     high_responses: Samples,
+    /// Structured-event sink ([`NullTracer`] by default).
+    tracer: Box<dyn Tracer>,
+    /// Cached `tracer.enabled()` so the disabled path costs one branch.
+    trace_on: bool,
 }
 
 fn task_key(app: u32, task: u32) -> u64 {
@@ -140,8 +157,7 @@ impl YarnSim {
             .and_then(|j| j.tasks.first())
             .map(|t| {
                 let by_cpu = cfg.node_resources.cpu_milli() / t.resources.cpu_milli().max(1);
-                let by_mem =
-                    cfg.node_resources.mem().as_u64() / t.resources.mem().as_u64().max(1);
+                let by_mem = cfg.node_resources.mem().as_u64() / t.resources.mem().as_u64().max(1);
                 by_cpu.min(by_mem) as u32
             })
             .unwrap_or(1);
@@ -171,7 +187,18 @@ impl YarnSim {
             tasks_finished: 0,
             low_responses: Samples::new(),
             high_responses: Samples::new(),
+            tracer: Box::new(NullTracer),
+            trace_on: false,
         }
+    }
+
+    /// Replaces the structured-event tracer. The default is a
+    /// [`NullTracer`]; pass a `JsonlTracer` / `ChromeTraceTracer` /
+    /// `MultiTracer` to capture the run. The tracer's `finish()` is called
+    /// at the end of the run.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.trace_on = tracer.enabled();
+        self.tracer = tracer;
     }
 
     /// Attaches MapReduce phase barriers (reduces start only after all of a
@@ -182,18 +209,35 @@ impl YarnSim {
     }
 
     /// Runs the workload to completion.
-    pub fn run(mut self) -> YarnReport {
+    pub fn run(self) -> YarnReport {
+        self.run_with_telemetry().0
+    }
+
+    /// Runs the workload to completion, additionally returning the
+    /// [`TelemetryReport`] (the `subsystem.metric` registry plus engine
+    /// throughput stats). [`YarnReport`] itself is unchanged, so existing
+    /// consumers are unaffected.
+    pub fn run_with_telemetry(mut self) -> (YarnReport, TelemetryReport) {
         let mut queue = EventQueue::new();
         for (i, job) in self.workload.jobs().iter().enumerate() {
             queue.push(job.submit, YarnEvent::JobSubmit(i as u32));
         }
-        let makespan = engine_run(&mut self, &mut queue);
+        let stats = run_until_observed(&mut self, &mut queue, SimTime::MAX, &mut |_| {});
+        let makespan = stats.now;
+        self.tracer.finish();
 
         let horizon = makespan.since(SimTime::ZERO);
         let energy_kwh = self.nms.iter().map(|n| n.meter.kwh(makespan)).sum();
         let io = mean(self.nms.iter().map(|n| n.device.busy_fraction(horizon)));
         let peak = mean(self.nms.iter().map(|n| n.device.peak_used_fraction()));
-        YarnReport {
+        let registry = self.build_registry(makespan, energy_kwh, io, peak, &stats);
+        let telemetry = TelemetryReport {
+            registry,
+            timeseries: None,
+            engine_events: stats.events,
+            engine_wall_secs: stats.wall.as_secs_f64(),
+        };
+        let report = YarnReport {
             label: format!("{}-{}", self.cfg.policy, self.cfg.media.kind()),
             makespan_secs: makespan.as_secs_f64(),
             jobs_finished: self.apps.iter().filter(|a| a.finished_at.is_some()).count() as u64,
@@ -214,7 +258,96 @@ impl YarnSim {
             storage_peak_fraction: peak,
             low_responses: self.low_responses,
             high_responses: self.high_responses,
+        };
+        (report, telemetry)
+    }
+
+    /// Snapshots the run's `subsystem.metric` values. Everything here is a
+    /// pure function of simulation state, so the registry JSON is
+    /// byte-stable per seed.
+    fn build_registry(
+        &self,
+        makespan: SimTime,
+        energy_kwh: f64,
+        io_overhead: f64,
+        storage_peak: f64,
+        stats: &RunStats,
+    ) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("engine.events", "events", stats.events);
+        reg.set_counter("scheduler.kills", "ops", self.kills);
+        reg.set_counter("scheduler.checkpoints", "ops", self.checkpoints);
+        reg.set_counter("scheduler.restores", "ops", self.restores);
+        reg.set_counter("scheduler.remote_restores", "ops", self.remote_restores);
+        reg.set_counter(
+            "scheduler.capacity_fallbacks",
+            "ops",
+            self.capacity_fallbacks,
+        );
+        reg.set_counter("scheduler.force_kills", "ops", self.force_kills);
+        reg.set_counter("scheduler.tasks_finished", "ops", self.tasks_finished);
+        reg.set_counter(
+            "scheduler.jobs_finished",
+            "ops",
+            self.apps.iter().filter(|a| a.finished_at.is_some()).count() as u64,
+        );
+        reg.set_gauge("scheduler.makespan_secs", "s", makespan.as_secs_f64());
+        reg.set_gauge(
+            "cpu.useful_hours",
+            "cpu-hours",
+            self.useful_cpu_secs / 3600.0,
+        );
+        reg.set_gauge(
+            "cpu.kill_lost_hours",
+            "cpu-hours",
+            self.kill_lost_cpu_secs / 3600.0,
+        );
+        reg.set_gauge(
+            "cpu.dump_overhead_hours",
+            "cpu-hours",
+            self.dump_overhead_cpu_secs / 3600.0,
+        );
+        reg.set_gauge(
+            "cpu.restore_overhead_hours",
+            "cpu-hours",
+            self.restore_overhead_cpu_secs / 3600.0,
+        );
+        reg.set_gauge("energy.total_kwh", "kWh", energy_kwh);
+        reg.set_gauge("storage.io_busy_fraction", "fraction", io_overhead);
+        reg.set_gauge("storage.peak_used_fraction", "fraction", storage_peak);
+        if let Some(first) = self.nms.first() {
+            let mut writes = first.device.write_latency().clone();
+            let mut reads = first.device.read_latency().clone();
+            for nm in &self.nms[1..] {
+                writes.merge(nm.device.write_latency());
+                reads.merge(nm.device.read_latency());
+            }
+            reg.set_histogram("storage.write_latency_secs", "s", &writes);
+            reg.set_histogram("storage.read_latency_secs", "s", &reads);
+            let written: u64 = self
+                .nms
+                .iter()
+                .map(|n| n.device.bytes_written().as_u64())
+                .sum();
+            let read: u64 = self
+                .nms
+                .iter()
+                .map(|n| n.device.bytes_read().as_u64())
+                .sum();
+            reg.set_counter("storage.bytes_written", "bytes", written);
+            reg.set_counter("storage.bytes_read", "bytes", read);
         }
+        let mut responses = StreamingQuantiles::new();
+        for &v in self.low_responses.values() {
+            responses.observe(v);
+        }
+        for &v in self.high_responses.values() {
+            responses.observe(v);
+        }
+        if responses.count() > 0 {
+            reg.set_quantiles("scheduler.response_secs", "s", responses.snapshot());
+        }
+        reg
     }
 
     fn update_meter(&mut self, node: usize, now: SimTime) {
@@ -354,7 +487,18 @@ impl YarnSim {
         self.update_meter(node, now);
 
         let key = task_key(app, task);
-        if self.criu.has_image(key) {
+        let has_image = self.criu.has_image(key);
+        if self.trace_on {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::TaskSchedule {
+                    task: key,
+                    node: node as u32,
+                    restore: has_image,
+                },
+            );
+        }
+        if has_image {
             let origin = match self.apps[app as usize].tasks[task as usize].status {
                 AmTaskStatus::Suspended { origin } => origin,
                 _ => unreachable!("image implies suspended"),
@@ -377,17 +521,44 @@ impl YarnSim {
             if origin != node as u32 {
                 self.remote_restores += 1;
             }
+            if self.trace_on {
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::RestoreStart {
+                        task: key,
+                        node: node as u32,
+                        origin,
+                        device: media_name(self.cfg.media.kind()),
+                        bytes: size.as_u64(),
+                        remote: origin != node as u32,
+                    },
+                );
+            }
             let am_task = &mut self.apps[app as usize].tasks[task as usize];
-            am_task.status = AmTaskStatus::Restoring { node: node as u32, container: cid };
+            am_task.status = AmTaskStatus::Restoring {
+                node: node as u32,
+                container: cid,
+            };
             let epoch = am_task.epoch;
             // `started` is the service start: queue wait burns no CPU.
-            q.push(op.end, YarnEvent::RestoreDone { app, task, epoch, started: op.start });
+            q.push(
+                op.end,
+                YarnEvent::RestoreDone {
+                    app,
+                    task,
+                    epoch,
+                    started: op.start,
+                },
+            );
         } else {
             // The container pays its startup (localization + JVM spawn)
             // before useful execution begins.
             let started = now + self.cfg.container_startup;
             let am_task = &mut self.apps[app as usize].tasks[task as usize];
-            am_task.status = AmTaskStatus::Running { node: node as u32, container: cid };
+            am_task.status = AmTaskStatus::Running {
+                node: node as u32,
+                container: cid,
+            };
             am_task.run_started = started;
             am_task.mem_synced = started;
             let epoch = am_task.epoch;
@@ -406,6 +577,22 @@ impl YarnSim {
         let cores = am_task.spec.resources.cores_f64();
         self.kills += 1;
         self.kill_lost_cpu_secs += lost.as_secs_f64() * cores;
+        if self.trace_on {
+            let node = match self.apps[app as usize].tasks[task as usize].status {
+                AmTaskStatus::Running { node, .. }
+                | AmTaskStatus::Dumping { node, .. }
+                | AmTaskStatus::Restoring { node, .. } => node,
+                _ => u32::MAX,
+            };
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::TaskEvict {
+                    task: task_key(app, task),
+                    node,
+                    reason: "kill",
+                },
+            );
+        }
         self.release_container(app, task, now);
 
         let key = task_key(app, task);
@@ -468,6 +655,16 @@ impl YarnSim {
 
         let Some(origin) = self.dump_origin_for(node, size) else {
             self.capacity_fallbacks += 1;
+            if self.trace_on {
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::DumpFallback {
+                        task: key,
+                        node: node as u32,
+                        reason: "no-capacity",
+                    },
+                );
+            }
             if std::env::var_os("CBP_DEBUG_CAPACITY").is_some() {
                 let free: Vec<String> = self
                     .nms
@@ -502,15 +699,43 @@ impl YarnSim {
 
         let am_task = &mut self.apps[app as usize].tasks[task as usize];
         let mem = am_task.memory.as_mut().expect("synced");
-        match self
-            .criu
-            .dump_with(key, mem, origin as u32, &mut self.nms[origin].device, now, service)
-        {
+        match self.criu.dump_with(
+            key,
+            mem,
+            origin as u32,
+            &mut self.nms[origin].device,
+            now,
+            service,
+        ) {
             Ok(result) => {
                 for (origin, bytes) in &result.freed {
                     self.nms[*origin as usize].device.release(*bytes);
                 }
                 self.checkpoints += 1;
+                if self.trace_on {
+                    let incremental = matches!(
+                        result.kind,
+                        cbp_checkpoint::CheckpointKind::Incremental { .. }
+                    );
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::DumpStart {
+                            task: key,
+                            node: node as u32,
+                            device: media_name(self.cfg.media.kind()),
+                            bytes: size.as_u64(),
+                            incremental,
+                        },
+                    );
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::TaskEvict {
+                            task: key,
+                            node: node as u32,
+                            reason: "dump",
+                        },
+                    );
+                }
                 let cores = self.apps[app as usize].tasks[task as usize]
                     .spec
                     .resources
@@ -521,13 +746,21 @@ impl YarnSim {
                 self.dump_overhead_cpu_secs +=
                     result.op.end.since(result.op.start).as_secs_f64() * cores;
                 let am_task = &mut self.apps[app as usize].tasks[task as usize];
-                am_task.status = AmTaskStatus::Dumping { node: node as u32, container: cid };
+                am_task.status = AmTaskStatus::Dumping {
+                    node: node as u32,
+                    container: cid,
+                };
                 am_task.epoch += 1;
                 am_task.preemptions += 1;
                 let epoch = am_task.epoch;
                 q.push(
                     result.op.end,
-                    YarnEvent::DumpDone { app, task, epoch, started: now },
+                    YarnEvent::DumpDone {
+                        app,
+                        task,
+                        epoch,
+                        started: now,
+                    },
                 );
                 if let Some(grace) = self.cfg.graceful_timeout {
                     q.push(now + grace, YarnEvent::ForceKill { app, task, epoch });
@@ -535,9 +768,29 @@ impl YarnSim {
             }
             Err(_) => {
                 self.capacity_fallbacks += 1;
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::DumpFallback {
+                            task: key,
+                            node: node as u32,
+                            reason: "storage-full",
+                        },
+                    );
+                }
                 self.kill(app, task, now, q);
             }
         }
+    }
+}
+
+/// Short stable policy name for trace records.
+fn policy_name(policy: PreemptionPolicy) -> &'static str {
+    match policy {
+        PreemptionPolicy::Wait => "wait",
+        PreemptionPolicy::Kill => "kill",
+        PreemptionPolicy::Checkpoint => "checkpoint",
+        PreemptionPolicy::Adaptive => "adaptive",
     }
 }
 
@@ -554,15 +807,24 @@ impl Simulation for YarnSim {
                     QueueKind::Default
                 };
                 let am = match self.barriers.get(&job.id) {
-                    Some(&barrier) => AppMaster::new_with_barrier(
-                        app,
-                        queue,
-                        job.submit,
-                        &job.tasks,
-                        barrier,
-                    ),
+                    Some(&barrier) => {
+                        AppMaster::new_with_barrier(app, queue, job.submit, &job.tasks, barrier)
+                    }
                     None => AppMaster::new(app, queue, job.submit, &job.tasks),
                 };
+                if self.trace_on {
+                    let priority = job.priority.0;
+                    for ti in 0..job.tasks.len() {
+                        self.tracer.record(
+                            now.as_micros(),
+                            &TraceRecord::TaskSubmit {
+                                task: task_key(app, ti as u32),
+                                job: app as u64,
+                                priority,
+                            },
+                        );
+                    }
+                }
                 let asks = am.launch_queue.len() as u32;
                 self.apps.push(am);
                 self.rm.register_app(app, queue);
@@ -574,8 +836,7 @@ impl Simulation for YarnSim {
             }
             YarnEvent::PreemptDecision { app, task, epoch } => {
                 let am_task = &self.apps[app as usize].tasks[task as usize];
-                if am_task.epoch != epoch
-                    || !matches!(am_task.status, AmTaskStatus::Running { .. })
+                if am_task.epoch != epoch || !matches!(am_task.status, AmTaskStatus::Running { .. })
                 {
                     return; // finished or already transitioned
                 }
@@ -596,6 +857,28 @@ impl Simulation for YarnSim {
                     );
                     preemption_decision(self.cfg.policy, am_task.progress_at_risk(), &est)
                 };
+                if self.trace_on {
+                    let (action, reason) = match (self.cfg.policy, decision) {
+                        (PreemptionPolicy::Adaptive, PreemptDecision::Checkpoint) => {
+                            (PreemptAction::Checkpoint, "progress-at-risk")
+                        }
+                        (PreemptionPolicy::Adaptive, PreemptDecision::Kill) => {
+                            (PreemptAction::Kill, "overhead-exceeds-risk")
+                        }
+                        (_, PreemptDecision::Checkpoint) => (PreemptAction::Checkpoint, "policy"),
+                        (_, PreemptDecision::Kill) => (PreemptAction::Kill, "policy"),
+                    };
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::PreemptDecision {
+                            victim: task_key(app, task),
+                            node: node as u32,
+                            action,
+                            policy: policy_name(self.cfg.policy),
+                            reason,
+                        },
+                    );
+                }
                 match decision {
                     PreemptDecision::Kill => self.kill(app, task, now, q),
                     PreemptDecision::Checkpoint => self.dump(app, task, now, q),
@@ -616,6 +899,16 @@ impl Simulation for YarnSim {
                 }
                 let _ = self.apps[app as usize].tasks[task as usize].dfs_paths.pop();
                 self.force_kills += 1;
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::DumpFallback {
+                            task: key,
+                            node,
+                            reason: "grace-expired",
+                        },
+                    );
+                }
                 let _ = node;
                 // The container is still held; transition it through a kill.
                 // kill() handles Running; emulate by restoring Running-like
@@ -627,7 +920,12 @@ impl Simulation for YarnSim {
                 am_task.status = AmTaskStatus::Running { node, container };
                 self.kill(app, task, now, q);
             }
-            YarnEvent::DumpDone { app, task, epoch, started: _ } => {
+            YarnEvent::DumpDone {
+                app,
+                task,
+                epoch,
+                started,
+            } => {
                 let am_task = &self.apps[app as usize].tasks[task as usize];
                 if am_task.epoch != epoch {
                     return;
@@ -637,6 +935,16 @@ impl Simulation for YarnSim {
                 };
                 self.release_container(app, task, now);
                 self.nms[node as usize].device.on_advance(now);
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::DumpDone {
+                            task: task_key(app, task),
+                            node,
+                            start_us: started.as_micros(),
+                        },
+                    );
+                }
                 let am_task = &mut self.apps[app as usize].tasks[task as usize];
                 am_task.checkpointed_progress = am_task.progress;
                 am_task.preempt_requested = false;
@@ -645,7 +953,12 @@ impl Simulation for YarnSim {
                 self.rm.add_asks(app, 1);
                 q.push(now + self.cfg.rpc_delay, YarnEvent::RmSchedule);
             }
-            YarnEvent::RestoreDone { app, task, epoch, started } => {
+            YarnEvent::RestoreDone {
+                app,
+                task,
+                epoch,
+                started,
+            } => {
                 let am_task = &self.apps[app as usize].tasks[task as usize];
                 if am_task.epoch != epoch {
                     return;
@@ -655,6 +968,16 @@ impl Simulation for YarnSim {
                 };
                 self.nms[node as usize].device.on_advance(now);
                 self.restores += 1;
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::RestoreDone {
+                            task: task_key(app, task),
+                            node,
+                            start_us: started.as_micros(),
+                        },
+                    );
+                }
                 let cores = am_task.spec.resources.cores_f64();
                 self.restore_overhead_cpu_secs += now.since(started).as_secs_f64() * cores;
                 let am_task = &mut self.apps[app as usize].tasks[task as usize];
@@ -672,12 +995,24 @@ impl Simulation for YarnSim {
             }
             YarnEvent::TaskFinish { app, task, epoch } => {
                 let am_task = &self.apps[app as usize].tasks[task as usize];
-                if am_task.epoch != epoch
-                    || !matches!(am_task.status, AmTaskStatus::Running { .. })
+                if am_task.epoch != epoch || !matches!(am_task.status, AmTaskStatus::Running { .. })
                 {
                     return;
                 }
                 self.apps[app as usize].tasks[task as usize].sync_progress(now);
+                if self.trace_on {
+                    if let AmTaskStatus::Running { node, .. } =
+                        self.apps[app as usize].tasks[task as usize].status
+                    {
+                        self.tracer.record(
+                            now.as_micros(),
+                            &TraceRecord::TaskFinish {
+                                task: task_key(app, task),
+                                node,
+                            },
+                        );
+                    }
+                }
                 self.release_container(app, task, now);
                 let am_task = &mut self.apps[app as usize].tasks[task as usize];
                 am_task.status = AmTaskStatus::Done;
@@ -690,7 +1025,8 @@ impl Simulation for YarnSim {
                 for (origin, bytes) in self.criu.discard(key) {
                     self.nms[origin as usize].device.release(bytes);
                 }
-                for path in std::mem::take(&mut self.apps[app as usize].tasks[task as usize].dfs_paths)
+                for path in
+                    std::mem::take(&mut self.apps[app as usize].tasks[task as usize].dfs_paths)
                 {
                     let _ = self.dfs.delete(&path);
                 }

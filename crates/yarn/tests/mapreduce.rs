@@ -57,8 +57,7 @@ fn barrier_serializes_phases() {
     let job = &p.workload.jobs()[0];
     let r = cluster(PreemptionPolicy::Wait, MediaKind::Ssd).run_mapreduce(&p);
     let shape = MapReduceShape::default();
-    let min_secs =
-        shape.map_duration.as_secs_f64() + shape.reduce_duration.as_secs_f64();
+    let min_secs = shape.map_duration.as_secs_f64() + shape.reduce_duration.as_secs_f64();
     let response = r.makespan_secs - job.submit.as_secs_f64();
     assert!(
         response >= min_secs - 1.0,

@@ -16,8 +16,7 @@ fn fig8_full_scale_waste_reductions() {
     assert!(kill.kills > 0);
     let mut waste = Vec::new();
     for media in MediaKind::ALL {
-        let chk =
-            YarnConfig::paper_cluster(PreemptionPolicy::Checkpoint, media).run(&w);
+        let chk = YarnConfig::paper_cluster(PreemptionPolicy::Checkpoint, media).run(&w);
         let reduction = 1.0 - chk.wasted_cpu_hours() / kill.wasted_cpu_hours();
         println!(
             "{media}: chk {:.2} core-h vs kill {:.2} (reduction {:.0}%)",

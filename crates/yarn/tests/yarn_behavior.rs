@@ -22,11 +22,16 @@ fn workload(seed: u64) -> Workload {
             total_tasks: 340,
             giant_job_tasks: 60,
             mean_interarrival: cbp_simkit::SimDuration::from_secs(90),
-            task_model: KMeansJob { iterations: 60, ..KMeansJob::yarn_container() },
+            task_model: KMeansJob {
+                iterations: 60,
+                ..KMeansJob::yarn_container()
+            },
             ..Default::default()
         }
         .generate(probe);
-        let kills = cluster(PreemptionPolicy::Kill, MediaKind::Ssd).run(&w).kills;
+        let kills = cluster(PreemptionPolicy::Kill, MediaKind::Ssd)
+            .run(&w)
+            .kills;
         if kills > 0 {
             return w;
         }
@@ -119,7 +124,10 @@ fn fig8_waste_ordering() {
         }
         chk_waste.push(chk.wasted_cpu_hours());
     }
-    assert!(chk_waste[0] > chk_waste[2], "HDD should waste more than NVM");
+    assert!(
+        chk_waste[0] > chk_waste[2],
+        "HDD should waste more than NVM"
+    );
 }
 
 /// Fig. 8c shape: checkpointing on NVM improves low-priority response while
@@ -151,7 +159,10 @@ fn fig10_adaptive_vs_basic_on_hdd() {
         adaptive.mean_high_response(),
         basic.mean_high_response()
     );
-    assert!(adaptive.kills > 0, "adaptive on HDD should kill young tasks");
+    assert!(
+        adaptive.kills > 0,
+        "adaptive on HDD should kill young tasks"
+    );
 }
 
 /// Fig. 12: adaptive reduces checkpoint CPU and I/O overhead vs basic.
@@ -174,7 +185,11 @@ fn fig12_overheads() {
     );
     // NVM overheads are negligible, as in the paper.
     let nvm = run(PreemptionPolicy::Adaptive, MediaKind::Nvm, 7);
-    assert!(nvm.cpu_overhead_fraction() < 0.02, "{}", nvm.cpu_overhead_fraction());
+    assert!(
+        nvm.cpu_overhead_fraction() < 0.02,
+        "{}",
+        nvm.cpu_overhead_fraction()
+    );
 }
 
 /// Useful work is conserved across policies.

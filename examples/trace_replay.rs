@@ -57,7 +57,11 @@ fn main() {
 
     println!("\n-- Fig. 1c: repeated preemption");
     for (i, count) in analysis.preemption_count_histogram.iter().enumerate() {
-        let label = if i == 9 { ">=10".into() } else { format!("{}", i + 1) };
+        let label = if i == 9 {
+            ">=10".into()
+        } else {
+            format!("{}", i + 1)
+        };
         println!("  preempted {label:>4} time(s): {count} tasks");
     }
 

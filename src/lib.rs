@@ -19,5 +19,6 @@ pub use cbp_core as core;
 pub use cbp_dfs as dfs;
 pub use cbp_simkit as simkit;
 pub use cbp_storage as storage;
+pub use cbp_telemetry as telemetry;
 pub use cbp_workload as workload;
 pub use cbp_yarn as yarn;

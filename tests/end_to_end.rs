@@ -42,7 +42,10 @@ fn stacks_agree_on_headline_claim() {
     let base = SimConfig::trace_sim(PreemptionPolicy::Kill, MediaKind::Nvm).with_nodes(6);
     let kill = base.clone().run(&w);
     let chk = base.with_policy(PreemptionPolicy::Checkpoint).run(&w);
-    assert!(kill.metrics.preemptions > 0, "trace workload must be contended");
+    assert!(
+        kill.metrics.preemptions > 0,
+        "trace workload must be contended"
+    );
     assert!(
         chk.metrics.wasted_cpu_hours() < kill.metrics.wasted_cpu_hours(),
         "core: chk {} vs kill {}",
@@ -140,8 +143,7 @@ fn cross_stack_determinism() {
 fn headline_holds_across_seeds() {
     for seed in [11u64, 12, 13] {
         let w = GoogleTraceConfig::small(300.0).generate(seed);
-        let base =
-            SimConfig::trace_sim(PreemptionPolicy::Kill, MediaKind::Nvm).with_nodes(6);
+        let base = SimConfig::trace_sim(PreemptionPolicy::Kill, MediaKind::Nvm).with_nodes(6);
         let kill = base.clone().run(&w);
         if kill.metrics.preemptions == 0 {
             continue; // uncontended draw; nothing to compare

@@ -15,12 +15,12 @@ use proptest::prelude::*;
 fn arb_workload() -> impl Strategy<Value = Workload> {
     proptest::collection::vec(
         (
-            0u8..12,          // priority
-            0u64..600,        // submit seconds
-            1u32..6,          // tasks
-            30u64..400,       // duration seconds
-            1u64..4,          // cores
-            1u64..6,          // memory GB
+            0u8..12,    // priority
+            0u64..600,  // submit seconds
+            1u32..6,    // tasks
+            30u64..400, // duration seconds
+            1u64..4,    // cores
+            1u64..6,    // memory GB
         ),
         1..12,
     )
@@ -35,7 +35,10 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
                     latency: LatencyClass::new(prio % 4),
                     tasks: (0..ntasks)
                         .map(|index| TaskSpec {
-                            id: TaskId { job: JobId(i as u64), index },
+                            id: TaskId {
+                                job: JobId(i as u64),
+                                index,
+                            },
                             resources: Resources::new_cores(cores, ByteSize::from_gb(gb)),
                             duration: SimDuration::from_secs(dur),
                             dirty_rate_per_sec: 0.002,
@@ -57,7 +60,11 @@ fn arb_policy() -> impl Strategy<Value = PreemptionPolicy> {
 }
 
 fn arb_media() -> impl Strategy<Value = MediaKind> {
-    prop_oneof![Just(MediaKind::Hdd), Just(MediaKind::Ssd), Just(MediaKind::Nvm)]
+    prop_oneof![
+        Just(MediaKind::Hdd),
+        Just(MediaKind::Ssd),
+        Just(MediaKind::Nvm)
+    ]
 }
 
 proptest! {
