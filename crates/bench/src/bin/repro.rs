@@ -3,6 +3,8 @@
 //! ```text
 //! repro <experiment-id|all> [--scale full|small|smoke|<0..1>] [--seed N] [--md PATH] [--json PATH]
 //!       [--trace-out PATH] [--chrome-trace PATH] [--timeseries PATH] [--telemetry]
+//!       [--analyze PATH]
+//! repro analyze <trace.jsonl> [--report PATH] [--baseline PATH] [--tol-rel F] [--tol-abs-us F]
 //! ```
 //!
 //! Experiment ids: fig1 table1 table2 fig2 table3 fig3 fig4 fig5 fig6
@@ -11,10 +13,20 @@
 //! The telemetry flags add **one instrumented run** of the requested
 //! experiment's simulation (see `cbp_bench::telemetry_run`); without them
 //! no tracing code runs at all. Unknown flags are rejected.
+//!
+//! `repro analyze` replays a `--trace-out` JSONL file offline through the
+//! `cbp-obs` span collector and prints the same penalty analysis that
+//! `--analyze` produces online — the two reports are byte-identical for
+//! the same run. With `--baseline` it diffs against an archived report
+//! and exits 1 on a regression verdict.
 
 use std::fmt::Write as _;
 
-use cbp_bench::{run_all, run_instrumented, run_one, Scale, TelemetryOptions, EXPERIMENT_IDS};
+use cbp_bench::{
+    analyze_trace_file, run_all, run_instrumented, run_one, Scale, TelemetryOptions, ANALYZE_TOP_K,
+    EXPERIMENT_IDS,
+};
+use cbp_obs::{diff_reports, Tolerances, Verdict};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +38,10 @@ fn main() {
         for id in EXPERIMENT_IDS {
             println!("{id}");
         }
+        return;
+    }
+    if args[0] == "analyze" {
+        analyze_cmd(&args[1..]);
         return;
     }
 
@@ -95,6 +111,14 @@ fn main() {
             "--telemetry" => {
                 telemetry.telemetry = true;
             }
+            "--analyze" => {
+                i += 1;
+                telemetry.analyze = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("missing --analyze path")),
+                );
+            }
             other => die(&format!("unknown argument: {other}")),
         }
         i += 1;
@@ -159,17 +183,93 @@ fn main() {
     }
 }
 
+/// `repro analyze <trace.jsonl> [--report PATH] [--baseline PATH]
+/// [--tol-rel F] [--tol-abs-us F]` — offline replay of a `--trace-out`
+/// file through the `cbp-obs` span collector.
+fn analyze_cmd(args: &[String]) {
+    let mut trace: Option<String> = None;
+    let mut report_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut tol = Tolerances::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--report" => {
+                i += 1;
+                report_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("missing --report path")),
+                );
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("missing --baseline path")),
+                );
+            }
+            "--tol-rel" => {
+                i += 1;
+                tol.rel = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("invalid --tol-rel value"));
+            }
+            "--tol-abs-us" => {
+                i += 1;
+                tol.abs_us = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("invalid --tol-abs-us value"));
+            }
+            other if other.starts_with('-') => die(&format!("unknown argument: {other}")),
+            other if trace.is_none() => trace = Some(other.to_string()),
+            other => die(&format!("unexpected argument: {other}")),
+        }
+        i += 1;
+    }
+    let trace = trace.unwrap_or_else(|| die("usage: repro analyze <trace.jsonl> [...]"));
+    let report = analyze_trace_file(&trace, ANALYZE_TOP_K).unwrap_or_else(|e| die(&e));
+    print!("{}", report.render_table());
+    if let Some(path) = &report_path {
+        std::fs::write(path, report.to_json())
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &baseline_path {
+        let baseline =
+            std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+        let diff = diff_reports(&baseline, &report.to_json(), tol).unwrap_or_else(|e| die(&e));
+        print!("{}", diff.render());
+        if diff.verdict() == Verdict::Regressed {
+            std::process::exit(1);
+        }
+    }
+}
+
 fn usage() {
     eprintln!(
         "usage: repro <experiment-id|all> [--scale full|small|smoke|<0..1>] [--seed N] \
          [--md PATH] [--json PATH]\n\
          \x20            [--trace-out PATH] [--chrome-trace PATH] [--timeseries PATH] [--telemetry]\n\
+         \x20            [--analyze PATH]\n\
+         \x20      repro analyze <trace.jsonl> [--report PATH] [--baseline PATH] [--tol-rel F] \
+         [--tol-abs-us F]\n\
          \n\
          telemetry flags (single experiment only; one extra instrumented run):\n\
          \x20 --trace-out PATH     structured JSONL trace ({{\"t_us\":..,\"event\":..}} per line)\n\
          \x20 --chrome-trace PATH  Chrome/Perfetto trace.json (open at https://ui.perfetto.dev)\n\
          \x20 --timeseries PATH    columnar time-series JSON (utilization, queue depth, ...)\n\
          \x20 --telemetry          print the `subsystem.metric` registry and engine throughput\n\
+         \x20 --analyze PATH       write the cbp-obs blame/penalty report and print its tables\n\
+         \n\
+         offline analysis (replays a --trace-out file; byte-identical to --analyze):\n\
+         \x20 --report PATH        write the report JSON (archive as a baseline)\n\
+         \x20 --baseline PATH      diff against an archived report; exit 1 on regression\n\
+         \x20 --tol-rel F          relative tolerance for the diff (default 0.05)\n\
+         \x20 --tol-abs-us F       absolute tolerance for *_us keys (default 1000)\n\
          \n\
          experiments: all {}",
         EXPERIMENT_IDS.join(" ")

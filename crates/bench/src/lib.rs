@@ -15,7 +15,7 @@ mod table;
 pub mod telemetry_run;
 
 pub use table::{Experiment, Table};
-pub use telemetry_run::{run_instrumented, TelemetryOptions};
+pub use telemetry_run::{analyze_trace_file, run_instrumented, TelemetryOptions, ANALYZE_TOP_K};
 
 /// Scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq)]

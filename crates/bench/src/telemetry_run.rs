@@ -15,9 +15,10 @@
 //! for the same reason; engine throughput is printed separately.
 
 use std::fs::File;
-use std::io::BufWriter;
+use std::io::{BufReader, BufWriter};
 
 use cbp_core::{ClusterSim, PreemptionPolicy, TelemetryReport};
+use cbp_obs::{ObsReport, SharedCollector};
 use cbp_simkit::SimDuration;
 use cbp_storage::MediaKind;
 use cbp_telemetry::{ChromeTraceTracer, JsonlTracer, MultiTracer, Tracer};
@@ -26,6 +27,11 @@ use cbp_yarn::{YarnConfig, YarnSim};
 
 use crate::experiments::google_setup;
 use crate::Scale;
+
+/// Jobs listed in the analysis report's worst-penalized table. Shared by
+/// the online (`--analyze`) and offline (`repro analyze`) paths so both
+/// produce byte-identical reports for the same run.
+pub const ANALYZE_TOP_K: usize = 10;
 
 /// Which telemetry artifacts `repro` was asked to produce.
 #[derive(Debug, Default, Clone)]
@@ -38,6 +44,9 @@ pub struct TelemetryOptions {
     pub timeseries: Option<String>,
     /// `--telemetry`: print the metrics registry and engine throughput.
     pub telemetry: bool,
+    /// `--analyze PATH`: write the `cbp-obs` analysis report and print
+    /// the penalty table.
+    pub analyze: Option<String>,
 }
 
 impl TelemetryOptions {
@@ -47,6 +56,7 @@ impl TelemetryOptions {
             || self.chrome_trace.is_some()
             || self.timeseries.is_some()
             || self.telemetry
+            || self.analyze.is_some()
     }
 }
 
@@ -72,18 +82,24 @@ pub fn run_instrumented(
     if ANALYTIC_IDS.contains(&id) {
         return Ok(false);
     }
-    let telemetry = if YARN_IDS.contains(&id) {
+    let (telemetry, collector) = if YARN_IDS.contains(&id) {
         run_yarn(scale, seed, opts)?
     } else {
         run_trace_sim(scale, seed, opts)?
     };
-    emit(&telemetry, opts)?;
+    emit(&telemetry, collector, opts)?;
     Ok(true)
 }
 
-/// Builds the fan-out tracer for the requested file sinks (None if no
-/// trace output was requested, so the simulator keeps its `NullTracer`).
-fn build_tracer(opts: &TelemetryOptions) -> Result<Option<Box<dyn Tracer>>, String> {
+/// Builds the fan-out tracer for the requested sinks, plus (when
+/// `--analyze` was given) a [`SharedCollector`] handle kept outside the
+/// tracer so the report can be extracted after the run. Returns
+/// `(None, None)` if nothing was requested, so the simulator keeps its
+/// `NullTracer`.
+#[allow(clippy::type_complexity)]
+fn build_tracer(
+    opts: &TelemetryOptions,
+) -> Result<(Option<Box<dyn Tracer>>, Option<SharedCollector>), String> {
     let mut multi = MultiTracer::new();
     if let Some(path) = &opts.trace_out {
         let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
@@ -93,11 +109,16 @@ fn build_tracer(opts: &TelemetryOptions) -> Result<Option<Box<dyn Tracer>>, Stri
         let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
         multi.push(Box::new(ChromeTraceTracer::new(BufWriter::new(f))));
     }
-    Ok(if multi.is_empty() {
+    let collector = opts.analyze.as_ref().map(|_| SharedCollector::new());
+    if let Some(c) = &collector {
+        multi.push(Box::new(c.clone()));
+    }
+    let tracer: Option<Box<dyn Tracer>> = if multi.is_empty() {
         None
     } else {
         Some(Box::new(multi))
-    })
+    };
+    Ok((tracer, collector))
 }
 
 /// Instrumented Google-trace run (adaptive policy, default media).
@@ -105,21 +126,26 @@ fn run_trace_sim(
     scale: Scale,
     seed: u64,
     opts: &TelemetryOptions,
-) -> Result<TelemetryReport, String> {
+) -> Result<(TelemetryReport, Option<SharedCollector>), String> {
     let (workload, base) = google_setup(scale, seed);
     let cfg = base.with_policy(PreemptionPolicy::Adaptive);
     let mut sim = ClusterSim::new(cfg, workload);
-    if let Some(tracer) = build_tracer(opts)? {
+    let (tracer, collector) = build_tracer(opts)?;
+    if let Some(tracer) = tracer {
         sim.set_tracer(tracer);
     }
     if opts.timeseries.is_some() {
         sim.enable_sampling(SimDuration::from_secs(SAMPLE_INTERVAL_SECS));
     }
-    Ok(sim.run().telemetry)
+    Ok((sim.run().telemetry, collector))
 }
 
 /// Instrumented YARN run (adaptive policy on the Facebook workload).
-fn run_yarn(scale: Scale, seed: u64, opts: &TelemetryOptions) -> Result<TelemetryReport, String> {
+fn run_yarn(
+    scale: Scale,
+    seed: u64,
+    opts: &TelemetryOptions,
+) -> Result<(TelemetryReport, Option<SharedCollector>), String> {
     let nodes = scale.apply(8, 2);
     let slots = nodes * 24;
     let workload = FacebookConfig {
@@ -132,16 +158,32 @@ fn run_yarn(scale: Scale, seed: u64, opts: &TelemetryOptions) -> Result<Telemetr
     let mut cfg = YarnConfig::paper_cluster(PreemptionPolicy::Adaptive, MediaKind::Hdd);
     cfg.nodes = nodes;
     let mut sim = YarnSim::new(cfg, workload);
-    if let Some(tracer) = build_tracer(opts)? {
+    let (tracer, collector) = build_tracer(opts)?;
+    if let Some(tracer) = tracer {
         sim.set_tracer(tracer);
     }
     let (_, telemetry) = sim.run_with_telemetry();
-    Ok(telemetry)
+    Ok((telemetry, collector))
 }
 
-/// Writes the time series (if requested) and prints the registry table and
-/// engine throughput (if requested).
-fn emit(telemetry: &TelemetryReport, opts: &TelemetryOptions) -> Result<(), String> {
+/// Replays a `--trace-out` JSONL file offline and builds the same
+/// [`ObsReport`] the online `--analyze` path produces. Entry point for
+/// the `repro analyze` subcommand.
+pub fn analyze_trace_file(path: &str, top_k: usize) -> Result<ObsReport, String> {
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let collector =
+        cbp_obs::collect_jsonl(BufReader::new(f)).map_err(|e| format!("read {path}: {e}"))?;
+    Ok(ObsReport::build(&collector, top_k))
+}
+
+/// Writes the time series (if requested), prints the registry table and
+/// engine throughput (if requested), and writes + prints the `cbp-obs`
+/// analysis report (if `--analyze` was given).
+fn emit(
+    telemetry: &TelemetryReport,
+    collector: Option<SharedCollector>,
+    opts: &TelemetryOptions,
+) -> Result<(), String> {
     if let Some(path) = &opts.trace_out {
         eprintln!("wrote {path}");
     }
@@ -169,6 +211,16 @@ fn emit(telemetry: &TelemetryReport, opts: &TelemetryOptions) -> Result<(), Stri
             telemetry.engine_wall_secs,
             telemetry.events_per_sec()
         );
+    }
+    if let Some(path) = &opts.analyze {
+        let collector = collector
+            .expect("--analyze always installs a collector")
+            .take();
+        let report = ObsReport::build(&collector, ANALYZE_TOP_K);
+        std::fs::write(path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+        println!("################ analysis ################");
+        print!("{}", report.render_table());
     }
     Ok(())
 }
@@ -209,8 +261,8 @@ mod tests {
     #[test]
     fn instrumented_run_produces_deterministic_registry() {
         let opts = TelemetryOptions::default();
-        let a = run_trace_sim(Scale::SMOKE, 11, &opts).unwrap();
-        let b = run_trace_sim(Scale::SMOKE, 11, &opts).unwrap();
+        let (a, _) = run_trace_sim(Scale::SMOKE, 11, &opts).unwrap();
+        let (b, _) = run_trace_sim(Scale::SMOKE, 11, &opts).unwrap();
         assert_eq!(
             a.registry.to_json(),
             b.registry.to_json(),
@@ -222,7 +274,8 @@ mod tests {
     #[test]
     fn yarn_instrumented_run_has_engine_stats() {
         let opts = TelemetryOptions::default();
-        let t = run_yarn(Scale::SMOKE, 5, &opts).unwrap();
+        let (t, collector) = run_yarn(Scale::SMOKE, 5, &opts).unwrap();
+        assert!(collector.is_none(), "no --analyze, no collector");
         assert!(t.engine_events > 0);
         assert_eq!(
             t.registry.counter("engine.events"),
@@ -233,5 +286,33 @@ mod tests {
             t.timeseries.is_none(),
             "YARN runs do not sample time series"
         );
+    }
+
+    /// The online `--analyze` collector and an offline replay of the same
+    /// run's `--trace-out` file must produce byte-identical reports. This
+    /// is the core contract of `repro analyze`.
+    #[test]
+    fn online_and_offline_analysis_agree() {
+        let dir = std::env::temp_dir().join(format!("cbp-analyze-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl");
+        let opts = TelemetryOptions {
+            trace_out: Some(trace.to_str().unwrap().to_string()),
+            analyze: Some(dir.join("unused.json").to_str().unwrap().to_string()),
+            ..Default::default()
+        };
+        let (_, collector) = run_trace_sim(Scale::SMOKE, 11, &opts).unwrap();
+        let online = ObsReport::build(
+            &collector.expect("collector installed").take(),
+            ANALYZE_TOP_K,
+        );
+        let offline = analyze_trace_file(trace.to_str().unwrap(), ANALYZE_TOP_K).unwrap();
+        assert_eq!(
+            online.to_json(),
+            offline.to_json(),
+            "online and offline reports must be byte-identical"
+        );
+        assert!(online.source.tasks_finished > 0, "smoke run finishes tasks");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

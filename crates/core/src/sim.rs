@@ -1069,7 +1069,11 @@ impl ClusterSim {
                     Event::DumpDone {
                         task: t,
                         epoch,
-                        started: now,
+                        // Device service start (not submission time): the
+                        // trace's dump span then measures service time, and
+                        // `start_us - evict time` exposes the checkpoint
+                        // queue wait to blame analysis.
+                        started: result.op.start,
                     },
                 );
                 true
@@ -1356,6 +1360,19 @@ impl ClusterSim {
         self.release_container(t, now);
         // An in-flight dump died with the node: abort its half-written tip.
         if matches!(self.tasks[t as usize].status, TaskStatus::Dumping { .. }) {
+            // Close the dangling DumpStart span: the epoch bump below makes
+            // the queued DumpDone stale, so without this record the trace
+            // would show a dump that never terminates.
+            if self.trace_on {
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::DumpFallback {
+                        task: t as u64,
+                        node: node as u32,
+                        reason: "node-fail",
+                    },
+                );
+            }
             if let Some((origin, bytes)) = self.criu.abort_tip(handle_u64(t)) {
                 self.nodes[origin as usize].device.release(bytes);
             }

@@ -65,11 +65,16 @@ fn jsonl_trace_is_byte_stable_and_valid() {
     assert_eq!(a, b, "same seed must produce a byte-identical JSONL trace");
 
     let text = String::from_utf8(a).expect("trace is UTF-8");
+    assert_eq!(
+        text.lines().next(),
+        Some(cbp_telemetry::schema_header().as_str()),
+        "trace must open with the schema header line"
+    );
     let mut last_t = 0u64;
     let mut names = std::collections::BTreeSet::new();
-    for line in text.lines() {
+    for line in text.lines().skip(1) {
         assert!(json::is_valid(line), "invalid JSONL line: {line}");
-        // Fixed field order: every line opens with the timestamp.
+        // Fixed field order: every record line opens with the timestamp.
         assert!(
             line.starts_with("{\"t_us\":"),
             "line must open with t_us: {line}"

@@ -1,0 +1,875 @@
+//! Per-task lifecycle spans reconstructed from a [`TraceRecord`] stream.
+//!
+//! [`SpanCollector`] is a [`Tracer`]: it can be attached to a running
+//! simulator (online) or fed from a JSONL trace via [`collect_jsonl`]
+//! (offline). Either way it makes a single streaming pass over the
+//! records, keeping O(1) state per task — a [`Phase`] and the running
+//! [`Blame`] totals — and never buffering the record stream itself.
+//!
+//! # Blame accounting
+//!
+//! Every task's wall-clock (sim-time) span from `task_submit` to
+//! `task_finish` is tiled — exactly, in integer microseconds — by seven
+//! segments:
+//!
+//! * **run** — productive execution that counted toward completion;
+//! * **ready_wait** — pending-queue time before a fresh (non-restore)
+//!   placement;
+//! * **dump** — checkpoint dump service time (device busy writing);
+//! * **ckpt_wait** — checkpoint device *queue* time, on both the dump
+//!   side (evict → device start) and the restore side (placement →
+//!   device start);
+//! * **restore** — checkpoint restore service time;
+//! * **lost** — intervals whose progress was discarded and must be
+//!   re-executed: execution since the last resume point when a task is
+//!   killed, time burnt by an aborted dump or restore, and previously
+//!   credited run that a fresh restart re-executes after its image is
+//!   lost;
+//! * **suspended** — pending-queue time while holding a checkpoint
+//!   image, waiting to be rescheduled for a restore.
+//!
+//! The conservation invariant `run + ready_wait + dump + ckpt_wait +
+//! restore + lost + suspended == finish - submit` holds by construction
+//! and is hard-asserted at every `task_finish`; the property tests in
+//! `cbp-bench` exercise it across randomized scenarios on both
+//! simulators.
+//!
+//! Two subtleties are worth calling out:
+//!
+//! * The interval between `task_evict(reason="dump")` and the matching
+//!   `dump_done` is split at `start_us` (the device service start the
+//!   `dump_done` record carries) into ckpt_wait and dump. If the dump is
+//!   instead aborted (`task_evict` or a kill arrives first), the whole
+//!   interval *and* the execution since the last resume point become
+//!   lost — an aborted dump saves nothing.
+//! * A `task_schedule` with `restore=false` after the task had
+//!   checkpointed (i.e. its image was lost to a node failure, or a kill
+//!   discarded uncheckpointed progress and no image existed) moves all
+//!   previously credited run to lost: that work will be re-executed. At
+//!   `task_finish`, run therefore equals the task's true service time.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::rc::Rc;
+
+use cbp_telemetry::{JsonlReader, TraceReadError, TraceRecord, Tracer};
+
+/// Priority band, mirroring `cbp_workload::Priority::band` (Google-trace
+/// convention: 0–1 free, 2–8 middle, 9+ production). Redefined here so
+/// the analyzer sits below the workload layer and can consume any trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Band {
+    /// Priorities 0–1: scavenger work, first to be preempted.
+    Free,
+    /// Priorities 2–8.
+    Middle,
+    /// Priorities 9 and above: latency-sensitive production work.
+    Production,
+}
+
+impl Band {
+    /// All bands, in reporting order.
+    pub const ALL: [Band; 3] = [Band::Free, Band::Middle, Band::Production];
+
+    /// The band a scheduler priority falls in.
+    pub fn of_priority(p: u8) -> Band {
+        match p {
+            0..=1 => Band::Free,
+            2..=8 => Band::Middle,
+            _ => Band::Production,
+        }
+    }
+
+    /// Short stable name (used in report JSON and tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Band::Free => "free",
+            Band::Middle => "middle",
+            Band::Production => "production",
+        }
+    }
+
+    /// Inclusive priority range `(min, max)` covered by the band.
+    pub fn priority_range(self) -> (u8, u8) {
+        match self {
+            Band::Free => (0, 1),
+            Band::Middle => (2, 8),
+            Band::Production => (9, 11),
+        }
+    }
+}
+
+/// Response-time decomposition of one task (or an aggregate of tasks);
+/// all fields are integer microseconds of simulated time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Blame {
+    /// Productive execution that counted toward completion.
+    pub run_us: u64,
+    /// Pending-queue time before a fresh (non-restore) placement.
+    pub ready_wait_us: u64,
+    /// Checkpoint dump service time.
+    pub dump_us: u64,
+    /// Checkpoint device queue time (dump and restore sides).
+    pub ckpt_wait_us: u64,
+    /// Checkpoint restore service time.
+    pub restore_us: u64,
+    /// Discarded work re-executed later (kills, aborted dumps/restores,
+    /// lost images).
+    pub lost_us: u64,
+    /// Pending-queue time while holding a checkpoint image.
+    pub suspended_us: u64,
+}
+
+impl Blame {
+    /// Sum of all segments. For a finished task this equals
+    /// `finish - submit` exactly (the conservation invariant).
+    pub fn total_us(&self) -> u64 {
+        self.run_us
+            + self.ready_wait_us
+            + self.dump_us
+            + self.ckpt_wait_us
+            + self.restore_us
+            + self.lost_us
+            + self.suspended_us
+    }
+
+    /// Everything that is not productive run: the preemption penalty.
+    pub fn penalty_us(&self) -> u64 {
+        self.total_us() - self.run_us
+    }
+
+    /// Accumulates another decomposition (for aggregates).
+    pub fn accumulate(&mut self, other: &Blame) {
+        self.run_us += other.run_us;
+        self.ready_wait_us += other.ready_wait_us;
+        self.dump_us += other.dump_us;
+        self.ckpt_wait_us += other.ckpt_wait_us;
+        self.restore_us += other.restore_us;
+        self.lost_us += other.lost_us;
+        self.suspended_us += other.suspended_us;
+    }
+
+    /// `(name, value)` pairs in canonical report order.
+    pub fn components(&self) -> [(&'static str, u64); 7] {
+        [
+            ("run_us", self.run_us),
+            ("ready_wait_us", self.ready_wait_us),
+            ("dump_us", self.dump_us),
+            ("ckpt_wait_us", self.ckpt_wait_us),
+            ("restore_us", self.restore_us),
+            ("lost_us", self.lost_us),
+            ("suspended_us", self.suspended_us),
+        ]
+    }
+}
+
+/// Where a task currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// In the pending queue since `since`. Whether the wait is
+    /// classified ready_wait or suspended is decided retroactively by
+    /// the `restore` flag of the next `task_schedule`.
+    Queued { since: u64 },
+    /// Executing on a node since `since`.
+    Running { since: u64 },
+    /// Evicted for a dump at `evict_at`; `run_len` holds the execution
+    /// since the last resume point, credited as run only if the dump
+    /// completes (an aborted dump loses it).
+    DumpWait { evict_at: u64, run_len: u64 },
+    /// Placed for a restore at `sched_at`, waiting for the image read.
+    Restoring { sched_at: u64 },
+    /// Finished.
+    Done,
+}
+
+/// The reconstructed lifecycle of one task.
+#[derive(Debug, Clone)]
+pub struct TaskSpan {
+    /// Task id (simulator-scoped; YARN packs `(app << 32) | task`).
+    pub task: u64,
+    /// Owning job id.
+    pub job: u64,
+    /// Scheduler priority.
+    pub priority: u8,
+    /// Submission time (µs sim time).
+    pub submit_us: u64,
+    /// Completion time, if the task finished within the trace.
+    pub finish_us: Option<u64>,
+    /// Response-time decomposition.
+    pub blame: Blame,
+    /// `task_evict` records seen (any reason).
+    pub evictions: u32,
+    /// Evictions with reason `"kill"` or `"node-fail"`.
+    pub kills: u32,
+    /// Completed checkpoint dumps.
+    pub dumps: u32,
+    /// Completed checkpoint restores.
+    pub restores: u32,
+    /// Dump fallbacks (capacity, grace-expired, node-fail, ...).
+    pub fallbacks: u32,
+    /// Records that arrived in a phase where they make no sense. Tasks
+    /// with `malformed > 0` are excluded from aggregation.
+    pub malformed: u32,
+    current: Phase,
+}
+
+impl TaskSpan {
+    /// The band the task's priority falls in.
+    pub fn band(&self) -> Band {
+        Band::of_priority(self.priority)
+    }
+
+    /// Response time, if finished.
+    pub fn response_us(&self) -> Option<u64> {
+        self.finish_us.map(|f| f - self.submit_us)
+    }
+
+    /// Whether the task ran to completion within the trace.
+    pub fn finished(&self) -> bool {
+        self.finish_us.is_some()
+    }
+}
+
+/// Per-node tallies (service times and eviction counts observed on the
+/// node). Unlike [`Blame`], these do not tile anything: they attribute
+/// activity to the node where it happened.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeStats {
+    /// `task_evict` records on this node (any reason).
+    pub evictions: u32,
+    /// Evictions with reason `"kill"` or `"node-fail"`.
+    pub kills: u32,
+    /// Completed dumps on this node.
+    pub dumps: u32,
+    /// Dump service time on this node (µs).
+    pub dump_us: u64,
+    /// Completed restores on this node.
+    pub restores: u32,
+    /// Restore service time on this node (µs).
+    pub restore_us: u64,
+    /// Work discarded by evictions on this node (µs).
+    pub lost_us: u64,
+    /// Tasks that finished on this node.
+    pub finishes: u32,
+}
+
+/// Streaming span reconstruction over a trace record stream.
+///
+/// Feed it records via the [`Tracer`] impl (online) or [`collect_jsonl`]
+/// (offline), then hand it to [`crate::ObsReport::build`].
+#[derive(Debug, Default)]
+pub struct SpanCollector {
+    tasks: BTreeMap<u64, TaskSpan>,
+    nodes: BTreeMap<u32, NodeStats>,
+    records: u64,
+    malformed: u64,
+    strict: bool,
+}
+
+impl SpanCollector {
+    /// A strict collector: malformed transitions panic with context.
+    /// Use for simulator-emitted streams, which must be well-formed.
+    pub fn new() -> Self {
+        SpanCollector {
+            strict: true,
+            ..SpanCollector::default()
+        }
+    }
+
+    /// A lenient collector: malformed transitions are counted on the
+    /// task (excluding it from aggregation) instead of panicking. Use
+    /// for traces of unknown provenance.
+    pub fn lenient() -> Self {
+        SpanCollector::default()
+    }
+
+    /// Records consumed so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Malformed records seen so far (always 0 in strict mode).
+    pub fn malformed(&self) -> u64 {
+        self.malformed
+    }
+
+    /// The reconstructed spans, keyed by task id.
+    pub fn tasks(&self) -> &BTreeMap<u64, TaskSpan> {
+        &self.tasks
+    }
+
+    /// Per-node tallies, keyed by node id.
+    pub fn nodes(&self) -> &BTreeMap<u32, NodeStats> {
+        &self.nodes
+    }
+
+    fn bad(&mut self, task: u64, what: &str, rec: &TraceRecord) {
+        if self.strict {
+            panic!("malformed trace: {what} for task {task}: {rec:?}");
+        }
+        self.malformed += 1;
+        if let Some(span) = self.tasks.get_mut(&task) {
+            span.malformed += 1;
+        }
+    }
+
+    fn node(&mut self, node: u32) -> &mut NodeStats {
+        self.nodes.entry(node).or_default()
+    }
+
+    /// Consumes one record at sim time `t` (µs). This is the whole state
+    /// machine; [`Tracer::record`] forwards here.
+    pub fn observe(&mut self, t: u64, rec: &TraceRecord) {
+        self.records += 1;
+        match *rec {
+            TraceRecord::TaskSubmit {
+                task,
+                job,
+                priority,
+            } => {
+                if self.tasks.contains_key(&task) {
+                    self.bad(task, "duplicate task_submit", rec);
+                    return;
+                }
+                self.tasks.insert(
+                    task,
+                    TaskSpan {
+                        task,
+                        job,
+                        priority,
+                        submit_us: t,
+                        finish_us: None,
+                        blame: Blame::default(),
+                        evictions: 0,
+                        kills: 0,
+                        dumps: 0,
+                        restores: 0,
+                        fallbacks: 0,
+                        malformed: 0,
+                        current: Phase::Queued { since: t },
+                    },
+                );
+            }
+            TraceRecord::TaskSchedule { task, restore, .. } => {
+                let Some(span) = self.tasks.get_mut(&task) else {
+                    self.bad(task, "task_schedule before task_submit", rec);
+                    return;
+                };
+                match span.current {
+                    Phase::Queued { since } => {
+                        let wait = t - since;
+                        if restore {
+                            span.blame.suspended_us += wait;
+                            span.current = Phase::Restoring { sched_at: t };
+                        } else {
+                            span.blame.ready_wait_us += wait;
+                            // A fresh start re-executes everything credited
+                            // so far (the image, if any, was unusable).
+                            span.blame.lost_us += span.blame.run_us;
+                            span.blame.run_us = 0;
+                            span.current = Phase::Running { since: t };
+                        }
+                    }
+                    _ => self.bad(task, "task_schedule while not queued", rec),
+                }
+            }
+            TraceRecord::TaskFinish { task, node } => {
+                let Some(span) = self.tasks.get_mut(&task) else {
+                    self.bad(task, "task_finish before task_submit", rec);
+                    return;
+                };
+                match span.current {
+                    Phase::Running { since } => {
+                        span.blame.run_us += t - since;
+                        span.finish_us = Some(t);
+                        span.current = Phase::Done;
+                        assert_eq!(
+                            span.blame.total_us(),
+                            t - span.submit_us,
+                            "blame conservation violated for task {task}: \
+                             segments {:?} must tile submit {} .. finish {t}",
+                            span.blame,
+                            span.submit_us,
+                        );
+                        self.node(node).finishes += 1;
+                    }
+                    _ => self.bad(task, "task_finish while not running", rec),
+                }
+            }
+            TraceRecord::TaskEvict { task, node, reason } => {
+                let Some(span) = self.tasks.get_mut(&task) else {
+                    self.bad(task, "task_evict before task_submit", rec);
+                    return;
+                };
+                span.evictions += 1;
+                let hard = reason != "dump";
+                if hard {
+                    span.kills += 1;
+                }
+                let lost = match span.current {
+                    Phase::Running { since } if hard => Some(t - since),
+                    Phase::Running { since } => {
+                        // reason == "dump": execution since the resume
+                        // point is held back until the dump completes.
+                        span.current = Phase::DumpWait {
+                            evict_at: t,
+                            run_len: t - since,
+                        };
+                        None
+                    }
+                    Phase::DumpWait { evict_at, run_len } => {
+                        // The in-flight dump was aborted: the held-back
+                        // run and the dump time bought nothing.
+                        Some(run_len + (t - evict_at))
+                    }
+                    Phase::Restoring { sched_at } => Some(t - sched_at),
+                    Phase::Queued { .. } | Phase::Done => {
+                        self.bad(task, "task_evict while not placed", rec);
+                        return;
+                    }
+                };
+                if let Some(lost) = lost {
+                    let span = self.tasks.get_mut(&task).expect("present above");
+                    span.blame.lost_us += lost;
+                    span.current = Phase::Queued { since: t };
+                    let ns = self.node(node);
+                    ns.lost_us += lost;
+                }
+                let ns = self.node(node);
+                ns.evictions += 1;
+                if hard {
+                    ns.kills += 1;
+                }
+            }
+            TraceRecord::DumpDone {
+                task,
+                node,
+                start_us,
+            } => {
+                let Some(span) = self.tasks.get_mut(&task) else {
+                    self.bad(task, "dump_done before task_submit", rec);
+                    return;
+                };
+                match span.current {
+                    Phase::DumpWait { evict_at, run_len } => {
+                        // Split evict..done at the device service start.
+                        let boundary = start_us.clamp(evict_at, t);
+                        span.blame.run_us += run_len;
+                        span.blame.ckpt_wait_us += boundary - evict_at;
+                        span.blame.dump_us += t - boundary;
+                        span.dumps += 1;
+                        span.current = Phase::Queued { since: t };
+                        let ns = self.node(node);
+                        ns.dumps += 1;
+                        ns.dump_us += t - boundary;
+                    }
+                    _ => self.bad(task, "dump_done without pending dump", rec),
+                }
+            }
+            TraceRecord::RestoreDone {
+                task,
+                node,
+                start_us,
+            } => {
+                let Some(span) = self.tasks.get_mut(&task) else {
+                    self.bad(task, "restore_done before task_submit", rec);
+                    return;
+                };
+                match span.current {
+                    Phase::Restoring { sched_at } => {
+                        let boundary = start_us.clamp(sched_at, t);
+                        span.blame.ckpt_wait_us += boundary - sched_at;
+                        span.blame.restore_us += t - boundary;
+                        span.restores += 1;
+                        span.current = Phase::Running { since: t };
+                        let ns = self.node(node);
+                        ns.restores += 1;
+                        ns.restore_us += t - boundary;
+                    }
+                    _ => self.bad(task, "restore_done without pending restore", rec),
+                }
+            }
+            TraceRecord::DumpFallback { task, .. } => {
+                // Always followed by the kill's task_evict (or, on node
+                // failure, preceded by it); only counted here.
+                if let Some(span) = self.tasks.get_mut(&task) {
+                    span.fallbacks += 1;
+                }
+            }
+            // Bookkeeping-only records: the span machine does not need
+            // them (dump/restore spans close on the *_done records, and
+            // node-failure evictions arrive as task_evict).
+            TraceRecord::DumpStart { .. }
+            | TraceRecord::RestoreStart { .. }
+            | TraceRecord::PreemptDecision { .. }
+            | TraceRecord::NodeFail { .. }
+            | TraceRecord::NodeRecover { .. }
+            | TraceRecord::QueueDepth { .. } => {}
+        }
+    }
+}
+
+impl Tracer for SpanCollector {
+    fn record(&mut self, t_us: u64, rec: &TraceRecord) {
+        self.observe(t_us, rec);
+    }
+}
+
+/// A cloneable handle to a [`SpanCollector`], so the collector can be
+/// handed to a simulator as a `Box<dyn Tracer>` (possibly inside a
+/// `MultiTracer`) while the caller keeps access to the results.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCollector(Rc<RefCell<SpanCollector>>);
+
+impl SharedCollector {
+    /// Wraps a fresh strict collector.
+    pub fn new() -> Self {
+        SharedCollector(Rc::new(RefCell::new(SpanCollector::new())))
+    }
+
+    /// Takes the collector out, leaving an empty one behind. Call after
+    /// the simulation finished.
+    pub fn take(&self) -> SpanCollector {
+        std::mem::take(&mut self.0.borrow_mut())
+    }
+}
+
+impl Tracer for SharedCollector {
+    fn record(&mut self, t_us: u64, rec: &TraceRecord) {
+        self.0.borrow_mut().observe(t_us, rec);
+    }
+}
+
+/// Replays a JSONL trace (as written by `cbp_telemetry::JsonlTracer`)
+/// into a lenient [`SpanCollector`].
+pub fn collect_jsonl<R: BufRead>(input: R) -> Result<SpanCollector, TraceReadError> {
+    let mut collector = SpanCollector::lenient();
+    for item in JsonlReader::new(input)? {
+        let (t_us, rec) = item?;
+        collector.observe(t_us, &rec);
+    }
+    Ok(collector)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(collector: &mut SpanCollector, stream: &[(u64, TraceRecord)]) {
+        for (t, rec) in stream {
+            collector.observe(*t, rec);
+        }
+    }
+
+    fn submit(task: u64) -> TraceRecord {
+        TraceRecord::TaskSubmit {
+            task,
+            job: 1,
+            priority: 0,
+        }
+    }
+
+    fn sched(task: u64, restore: bool) -> TraceRecord {
+        TraceRecord::TaskSchedule {
+            task,
+            node: 0,
+            restore,
+        }
+    }
+
+    fn evict(task: u64, reason: &'static str) -> TraceRecord {
+        TraceRecord::TaskEvict {
+            task,
+            node: 0,
+            reason,
+        }
+    }
+
+    #[test]
+    fn uninterrupted_task_is_pure_run_and_wait() {
+        let mut c = SpanCollector::new();
+        feed(
+            &mut c,
+            &[
+                (100, submit(1)),
+                (150, sched(1, false)),
+                (1_150, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        let span = &c.tasks()[&1];
+        assert!(span.finished());
+        assert_eq!(span.blame.ready_wait_us, 50);
+        assert_eq!(span.blame.run_us, 1_000);
+        assert_eq!(span.blame.penalty_us(), 50);
+        assert_eq!(span.response_us(), Some(1_050));
+        assert_eq!(c.nodes()[&0].finishes, 1);
+    }
+
+    #[test]
+    fn dump_restore_cycle_tiles_exactly() {
+        let mut c = SpanCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (10, sched(1, false)),
+                // Ran 90, evicted for a dump; device starts at 110,
+                // finishes at 140: ckpt_wait 10, dump 30.
+                (100, evict(1, "dump")),
+                (
+                    140,
+                    TraceRecord::DumpDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 110,
+                    },
+                ),
+                // Suspended 60, restore placed at 200; device starts at
+                // 205, done at 230: ckpt_wait 5, restore 25.
+                (200, sched(1, true)),
+                (
+                    230,
+                    TraceRecord::RestoreDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 205,
+                    },
+                ),
+                (300, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        let b = c.tasks()[&1].blame;
+        assert_eq!(b.ready_wait_us, 10);
+        assert_eq!(b.run_us, 90 + 70);
+        assert_eq!(b.ckpt_wait_us, 10 + 5);
+        assert_eq!(b.dump_us, 30);
+        assert_eq!(b.suspended_us, 60);
+        assert_eq!(b.restore_us, 25);
+        assert_eq!(b.lost_us, 0);
+        assert_eq!(b.total_us(), 300);
+        assert_eq!(c.tasks()[&1].dumps, 1);
+        assert_eq!(c.tasks()[&1].restores, 1);
+    }
+
+    #[test]
+    fn kill_loses_progress_since_resume_point() {
+        let mut c = SpanCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (0, sched(1, false)),
+                (80, evict(1, "kill")),
+                (100, sched(1, false)),
+                (250, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        let b = c.tasks()[&1].blame;
+        assert_eq!(b.lost_us, 80);
+        assert_eq!(b.ready_wait_us, 20);
+        assert_eq!(b.run_us, 150);
+        assert_eq!(b.total_us(), 250);
+        assert_eq!(c.tasks()[&1].kills, 1);
+        assert_eq!(c.nodes()[&0].lost_us, 80);
+    }
+
+    #[test]
+    fn aborted_dump_loses_held_back_run() {
+        let mut c = SpanCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (0, sched(1, false)),
+                (50, evict(1, "dump")),
+                // Grace expires: the dump is abandoned and the task
+                // killed. Run 50 and dump-wait 30 are both lost.
+                (
+                    80,
+                    TraceRecord::DumpFallback {
+                        task: 1,
+                        node: 0,
+                        reason: "grace-expired",
+                    },
+                ),
+                (80, evict(1, "kill")),
+                (90, sched(1, false)),
+                (190, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        let span = &c.tasks()[&1];
+        assert_eq!(span.blame.lost_us, 80);
+        assert_eq!(span.blame.dump_us, 0);
+        assert_eq!(span.blame.run_us, 100);
+        assert_eq!(span.blame.total_us(), 190);
+        assert_eq!(span.fallbacks, 1);
+        assert_eq!(span.evictions, 2);
+        assert_eq!(span.dumps, 0);
+    }
+
+    #[test]
+    fn lost_image_reclassifies_saved_run() {
+        let mut c = SpanCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (0, sched(1, false)),
+                (60, evict(1, "dump")),
+                (
+                    70,
+                    TraceRecord::DumpDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 60,
+                    },
+                ),
+                // The image dies with its node: the next placement is a
+                // fresh start, so the 60 µs credited at dump_done are
+                // re-executed.
+                (100, sched(1, false)),
+                (260, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        let b = c.tasks()[&1].blame;
+        assert_eq!(b.lost_us, 60);
+        assert_eq!(b.run_us, 160);
+        assert_eq!(b.dump_us, 10);
+        assert_eq!(b.ready_wait_us, 30);
+        assert_eq!(b.total_us(), 260);
+    }
+
+    #[test]
+    fn restore_interrupted_by_failure_is_lost() {
+        let mut c = SpanCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (0, sched(1, false)),
+                (40, evict(1, "dump")),
+                (
+                    50,
+                    TraceRecord::DumpDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 40,
+                    },
+                ),
+                (60, sched(1, true)),
+                // Node fails mid-restore.
+                (75, evict(1, "node-fail")),
+                // The image survived elsewhere; restore again.
+                (90, sched(1, true)),
+                (
+                    100,
+                    TraceRecord::RestoreDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 92,
+                    },
+                ),
+                (200, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        let b = c.tasks()[&1].blame;
+        assert_eq!(b.run_us, 40 + 100);
+        assert_eq!(b.lost_us, 15, "aborted restore time");
+        assert_eq!(b.suspended_us, 10 + 15);
+        assert_eq!(b.ckpt_wait_us, 2);
+        assert_eq!(b.restore_us, 8);
+        assert_eq!(b.dump_us, 10);
+        assert_eq!(b.total_us(), 200);
+        assert_eq!(c.tasks()[&1].kills, 1, "node-fail counts as a kill");
+    }
+
+    #[test]
+    fn start_us_outside_window_is_clamped() {
+        let mut c = SpanCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (0, sched(1, false)),
+                (10, evict(1, "dump")),
+                (
+                    30,
+                    TraceRecord::DumpDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 5, // before the evict: clamp to 10
+                    },
+                ),
+                (40, sched(1, true)),
+                (
+                    60,
+                    TraceRecord::RestoreDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 99, // after the done: clamp to 60
+                    },
+                ),
+                (100, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        let b = c.tasks()[&1].blame;
+        assert_eq!(b.dump_us, 20);
+        // dump clamp contributes 0, restore clamp contributes 20.
+        assert_eq!(b.ckpt_wait_us, 20);
+        assert_eq!(b.restore_us, 0);
+        assert_eq!(b.total_us(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed trace")]
+    fn strict_mode_panics_on_wrong_phase() {
+        let mut c = SpanCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (5, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+    }
+
+    #[test]
+    fn lenient_mode_counts_malformed_and_excludes() {
+        let mut c = SpanCollector::lenient();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (5, TraceRecord::TaskFinish { task: 1, node: 0 }),
+                (7, evict(9, "kill")), // unknown task
+            ],
+        );
+        assert_eq!(c.malformed(), 2);
+        assert_eq!(c.tasks()[&1].malformed, 1);
+        assert!(!c.tasks()[&1].finished());
+    }
+
+    #[test]
+    fn shared_collector_round_trips() {
+        let shared = SharedCollector::new();
+        let mut tracer: Box<dyn Tracer> = Box::new(shared.clone());
+        tracer.record(0, &submit(3));
+        tracer.record(4, &sched(3, false));
+        tracer.record(10, &TraceRecord::TaskFinish { task: 3, node: 2 });
+        tracer.finish();
+        let collector = shared.take();
+        assert_eq!(collector.records(), 3);
+        assert_eq!(collector.tasks()[&3].blame.run_us, 6);
+    }
+
+    #[test]
+    fn bands_cover_all_priorities() {
+        for p in 0..=11u8 {
+            let b = Band::of_priority(p);
+            let (lo, hi) = b.priority_range();
+            assert!(p >= lo && p <= hi, "priority {p} in {b:?}");
+        }
+        assert_eq!(Band::of_priority(200), Band::Production);
+    }
+}

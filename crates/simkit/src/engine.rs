@@ -114,7 +114,7 @@ pub fn run_until_observed<S: Simulation>(
         now = t;
         sim.handle(now, ev, queue);
         events += 1;
-        if events % OBSERVE_EVERY == 0 {
+        if events.is_multiple_of(OBSERVE_EVERY) {
             observer(&RunStats {
                 events,
                 now,

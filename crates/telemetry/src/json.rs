@@ -1,8 +1,12 @@
-//! Minimal, deterministic JSON emission (and a small validator for tests).
+//! Minimal, deterministic JSON emission, a strict validator, and a small
+//! tree parser.
 //!
 //! `serde_json` would work, but hand-rolling keeps this crate dependency
 //! free and guarantees byte-stable output: fixed field order, sorted map
-//! keys, and Rust's shortest-roundtrip float formatting.
+//! keys, and Rust's shortest-roundtrip float formatting. The [`parse`]
+//! side exists so trace consumers ([`crate::reader::JsonlReader`], the
+//! `cbp-obs` report differ) can read our own output back without pulling
+//! in a JSON dependency either.
 
 use std::fmt::Write as _;
 
@@ -255,6 +259,221 @@ impl Parser<'_> {
     }
 }
 
+/// A parsed JSON value.
+///
+/// Integers that fit `u64` are kept exact ([`Value::U64`]) rather than
+/// routed through `f64`, because trace task ids pack two 32-bit fields
+/// into one `u64` and would lose precision above 2^53.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits `u64`, kept exact.
+    U64(u64),
+    /// Any other number.
+    F64(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The exact integer value, if this is a [`Value::U64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64` (lossy above 2^53 for integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(x) => Some(*x as f64),
+            Value::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The object fields (in document order).
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `s` as exactly one JSON value (with nothing but whitespace
+/// around it). Returns `None` on any syntax error — the strictness matches
+/// [`is_valid`].
+pub fn parse(s: &str) -> Option<Value> {
+    let b = s.as_bytes();
+    let mut p = TreeParser {
+        inner: Parser { b, i: 0 },
+        src: s,
+    };
+    p.inner.skip_ws();
+    let v = p.value()?;
+    p.inner.skip_ws();
+    (p.inner.i == b.len()).then_some(v)
+}
+
+struct TreeParser<'a> {
+    inner: Parser<'a>,
+    src: &'a str,
+}
+
+impl TreeParser<'_> {
+    fn value(&mut self) -> Option<Value> {
+        match self.inner.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Value::Str),
+            b't' => self.inner.lit("true").then_some(Value::Bool(true)),
+            b'f' => self.inner.lit("false").then_some(Value::Bool(false)),
+            b'n' => self.inner.lit("null").then_some(Value::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => None,
+        }
+    }
+
+    fn object(&mut self) -> Option<Value> {
+        if !self.inner.eat(b'{') {
+            return None;
+        }
+        let mut fields = Vec::new();
+        self.inner.skip_ws();
+        if self.inner.eat(b'}') {
+            return Some(Value::Object(fields));
+        }
+        loop {
+            self.inner.skip_ws();
+            let key = self.string()?;
+            self.inner.skip_ws();
+            if !self.inner.eat(b':') {
+                return None;
+            }
+            self.inner.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.inner.skip_ws();
+            if self.inner.eat(b',') {
+                continue;
+            }
+            return self.inner.eat(b'}').then_some(Value::Object(fields));
+        }
+    }
+
+    fn array(&mut self) -> Option<Value> {
+        if !self.inner.eat(b'[') {
+            return None;
+        }
+        let mut items = Vec::new();
+        self.inner.skip_ws();
+        if self.inner.eat(b']') {
+            return Some(Value::Array(items));
+        }
+        loop {
+            self.inner.skip_ws();
+            items.push(self.value()?);
+            self.inner.skip_ws();
+            if self.inner.eat(b',') {
+                continue;
+            }
+            return self.inner.eat(b']').then_some(Value::Array(items));
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let start = self.inner.i;
+        if !self.inner.string() {
+            return None;
+        }
+        // Re-walk the validated span (minus the surrounding quotes),
+        // resolving escapes.
+        let raw = &self.src[start + 1..self.inner.i - 1];
+        let mut out = String::with_capacity(raw.len());
+        let mut chars = raw.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'b' => out.push('\u{8}'),
+                'f' => out.push('\u{c}'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    // Surrogate pairs are not produced by our own emitter;
+                    // map lone surrogates to the replacement character.
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    fn number(&mut self) -> Option<Value> {
+        let start = self.inner.i;
+        if !self.inner.number() {
+            return None;
+        }
+        let text = &self.src[start..self.inner.i];
+        if !text.contains(['.', 'e', 'E', '-']) {
+            if let Ok(x) = text.parse::<u64>() {
+                return Some(Value::U64(x));
+            }
+        }
+        text.parse::<f64>().ok().map(Value::F64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,5 +544,44 @@ mod tests {
         let mut s = String::new();
         push_u64_array(&mut s, &[7, 8]);
         assert_eq!(s, "[7,8]");
+    }
+
+    #[test]
+    fn parse_round_trips_scalars() {
+        assert_eq!(parse("null"), Some(Value::Null));
+        assert_eq!(parse("true"), Some(Value::Bool(true)));
+        assert_eq!(parse(" 42 "), Some(Value::U64(42)));
+        assert_eq!(parse("-1"), Some(Value::F64(-1.0)));
+        assert_eq!(parse("2.5"), Some(Value::F64(2.5)));
+        assert_eq!(parse("\"a\\nb\""), Some(Value::Str("a\nb".into())));
+        // Large u64s (packed task ids) survive exactly.
+        let big = (7u64 << 32) | 3;
+        assert_eq!(parse(&big.to_string()), Some(Value::U64(big)));
+        assert_eq!(parse(&u64::MAX.to_string()), Some(Value::U64(u64::MAX)));
+    }
+
+    #[test]
+    fn parse_objects_and_arrays() {
+        let v = parse("{\"t_us\":5,\"event\":\"x\",\"ok\":true,\"xs\":[1,2.5]}").unwrap();
+        assert_eq!(v.get("t_us").and_then(Value::as_u64), Some(5));
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        let xs = v.get("xs").and_then(Value::as_array).unwrap();
+        assert_eq!(xs[0].as_f64(), Some(1.0));
+        assert_eq!(xs[1].as_f64(), Some(2.5));
+        assert_eq!(v.as_object().unwrap().len(), 4);
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_what_is_valid_rejects() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "01", "nulla", "[1] [2]"] {
+            assert!(parse(bad).is_none(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn parse_unescapes_unicode() {
+        assert_eq!(parse("\"\\u00e9\\u0041\""), Some(Value::Str("éA".into())));
     }
 }

@@ -43,6 +43,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod reader;
 pub mod timeseries;
 pub mod trace;
 
@@ -50,6 +51,7 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricEntry, MetricValue, MetricsRegistry,
     QuantileSnapshot, StreamingQuantiles,
 };
+pub use reader::{schema_header, JsonlReader, TraceReadError, TRACE_SCHEMA, TRACE_SCHEMA_VERSION};
 pub use timeseries::TimeSeries;
 pub use trace::{
     ChromeTraceTracer, JsonlTracer, MultiTracer, NullTracer, PreemptAction, TraceRecord, Tracer,

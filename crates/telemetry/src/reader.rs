@@ -1,0 +1,458 @@
+//! Reading a [`crate::JsonlTracer`] stream back into [`TraceRecord`]s.
+//!
+//! The JSONL sink opens with a schema header line
+//! (`{"schema":"cbp-trace","version":1}`) so consumers can reject traces
+//! written by an incompatible emitter before mis-parsing thousands of
+//! lines. [`JsonlReader`] checks the header, then yields one
+//! `(t_us, TraceRecord)` per line; the round trip
+//! `write → read → write` is byte-identical (tested).
+
+use std::io::BufRead;
+
+use crate::json::{self, Value};
+use crate::trace::{PreemptAction, TraceRecord};
+
+/// Schema name carried by the JSONL header line.
+pub const TRACE_SCHEMA: &str = "cbp-trace";
+
+/// Current schema version of the JSONL trace format.
+///
+/// Bump whenever a record variant changes shape or meaning (e.g. the
+/// `dump_done.start_us` field moved from submission time to service start
+/// when version 1 was introduced).
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// The exact header line (without trailing newline) the JSONL sink emits.
+pub fn schema_header() -> String {
+    format!("{{\"schema\":\"{TRACE_SCHEMA}\",\"version\":{TRACE_SCHEMA_VERSION}}}")
+}
+
+/// Why reading a trace failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceReadError {
+    /// The underlying reader failed.
+    Io(String),
+    /// The stream is empty or the first line is not a schema header.
+    MissingHeader,
+    /// The header names a different schema or an unsupported version.
+    IncompatibleSchema {
+        /// Schema name found in the header ("?" if absent).
+        schema: String,
+        /// Version found in the header (0 if absent).
+        version: u64,
+    },
+    /// A record line failed to parse.
+    Parse {
+        /// 1-based line number (the header is line 1).
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceReadError::Io(e) => write!(f, "trace read failed: {e}"),
+            TraceReadError::MissingHeader => write!(
+                f,
+                "trace is missing its schema header line (expected {})",
+                schema_header()
+            ),
+            TraceReadError::IncompatibleSchema { schema, version } => write!(
+                f,
+                "incompatible trace schema {schema:?} v{version} \
+                 (this reader understands {TRACE_SCHEMA:?} v{TRACE_SCHEMA_VERSION})"
+            ),
+            TraceReadError::Parse { line, msg } => {
+                write!(f, "trace line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {}
+
+/// Maps a dynamic string onto the `&'static str` vocabulary the emitters
+/// use, so a parsed [`TraceRecord`] is field-for-field identical to the
+/// one that was written.
+///
+/// Strings outside the known vocabulary are leaked (they must live for
+/// `'static`); an analyzer reads each distinct reason/device name once, so
+/// the leak is bounded by the emitter's vocabulary size.
+fn intern(s: &str) -> &'static str {
+    const VOCAB: &[&str] = &[
+        // preemption actions / policies / reasons
+        "kill",
+        "checkpoint",
+        "adaptive",
+        "wait",
+        "policy",
+        "progress-at-risk",
+        "overhead-exceeds-risk",
+        // eviction reasons
+        "dump",
+        "node-fail",
+        // fallback reasons
+        "no-capacity",
+        "storage-full",
+        "nvram-full",
+        "grace-expired",
+        // devices
+        "hdd",
+        "ssd",
+        "nvm",
+        "nvram",
+    ];
+    for v in VOCAB {
+        if *v == s {
+            return v;
+        }
+    }
+    Box::leak(s.to_owned().into_boxed_str())
+}
+
+/// Streaming reader over a JSONL trace: validates the schema header at
+/// construction, then iterates `(t_us, TraceRecord)` pairs.
+///
+/// ```
+/// use cbp_telemetry::{JsonlReader, JsonlTracer, TraceRecord, Tracer};
+/// let mut w = JsonlTracer::new(Vec::new());
+/// w.record(5, &TraceRecord::NodeFail { node: 2 });
+/// w.finish();
+/// let bytes = w.into_inner();
+/// let mut r = JsonlReader::new(bytes.as_slice()).unwrap();
+/// let (t, rec) = r.next().unwrap().unwrap();
+/// assert_eq!(t, 5);
+/// assert!(matches!(rec, TraceRecord::NodeFail { node: 2 }));
+/// ```
+#[derive(Debug)]
+pub struct JsonlReader<R: BufRead> {
+    lines: std::io::Lines<R>,
+    line_no: usize,
+}
+
+impl<R: BufRead> JsonlReader<R> {
+    /// Wraps `input`, consuming and validating the schema header line.
+    pub fn new(input: R) -> Result<Self, TraceReadError> {
+        let mut lines = input.lines();
+        let header = match lines.next() {
+            None => return Err(TraceReadError::MissingHeader),
+            Some(Err(e)) => return Err(TraceReadError::Io(e.to_string())),
+            Some(Ok(line)) => line,
+        };
+        let v = json::parse(&header).ok_or(TraceReadError::MissingHeader)?;
+        let schema = v.get("schema").and_then(Value::as_str).unwrap_or("?");
+        let version = v.get("version").and_then(Value::as_u64).unwrap_or(0);
+        if schema != TRACE_SCHEMA || version != TRACE_SCHEMA_VERSION {
+            return Err(TraceReadError::IncompatibleSchema {
+                schema: schema.to_owned(),
+                version,
+            });
+        }
+        Ok(JsonlReader { lines, line_no: 1 })
+    }
+
+    fn parse_line(&self, line: &str) -> Result<(u64, TraceRecord), TraceReadError> {
+        let err = |msg: String| TraceReadError::Parse {
+            line: self.line_no,
+            msg,
+        };
+        let v = json::parse(line).ok_or_else(|| err(format!("invalid JSON: {line}")))?;
+        let t_us = v
+            .get("t_us")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| err("missing t_us".into()))?;
+        let event = v
+            .get("event")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("missing event".into()))?;
+        let u = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| err(format!("{event}: missing u64 field {key:?}")))
+        };
+        let node32 = |key: &str| {
+            u(key).and_then(|x| {
+                u32::try_from(x).map_err(|_| err(format!("{event}: {key} exceeds u32")))
+            })
+        };
+        let b = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_bool)
+                .ok_or_else(|| err(format!("{event}: missing bool field {key:?}")))
+        };
+        let s = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(intern)
+                .ok_or_else(|| err(format!("{event}: missing string field {key:?}")))
+        };
+        let rec = match event {
+            "task_submit" => TraceRecord::TaskSubmit {
+                task: u("task")?,
+                job: u("job")?,
+                priority: u("priority")?.min(u8::MAX as u64) as u8,
+            },
+            "task_schedule" => TraceRecord::TaskSchedule {
+                task: u("task")?,
+                node: node32("node")?,
+                restore: b("restore")?,
+            },
+            "task_finish" => TraceRecord::TaskFinish {
+                task: u("task")?,
+                node: node32("node")?,
+            },
+            "task_evict" => TraceRecord::TaskEvict {
+                task: u("task")?,
+                node: node32("node")?,
+                reason: s("reason")?,
+            },
+            "preempt_decision" => TraceRecord::PreemptDecision {
+                victim: u("victim")?,
+                node: node32("node")?,
+                action: match s("action")? {
+                    "kill" => PreemptAction::Kill,
+                    "checkpoint" => PreemptAction::Checkpoint,
+                    other => return Err(err(format!("unknown preempt action {other:?}"))),
+                },
+                policy: s("policy")?,
+                reason: s("reason")?,
+            },
+            "dump_start" => TraceRecord::DumpStart {
+                task: u("task")?,
+                node: node32("node")?,
+                device: s("device")?,
+                bytes: u("bytes")?,
+                incremental: b("incremental")?,
+            },
+            "dump_done" => TraceRecord::DumpDone {
+                task: u("task")?,
+                node: node32("node")?,
+                start_us: u("start_us")?,
+            },
+            "dump_fallback" => TraceRecord::DumpFallback {
+                task: u("task")?,
+                node: node32("node")?,
+                reason: s("reason")?,
+            },
+            "restore_start" => TraceRecord::RestoreStart {
+                task: u("task")?,
+                node: node32("node")?,
+                origin: node32("origin")?,
+                device: s("device")?,
+                bytes: u("bytes")?,
+                remote: b("remote")?,
+            },
+            "restore_done" => TraceRecord::RestoreDone {
+                task: u("task")?,
+                node: node32("node")?,
+                start_us: u("start_us")?,
+            },
+            "node_fail" => TraceRecord::NodeFail {
+                node: node32("node")?,
+            },
+            "node_recover" => TraceRecord::NodeRecover {
+                node: node32("node")?,
+            },
+            "queue_depth" => TraceRecord::QueueDepth {
+                pending: u("pending")?,
+            },
+            other => return Err(err(format!("unknown event {other:?}"))),
+        };
+        Ok((t_us, rec))
+    }
+}
+
+impl<R: BufRead> Iterator for JsonlReader<R> {
+    type Item = Result<(u64, TraceRecord), TraceReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(e) => return Some(Err(TraceReadError::Io(e.to_string()))),
+            };
+            self.line_no += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Some(self.parse_line(&line));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{JsonlTracer, Tracer};
+
+    fn sample_stream() -> Vec<(u64, TraceRecord)> {
+        vec![
+            (
+                0,
+                TraceRecord::TaskSubmit {
+                    task: (9 << 32) | 1, // packed YARN-style id above 2^32
+                    job: 9,
+                    priority: 11,
+                },
+            ),
+            (
+                3,
+                TraceRecord::TaskSchedule {
+                    task: (9 << 32) | 1,
+                    node: 2,
+                    restore: false,
+                },
+            ),
+            (
+                8,
+                TraceRecord::PreemptDecision {
+                    victim: (9 << 32) | 1,
+                    node: 2,
+                    action: PreemptAction::Checkpoint,
+                    policy: "adaptive",
+                    reason: "progress-at-risk",
+                },
+            ),
+            (
+                8,
+                TraceRecord::DumpStart {
+                    task: (9 << 32) | 1,
+                    node: 2,
+                    device: "hdd",
+                    bytes: 1 << 30,
+                    incremental: true,
+                },
+            ),
+            (
+                8,
+                TraceRecord::TaskEvict {
+                    task: (9 << 32) | 1,
+                    node: 2,
+                    reason: "dump",
+                },
+            ),
+            (
+                20,
+                TraceRecord::DumpDone {
+                    task: (9 << 32) | 1,
+                    node: 2,
+                    start_us: 10,
+                },
+            ),
+            (
+                25,
+                TraceRecord::RestoreStart {
+                    task: (9 << 32) | 1,
+                    node: 4,
+                    origin: 2,
+                    device: "hdd",
+                    bytes: 1 << 30,
+                    remote: true,
+                },
+            ),
+            (
+                40,
+                TraceRecord::RestoreDone {
+                    task: (9 << 32) | 1,
+                    node: 4,
+                    start_us: 30,
+                },
+            ),
+            (
+                41,
+                TraceRecord::DumpFallback {
+                    task: 7,
+                    node: 1,
+                    reason: "grace-expired",
+                },
+            ),
+            (42, TraceRecord::NodeFail { node: 1 }),
+            (43, TraceRecord::NodeRecover { node: 1 }),
+            (44, TraceRecord::QueueDepth { pending: 12 }),
+            (
+                50,
+                TraceRecord::TaskFinish {
+                    task: (9 << 32) | 1,
+                    node: 4,
+                },
+            ),
+        ]
+    }
+
+    fn write(stream: &[(u64, TraceRecord)]) -> Vec<u8> {
+        let mut t = JsonlTracer::new(Vec::new());
+        for (ts, rec) in stream {
+            t.record(*ts, rec);
+        }
+        t.finish();
+        t.into_inner()
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let first = write(&sample_stream());
+        let read: Vec<(u64, TraceRecord)> = JsonlReader::new(first.as_slice())
+            .expect("valid header")
+            .map(|r| r.expect("valid line"))
+            .collect();
+        assert_eq!(read.len(), sample_stream().len());
+        let second = write(&read);
+        assert_eq!(first, second, "write → read → write must be byte-identical");
+    }
+
+    #[test]
+    fn header_is_first_line_and_valid_json() {
+        let bytes = write(&[]);
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().next(), Some(schema_header().as_str()));
+        assert!(crate::json::is_valid(&schema_header()));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let no_header = b"{\"t_us\":0,\"event\":\"node_fail\",\"node\":0}\n";
+        match JsonlReader::new(&no_header[..]) {
+            Err(TraceReadError::IncompatibleSchema { .. }) | Err(TraceReadError::MissingHeader) => {
+            }
+            other => panic!("expected header rejection, got {other:?}"),
+        }
+        assert!(matches!(
+            JsonlReader::new(&b""[..]),
+            Err(TraceReadError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let trace = "{\"schema\":\"cbp-trace\",\"version\":999}\n";
+        match JsonlReader::new(trace.as_bytes()) {
+            Err(TraceReadError::IncompatibleSchema { schema, version }) => {
+                assert_eq!(schema, "cbp-trace");
+                assert_eq!(version, 999);
+            }
+            other => panic!("expected version rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let trace = format!("{}\n{{\"t_us\":1,\"event\":\"bogus\"}}\n", schema_header());
+        let mut r = JsonlReader::new(trace.as_bytes()).unwrap();
+        match r.next() {
+            Some(Err(TraceReadError::Parse { line, msg })) => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("bogus"), "msg: {msg}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interning_restores_static_vocabulary() {
+        assert_eq!(intern("kill"), "kill");
+        assert_eq!(intern("grace-expired"), "grace-expired");
+        assert_eq!(intern("something-new"), "something-new");
+    }
+}

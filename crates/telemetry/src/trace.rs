@@ -364,16 +364,25 @@ impl Tracer for NullTracer {
 
 /// Writes one JSON object per line: `{"t_us":N,"event":"...",...}`.
 ///
-/// Field order is fixed (`t_us`, `event`, then per-variant payload), so
-/// the same record stream produces byte-identical output.
+/// The first line is a schema header
+/// (`{"schema":"cbp-trace","version":1}`, see
+/// [`crate::reader::schema_header`]) so consumers can reject traces
+/// written by an incompatible emitter. Field order is fixed (`t_us`,
+/// `event`, then per-variant payload), so the same record stream
+/// produces byte-identical output.
 pub struct JsonlTracer<W: Write> {
     out: W,
     buf: String,
 }
 
 impl<W: Write> JsonlTracer<W> {
-    /// Creates a tracer writing to `out`.
-    pub fn new(out: W) -> Self {
+    /// Creates a tracer writing to `out`. Writes the schema header line
+    /// immediately.
+    pub fn new(mut out: W) -> Self {
+        let mut header = crate::reader::schema_header();
+        header.push('\n');
+        out.write_all(header.as_bytes())
+            .expect("JsonlTracer: write failed");
         JsonlTracer {
             out,
             buf: String::with_capacity(256),
@@ -521,7 +530,7 @@ impl<W: Write> Tracer for ChromeTraceTracer<W> {
                 json::push_u64(&mut extra, dur);
                 extra.push_str(",\"args\":{\"task\":");
                 json::push_u64(&mut extra, task);
-                extra.push_str("}");
+                extra.push('}');
                 // Complete events carry ts = start.
                 self.event("dump", 'X', tid, start_us, &extra);
             }
@@ -531,13 +540,13 @@ impl<W: Write> Tracer for ChromeTraceTracer<W> {
                 json::push_u64(&mut extra, dur);
                 extra.push_str(",\"args\":{\"task\":");
                 json::push_u64(&mut extra, task);
-                extra.push_str("}");
+                extra.push('}');
                 self.event("restore", 'X', tid, start_us, &extra);
             }
             TraceRecord::QueueDepth { pending } => {
                 extra.push_str(",\"args\":{\"pending\":");
                 json::push_u64(&mut extra, pending);
-                extra.push_str("}");
+                extra.push('}');
                 self.event("pending_tasks", 'C', 0, t_us, &extra);
             }
             TraceRecord::DumpStart { .. } | TraceRecord::RestoreStart { .. } => {
@@ -553,7 +562,7 @@ impl<W: Write> Tracer for ChromeTraceTracer<W> {
                 // push_fields comma-prefixes every pair; drop the leading
                 // comma to form a valid object body.
                 extra.push_str(obj.strip_prefix(',').unwrap_or(&obj));
-                extra.push_str("}");
+                extra.push('}');
                 self.event(rec.name(), 'i', tid, t_us, &extra);
             }
         }
@@ -727,11 +736,12 @@ mod tests {
         assert_eq!(a, b, "same stream must produce byte-identical output");
         let text = String::from_utf8(a).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), sample_stream().len());
+        assert_eq!(lines.len(), sample_stream().len() + 1, "header + records");
         for line in &lines {
             assert!(crate::json::is_valid(line), "invalid JSONL line: {line}");
         }
-        assert!(lines[0].starts_with("{\"t_us\":0,\"event\":\"task_submit\","));
+        assert_eq!(lines[0], crate::reader::schema_header());
+        assert!(lines[1].starts_with("{\"t_us\":0,\"event\":\"task_submit\","));
         assert!(text.contains("\"action\":\"checkpoint\""));
         assert!(text.contains("\"policy\":\"adaptive\""));
         assert!(text.contains("\"device\":\"ssd\""));

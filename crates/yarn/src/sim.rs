@@ -759,7 +759,10 @@ impl YarnSim {
                         app,
                         task,
                         epoch,
-                        started: now,
+                        // Device service start, so the trace's dump span is
+                        // service time and `start_us - evict time` is the
+                        // checkpoint queue wait (mirrors RestoreDone).
+                        started: result.op.start,
                     },
                 );
                 if let Some(grace) = self.cfg.graceful_timeout {
