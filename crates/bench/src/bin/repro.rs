@@ -3,12 +3,17 @@
 //! ```text
 //! repro <experiment-id|all> [--scale full|small|smoke|<0..1>] [--seed N] [--md PATH] [--json PATH]
 //!       [--trace-out PATH] [--chrome-trace PATH] [--timeseries PATH] [--telemetry]
-//!       [--analyze PATH]
+//!       [--analyze PATH] [--faults SPEC]
 //! repro analyze <trace.jsonl> [--report PATH] [--baseline PATH] [--tol-rel F] [--tol-abs-us F]
 //! ```
 //!
 //! Experiment ids: fig1 table1 table2 fig2 table3 fig3 fig4 fig5 fig6
-//! fig8 fig9 fig10 fig11 fig12 ablate mapreduce qos.
+//! fig8 fig9 fig10 fig11 fig12 ablate mapreduce qos faults.
+//!
+//! `--faults SPEC` attaches a deterministic fault plan (a chaos profile
+//! `off`/`light`/`heavy`, optionally tuned: `heavy,seed=7,dump=0.3`) to
+//! the instrumented run, so chaos runs can be traced, analyzed, and
+//! replayed byte-identically.
 //!
 //! The telemetry flags add **one instrumented run** of the requested
 //! experiment's simulation (see `cbp_bench::telemetry_run`); without them
@@ -119,6 +124,14 @@ fn main() {
                         .unwrap_or_else(|| die("missing --analyze path")),
                 );
             }
+            "--faults" => {
+                i += 1;
+                let spec = args.get(i).unwrap_or_else(|| {
+                    die("missing --faults spec (off|light|heavy|key=value,...)")
+                });
+                telemetry.faults =
+                    Some(cbp_faults::FaultSpec::parse(spec).unwrap_or_else(|e| die(&e)));
+            }
             other => die(&format!("unknown argument: {other}")),
         }
         i += 1;
@@ -126,6 +139,12 @@ fn main() {
 
     if telemetry.any() && id == "all" {
         die("telemetry flags need a single experiment id, not 'all'");
+    }
+    if telemetry.faults.is_some() && !telemetry.any() {
+        die(
+            "--faults applies to the instrumented run; add a telemetry sink \
+             (--trace-out/--chrome-trace/--timeseries/--telemetry/--analyze)",
+        );
     }
 
     let experiments = if id == "all" {
@@ -254,7 +273,7 @@ fn usage() {
         "usage: repro <experiment-id|all> [--scale full|small|smoke|<0..1>] [--seed N] \
          [--md PATH] [--json PATH]\n\
          \x20            [--trace-out PATH] [--chrome-trace PATH] [--timeseries PATH] [--telemetry]\n\
-         \x20            [--analyze PATH]\n\
+         \x20            [--analyze PATH] [--faults SPEC]\n\
          \x20      repro analyze <trace.jsonl> [--report PATH] [--baseline PATH] [--tol-rel F] \
          [--tol-abs-us F]\n\
          \n\
@@ -264,6 +283,8 @@ fn usage() {
          \x20 --timeseries PATH    columnar time-series JSON (utilization, queue depth, ...)\n\
          \x20 --telemetry          print the `subsystem.metric` registry and engine throughput\n\
          \x20 --analyze PATH       write the cbp-obs blame/penalty report and print its tables\n\
+         \x20 --faults SPEC        attach a deterministic fault plan to the instrumented run\n\
+         \x20                      (off|light|heavy, tunable: heavy,seed=7,dump=0.3,stall=0.2)\n\
          \n\
          offline analysis (replays a --trace-out file; byte-identical to --analyze):\n\
          \x20 --report PATH        write the report JSON (archive as a baseline)\n\

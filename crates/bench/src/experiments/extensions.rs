@@ -2,10 +2,12 @@
 //! items implemented in this repository.
 
 use cbp_core::PreemptionPolicy;
+use cbp_faults::FaultSpec;
 use cbp_storage::MediaKind;
 use cbp_workload::mapreduce::MapReduceConfig;
 use cbp_yarn::YarnConfig;
 
+use crate::experiments::google_setup;
 use crate::table::{fmt, Experiment, Table};
 use crate::Scale;
 
@@ -101,6 +103,134 @@ pub fn mapreduce(scale: Scale, seed: u64) -> Experiment {
     }
     grace.note("a stock-YARN grace aborts slow-media dumps; fast NVM dumps mostly fit");
     exp.push(grace);
+
+    exp
+}
+
+/// Fault-plan sensitivity: deterministic chaos (dump/restore failures,
+/// corrupted images, device stall windows) against each preemption
+/// policy. The recovery policies — bounded dump retries with
+/// kill-fallback, restore retries with scratch-restart — keep every job
+/// finishing; the table shows where their cost lands in the waste ledger
+/// and whether checkpointing keeps its win as faults intensify.
+pub fn faults(scale: Scale, seed: u64) -> Experiment {
+    let (workload, base) = google_setup(scale, seed);
+    let mut exp = Experiment::new(
+        "faults",
+        "(extension; robustness) checkpointing's CPU-waste win over kill-based \
+         preemption must survive an imperfect substrate: failed dumps fall back \
+         to kills, failed restores retry from surviving replicas or restart from \
+         scratch, and every retry is charged to the waste ledger",
+    );
+
+    let mut t = Table::new(
+        "faults",
+        "Fault-plan sensitivity (trace-driven sim, HDD checkpoints)",
+        &[
+            "policy",
+            "plan",
+            "wasted core-h",
+            "retry core-h",
+            "dump retries",
+            "dump kills",
+            "scratch restarts",
+            "mean resp [min]",
+        ],
+    );
+    let plans: [(&str, Option<FaultSpec>); 3] = [
+        ("off", None),
+        (
+            "light",
+            Some(FaultSpec {
+                seed,
+                ..FaultSpec::light()
+            }),
+        ),
+        (
+            "heavy",
+            Some(FaultSpec {
+                seed,
+                ..FaultSpec::heavy()
+            }),
+        ),
+    ];
+    for policy in [
+        PreemptionPolicy::Kill,
+        PreemptionPolicy::Checkpoint,
+        PreemptionPolicy::Adaptive,
+    ] {
+        for (label, plan) in &plans {
+            let mut cfg = base.clone().with_policy(policy);
+            if let Some(spec) = plan {
+                cfg = cfg.with_faults(spec.clone());
+            }
+            let r = cfg.run(&workload);
+            let m = &r.metrics;
+            assert_eq!(
+                m.jobs_finished,
+                workload.job_count() as u64,
+                "{policy}/{label}: chaos stranded jobs"
+            );
+            t.row(vec![
+                policy.to_string(),
+                label.to_string(),
+                fmt(m.wasted_cpu_hours(), 2),
+                fmt(m.retry_overhead_cpu_hours, 2),
+                m.dump_fail_retries.to_string(),
+                m.dump_fail_kills.to_string(),
+                m.scratch_restarts.to_string(),
+                fmt(m.mean_response_overall() / 60.0, 1),
+            ]);
+        }
+    }
+    t.note(
+        "same (workload seed, plan seed) everywhere; Kill ignores dump/restore \
+         faults by construction, so its rows isolate the stall-window effect",
+    );
+    exp.push(t);
+
+    // AM-unresponsiveness escalation on the protocol simulator: as the
+    // probability that an AM ignores ContainerPreemptEvents rises, the
+    // RM's escalation deadline converts would-be checkpoints into kills.
+    let nodes = scale.apply(8, 2);
+    let mut am = Table::new(
+        "faults-am",
+        "AM unresponsiveness vs RM escalation (YARN protocol sim, Chk-HDD)",
+        &[
+            "P(AM ignores)",
+            "checkpoints",
+            "kills",
+            "escalations",
+            "wasted core-h",
+        ],
+    );
+    let fb_workload = cbp_workload::facebook::FacebookConfig {
+        jobs: scale.apply(40, 10),
+        total_tasks: scale.apply(7_000, 260),
+        giant_job_tasks: nodes * 24 * 13 / 10,
+        ..Default::default()
+    }
+    .generate(seed);
+    for p in [0.0, 0.25, 1.0] {
+        let mut cfg = YarnConfig::paper_cluster(PreemptionPolicy::Checkpoint, MediaKind::Hdd);
+        cfg.nodes = nodes;
+        let r = cfg
+            .with_faults(FaultSpec {
+                seed,
+                am_unresponsive_prob: p,
+                ..FaultSpec::default()
+            })
+            .run(&fb_workload);
+        am.row(vec![
+            format!("{p:.2}"),
+            r.checkpoints.to_string(),
+            r.kills.to_string(),
+            r.am_escalations.to_string(),
+            fmt(r.wasted_cpu_hours(), 2),
+        ]);
+    }
+    am.note("an ignored preemption request frees its slot only via the escalation kill");
+    exp.push(am);
 
     exp
 }

@@ -57,6 +57,7 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<Experiment> {
         experiments::ablate::ablations(scale, seed),
         experiments::extensions::mapreduce(scale, seed),
         experiments::qos::qos(scale, seed),
+        experiments::extensions::faults(scale, seed),
     ]
 }
 
@@ -78,13 +79,14 @@ pub fn run_one(id: &str, scale: Scale, seed: u64) -> Option<Experiment> {
         "ablate" => experiments::ablate::ablations(scale, seed),
         "mapreduce" => experiments::extensions::mapreduce(scale, seed),
         "qos" => experiments::qos::qos(scale, seed),
+        "faults" => experiments::extensions::faults(scale, seed),
         _ => return None,
     };
     Some(exp)
 }
 
 /// All experiment ids accepted by [`run_one`].
-pub const EXPERIMENT_IDS: [&str; 17] = [
+pub const EXPERIMENT_IDS: [&str; 18] = [
     "fig1",
     "table1",
     "table2",
@@ -102,6 +104,7 @@ pub const EXPERIMENT_IDS: [&str; 17] = [
     "ablate",
     "mapreduce",
     "qos",
+    "faults",
 ];
 
 impl Scale {

@@ -18,6 +18,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use cbp_core::{ClusterSim, PreemptionPolicy, TelemetryReport};
+use cbp_faults::FaultSpec;
 use cbp_obs::{ObsReport, SharedCollector};
 use cbp_simkit::SimDuration;
 use cbp_storage::MediaKind;
@@ -47,6 +48,9 @@ pub struct TelemetryOptions {
     /// `--analyze PATH`: write the `cbp-obs` analysis report and print
     /// the penalty table.
     pub analyze: Option<String>,
+    /// `--faults SPEC`: attach a deterministic fault plan to the
+    /// instrumented run (chaos replay; see [`FaultSpec::parse`]).
+    pub faults: Option<FaultSpec>,
 }
 
 impl TelemetryOptions {
@@ -128,7 +132,10 @@ fn run_trace_sim(
     opts: &TelemetryOptions,
 ) -> Result<(TelemetryReport, Option<SharedCollector>), String> {
     let (workload, base) = google_setup(scale, seed);
-    let cfg = base.with_policy(PreemptionPolicy::Adaptive);
+    let mut cfg = base.with_policy(PreemptionPolicy::Adaptive);
+    if let Some(spec) = &opts.faults {
+        cfg = cfg.with_faults(spec.clone());
+    }
     let mut sim = ClusterSim::new(cfg, workload);
     let (tracer, collector) = build_tracer(opts)?;
     if let Some(tracer) = tracer {
@@ -157,6 +164,9 @@ fn run_yarn(
     .generate(seed);
     let mut cfg = YarnConfig::paper_cluster(PreemptionPolicy::Adaptive, MediaKind::Hdd);
     cfg.nodes = nodes;
+    if let Some(spec) = &opts.faults {
+        cfg = cfg.with_faults(spec.clone());
+    }
     let mut sim = YarnSim::new(cfg, workload);
     let (tracer, collector) = build_tracer(opts)?;
     if let Some(tracer) = tracer {
@@ -269,6 +279,34 @@ mod tests {
             "registry snapshots must be byte-stable per seed"
         );
         assert!(a.engine_events > 0);
+    }
+
+    /// The CI chaos smoke's core contract: the same `(seed, fault plan)`
+    /// instrumented run replays to an identical registry snapshot.
+    #[test]
+    fn faulted_instrumented_run_is_deterministic() {
+        let opts = TelemetryOptions {
+            faults: Some(FaultSpec {
+                seed: 7,
+                ..FaultSpec::heavy()
+            }),
+            ..Default::default()
+        };
+        let (a, _) = run_trace_sim(Scale::SMOKE, 11, &opts).unwrap();
+        let (b, _) = run_trace_sim(Scale::SMOKE, 11, &opts).unwrap();
+        assert_eq!(
+            a.registry.to_json(),
+            b.registry.to_json(),
+            "chaos replays must be byte-stable per (seed, plan)"
+        );
+
+        let calm = TelemetryOptions::default();
+        let (c, _) = run_trace_sim(Scale::SMOKE, 11, &calm).unwrap();
+        assert_ne!(
+            a.registry.to_json(),
+            c.registry.to_json(),
+            "a heavy plan must actually perturb the run"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! hole in either simulator's emissions fails loudly here.
 
 use cbp_core::{ClusterSim, PreemptionPolicy, SimConfig};
+use cbp_faults::FaultSpec;
 use cbp_obs::{ObsReport, SharedCollector, SpanCollector};
 use cbp_simkit::SimDuration;
 use cbp_storage::MediaKind;
@@ -48,6 +49,23 @@ fn check_conservation(collector: &SpanCollector, label: &str) {
     assert!(finished > 0, "{label}: scenario finished no tasks");
 }
 
+/// The fault plan for a conservation case: every third case gets light
+/// chaos, every third heavy — the new retry/recovery segment must tile
+/// exactly like the calm segments do.
+fn conservation_plan(seed: u64) -> Option<FaultSpec> {
+    match seed % 3 {
+        0 => None,
+        1 => Some(FaultSpec {
+            seed,
+            ..FaultSpec::light()
+        }),
+        _ => Some(FaultSpec {
+            seed,
+            ..FaultSpec::heavy()
+        }),
+    }
+}
+
 /// Runs the Google-trace simulator with a span collector attached.
 fn collect_cluster(cfg: SimConfig, seed: u64) -> SpanCollector {
     let workload = GoogleTraceConfig::small(80.0).generate(seed);
@@ -75,6 +93,11 @@ fn collect_yarn(
     .generate(seed);
     let mut cfg = YarnConfig::paper_cluster(policy, media);
     cfg.nodes = nodes;
+    if let Some(plan) = conservation_plan(seed) {
+        // NM dump-failure fallbacks and AM-unresponsive escalations must
+        // keep the tiling exact too.
+        cfg = cfg.with_faults(plan);
+    }
     let shared = SharedCollector::new();
     let mut sim = YarnSim::new(cfg, workload);
     sim.set_tracer(Box::new(shared.clone()));
@@ -108,6 +131,12 @@ proptest! {
                 SimDuration::from_secs(1_200),
                 SimDuration::from_secs(120),
             );
+        }
+        if let Some(plan) = conservation_plan(seed) {
+            // Fault injection layered on top: dump retries, kill
+            // fallbacks, restore retries and scratch restarts must all
+            // keep the submit..finish tiling exact.
+            cfg = cfg.with_faults(plan);
         }
         check_conservation(&collect_cluster(cfg, seed), "cluster");
     }
@@ -144,7 +173,7 @@ fn obs_report_is_byte_stable_per_seed() {
     let b = build();
     assert_eq!(a, b, "same seed must serialize to identical bytes");
     assert!(
-        a.starts_with("{\"schema\":\"cbp-obs-report\",\"version\":1,"),
+        a.starts_with("{\"schema\":\"cbp-obs-report\",\"version\":2,"),
         "report must open with its schema header"
     );
 }

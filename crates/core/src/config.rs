@@ -5,6 +5,7 @@ use std::fmt;
 use cbp_checkpoint::{CompressionSpec, NvramSpec};
 use cbp_cluster::{EnergyModel, Resources};
 use cbp_dfs::DfsConfig;
+use cbp_faults::FaultSpec;
 use cbp_simkit::units::ByteSize;
 use cbp_storage::{MediaKind, MediaSpec};
 use cbp_workload::Workload;
@@ -143,6 +144,9 @@ pub struct SimConfig {
     pub max_schedule_scan: usize,
     /// At most this many preemption searches per scheduling pass.
     pub preempt_budget_per_pass: usize,
+    /// Deterministic fault-injection plan (None, or an inert spec, disables
+    /// injection entirely — the simulator takes the exact same paths).
+    pub faults: Option<FaultSpec>,
 }
 
 impl SimConfig {
@@ -169,6 +173,7 @@ impl SimConfig {
             seed: 42,
             max_schedule_scan: 3_000,
             preempt_budget_per_pass: 64,
+            faults: None,
         }
     }
 
@@ -194,6 +199,7 @@ impl SimConfig {
             seed: 42,
             max_schedule_scan: 100,
             preempt_budget_per_pass: 8,
+            faults: None,
         }
     }
 
@@ -271,6 +277,13 @@ impl SimConfig {
     /// Returns a copy using NVRAM (NVM as persistent memory) checkpointing.
     pub fn with_nvram(mut self, spec: NvramSpec) -> Self {
         self.nvram = Some(spec);
+        self
+    }
+
+    /// Returns a copy with the given fault-injection plan. Inert specs are
+    /// normalized back to `None` so "faults off" has exactly one spelling.
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = if spec.is_inert() { None } else { Some(spec) };
         self
     }
 

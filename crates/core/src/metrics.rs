@@ -79,8 +79,28 @@ pub struct RunMetrics {
     /// Containers evicted by node failures (not preemption).
     pub failure_evictions: u64,
     /// Checkpoint chains destroyed by node failures (local-FS images on the
-    /// failed node; HDFS-replicated images survive).
+    /// failed node; HDFS chains that lost a block past replication's reach).
     pub images_lost_to_failures: u64,
+    /// Injected dump failures that were retried (fault injection only).
+    pub dump_fail_retries: u64,
+    /// Dumps abandoned after exhausting their retry budget (the victim
+    /// fell back to a hard kill).
+    pub dump_fail_kills: u64,
+    /// Injected restore failures that were retried from a surviving
+    /// replica.
+    pub restore_fail_retries: u64,
+    /// Restores abandoned for good (corrupt image, lost blocks or
+    /// exhausted retries): the task restarted from scratch.
+    pub scratch_restarts: u64,
+    /// CPU-hours burnt inside failed dump/restore attempts and their
+    /// rewrites (part of wasted CPU).
+    pub retry_overhead_cpu_hours: f64,
+    /// HDFS blocks re-replicated after datanode failures.
+    pub dfs_blocks_repaired: u64,
+    /// Bytes copied by HDFS re-replication repairs.
+    pub dfs_repair_bytes: u64,
+    /// HDFS blocks whose every replica died (data loss).
+    pub dfs_blocks_lost: u64,
     /// CPU-hours lost to killed progress (re-execution waste).
     pub kill_lost_cpu_hours: f64,
     /// CPU-hours spent holding resources during dumps.
@@ -106,9 +126,13 @@ pub struct RunMetrics {
 
 impl RunMetrics {
     /// Total wasted CPU-hours: killed progress plus checkpoint/restore
-    /// overhead (the paper's Fig. 3a / Fig. 8a quantity).
+    /// overhead (the paper's Fig. 3a / Fig. 8a quantity), plus — under
+    /// fault injection — the CPU burnt in failed attempts and rewrites.
     pub fn wasted_cpu_hours(&self) -> f64 {
-        self.kill_lost_cpu_hours + self.dump_overhead_cpu_hours + self.restore_overhead_cpu_hours
+        self.kill_lost_cpu_hours
+            + self.dump_overhead_cpu_hours
+            + self.restore_overhead_cpu_hours
+            + self.retry_overhead_cpu_hours
     }
 
     /// Wasted CPU as a fraction of all consumed CPU.
@@ -212,6 +236,14 @@ pub(crate) struct MetricsCollector {
     pub capacity_fallbacks: u64,
     pub failure_evictions: u64,
     pub images_lost_to_failures: u64,
+    pub dump_fail_retries: u64,
+    pub dump_fail_kills: u64,
+    pub restore_fail_retries: u64,
+    pub scratch_restarts: u64,
+    pub retry_cpu_secs: f64,
+    pub dfs_blocks_repaired: u64,
+    pub dfs_repair_bytes: u64,
+    pub dfs_blocks_lost: u64,
     pub kill_lost_cpu_secs: f64,
     pub dump_overhead_cpu_secs: f64,
     pub restore_overhead_cpu_secs: f64,
@@ -306,6 +338,14 @@ impl MetricsCollector {
             capacity_fallbacks: self.capacity_fallbacks,
             failure_evictions: self.failure_evictions,
             images_lost_to_failures: self.images_lost_to_failures,
+            dump_fail_retries: self.dump_fail_retries,
+            dump_fail_kills: self.dump_fail_kills,
+            restore_fail_retries: self.restore_fail_retries,
+            scratch_restarts: self.scratch_restarts,
+            retry_overhead_cpu_hours: self.retry_cpu_secs / 3600.0,
+            dfs_blocks_repaired: self.dfs_blocks_repaired,
+            dfs_repair_bytes: self.dfs_repair_bytes,
+            dfs_blocks_lost: self.dfs_blocks_lost,
             kill_lost_cpu_hours: self.kill_lost_cpu_secs / 3600.0,
             dump_overhead_cpu_hours: self.dump_overhead_cpu_secs / 3600.0,
             restore_overhead_cpu_hours: self.restore_overhead_cpu_secs / 3600.0,

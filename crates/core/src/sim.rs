@@ -7,11 +7,12 @@
 //! according to the configured [`PreemptionPolicy`].
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use cbp_checkpoint::{Criu, NvramCheckpointer};
 use cbp_cluster::{Container, ContainerId, EnergyMeter, Node, NodeId, Resources};
 use cbp_dfs::{DfsCluster, DnId};
+use cbp_faults::FaultPlan;
 use cbp_simkit::{
     run_until_observed, EventQueue, RunStats, SimDuration, SimRng, SimTime, Simulation,
 };
@@ -122,6 +123,17 @@ pub struct ClusterSim {
     sampler: Option<Sampler>,
     /// Pending-queue depth after the previous event (for change records).
     last_queue_depth: usize,
+    /// Deterministic fault oracle (absent when injection is off). Every
+    /// decision is a pure hash of (plan seed, identity), so enabling an
+    /// inert plan perturbs nothing and the same plan replays identically.
+    faults: Option<FaultPlan>,
+    /// Task → 0-based attempt index of its in-flight dump episode.
+    dump_attempts: HashMap<u32, u32>,
+    /// Task → 0-based attempt index of its in-flight restore episode.
+    restore_attempts: HashMap<u32, u32>,
+    /// Tasks whose *current* image chain was corrupted at dump time
+    /// (decided once per image: restore retries never help).
+    corrupt_images: HashSet<u32>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -169,8 +181,14 @@ impl ClusterSim {
         if let Some(compression) = cfg.compression {
             criu = criu.with_compression(compression);
         }
+        let faults = cfg
+            .faults
+            .clone()
+            .filter(|spec| !spec.is_inert())
+            .map(FaultPlan::new);
         ClusterSim {
             criu,
+            faults,
             cfg,
             workload,
             nodes,
@@ -192,6 +210,9 @@ impl ClusterSim {
             trace_on: false,
             sampler: None,
             last_queue_depth: 0,
+            dump_attempts: HashMap::new(),
+            restore_attempts: HashMap::new(),
+            corrupt_images: HashSet::new(),
         }
     }
 
@@ -313,6 +334,13 @@ impl ClusterSim {
         );
         reg.set_counter("scheduler.tasks_finished", "ops", m.tasks_finished);
         reg.set_counter("scheduler.jobs_finished", "ops", m.jobs_finished);
+        reg.set_counter("faults.dump_fail_retries", "ops", m.dump_fail_retries);
+        reg.set_counter("faults.dump_fail_kills", "ops", m.dump_fail_kills);
+        reg.set_counter("faults.restore_fail_retries", "ops", m.restore_fail_retries);
+        reg.set_counter("faults.scratch_restarts", "ops", m.scratch_restarts);
+        reg.set_counter("dfs.blocks_repaired", "blocks", m.dfs_blocks_repaired);
+        reg.set_counter("dfs.repair_bytes", "bytes", m.dfs_repair_bytes);
+        reg.set_counter("dfs.blocks_lost", "blocks", m.dfs_blocks_lost);
         reg.set_gauge("scheduler.makespan_secs", "s", makespan.as_secs_f64());
         reg.set_gauge("cpu.useful_hours", "cpu-hours", m.useful_cpu_secs / 3600.0);
         reg.set_gauge(
@@ -604,10 +632,27 @@ impl ClusterSim {
             .map(|(_, i)| i)
     }
 
+    /// Stall-window degradation multiplier for node `i` at `now` (1.0
+    /// whenever fault injection is off or the node is healthy).
+    fn device_factor(&self, i: usize, now: SimTime) -> f64 {
+        self.faults
+            .as_ref()
+            .map(|p| p.device_factor(i as u32, now))
+            .unwrap_or(1.0)
+    }
+
     /// Algorithm 2's overhead estimate for restoring `t` on node `i`.
+    /// Degradation-aware: a stalled device makes its own restores look
+    /// expensive, steering cost-aware placement elsewhere.
     fn restore_cost(&self, t: u32, i: usize, now: SimTime) -> SimDuration {
         let queue = self.nodes[i].device.queue_wait(now);
-        queue + self.restore_service(t, i)
+        let cost = queue + self.restore_service(t, i);
+        let factor = self.device_factor(i, now);
+        if factor > 1.0 {
+            cost.mul_f64(factor)
+        } else {
+            cost
+        }
     }
 
     /// The service (transfer) time of restoring `t` on node `i`.
@@ -675,7 +720,16 @@ impl ClusterSim {
                 TaskStatus::Checkpointed { origin } => origin,
                 _ => unreachable!("image implies checkpointed status"),
             };
-            let service = self.restore_service(t, node);
+            let mut service = self.restore_service(t, node);
+            // A stall window on the reading device slows the restore.
+            let factor = self.device_factor(node, now);
+            if factor > 1.0 && self.cfg.nvram.is_none() {
+                service = service.mul_f64(factor);
+            }
+            if self.faults.is_some() {
+                // New restore episode: attempt numbering restarts.
+                self.restore_attempts.insert(t, 0);
+            }
             let (start, end) = if self.cfg.nvram.is_some() {
                 // NVRAM resume is a memory copy; it does not queue on the
                 // storage device. Record it on the engine for stats.
@@ -977,6 +1031,9 @@ impl ClusterSim {
             .map(|c| c.compressed_size(size))
             .unwrap_or(size);
         let epoch = self.tasks[t as usize].epoch;
+        // A stall window on the origin device degrades the dump's service
+        // time (HDFS pipeline and local writes alike).
+        let factor = self.device_factor(origin, now);
         let service = match &mut self.dfs {
             Some(dfs) => {
                 let path = format!(
@@ -986,11 +1043,22 @@ impl ClusterSim {
                 match dfs.create(&path, wire_size, DnId(node as u32)) {
                     Ok(receipt) => {
                         self.tasks[t as usize].dfs_paths.push(path);
-                        Some(receipt.duration)
+                        if factor > 1.0 {
+                            Some(receipt.duration.mul_f64(factor))
+                        } else {
+                            Some(receipt.duration)
+                        }
                     }
                     Err(_) => None,
                 }
             }
+            None if factor > 1.0 => Some(
+                self.nodes[origin]
+                    .device
+                    .spec()
+                    .write_time(wire_size)
+                    .mul_f64(factor),
+            ),
             None => None,
         };
 
@@ -1064,6 +1132,10 @@ impl ClusterSim {
                 task.epoch += 1;
                 task.preemptions += 1;
                 let epoch = task.epoch;
+                if self.faults.is_some() {
+                    // New dump episode: attempt numbering restarts.
+                    self.dump_attempts.insert(t, 0);
+                }
                 q.push(
                     result.op.end,
                     Event::DumpDone {
@@ -1211,7 +1283,13 @@ impl ClusterSim {
         let spec = self.nodes[node].device.spec();
         let dump = spec.write_time(size) + spec.read_time(size);
         let queue = self.nodes[node].device.queue_wait(now);
-        (dump + queue).as_secs_f64()
+        let factor = self.device_factor(node, now);
+        let cost = (dump + queue).as_secs_f64();
+        if factor > 1.0 {
+            cost * factor
+        } else {
+            cost
+        }
     }
 
     /// Tries to free enough space for pending task `t` by preempting
@@ -1332,6 +1410,325 @@ impl ClusterSim {
         }
     }
 
+    // ---- fault handling (checkpoint failure recovery policies) ---------
+
+    /// Discards task `t`'s CRIU chain and DFS files, releasing device
+    /// reservations and namespace entries, and clears its corruption flag.
+    fn discard_chain(&mut self, t: u32) {
+        for (origin, bytes) in self.criu.discard(handle_u64(t)) {
+            self.nodes[origin as usize].device.release(bytes);
+        }
+        if let Some(dfs) = &mut self.dfs {
+            for path in std::mem::take(&mut self.tasks[t as usize].dfs_paths) {
+                let _ = dfs.delete(&path);
+            }
+        }
+        self.corrupt_images.remove(&t);
+    }
+
+    /// Handles a dump attempt that failed (detected when its device
+    /// operation completes): while retry budget remains, the image tip is
+    /// rewritten after an exponential backoff; once the budget is
+    /// exhausted the half-written tip is aborted and the victim falls
+    /// back to a hard kill — the same safety net a real NM applies when
+    /// `criu dump` keeps erroring.
+    fn on_dump_failed(
+        &mut self,
+        t: u32,
+        node: usize,
+        epoch: u32,
+        attempt: u32,
+        now: SimTime,
+        q: &mut EventQueue<Event>,
+    ) {
+        let plan = self.faults.as_ref().expect("caller checked plan presence");
+        let will_retry = attempt < plan.max_dump_retries();
+        let backoff = plan.dump_retry_backoff(attempt + 1);
+        if self.trace_on {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::DumpFail {
+                    task: t as u64,
+                    node: node as u32,
+                    attempt,
+                    will_retry,
+                },
+            );
+        }
+        if will_retry {
+            self.metrics.dump_fail_retries += 1;
+            self.dump_attempts.insert(t, attempt + 1);
+            // Rewrite the stored tip after the backoff. The rewrite is a
+            // plain re-write of the stored bytes at the device's (possibly
+            // degraded) sequential speed; the victim keeps holding its
+            // resources, so the rewrite window is wasted CPU.
+            let size = self
+                .criu
+                .chain(handle_u64(t))
+                .and_then(|c| c.tip())
+                .map(|r| r.size)
+                .unwrap_or_else(|| self.tasks[t as usize].spec.resources.mem());
+            let factor = self.device_factor(node, now).max(1.0);
+            let service = self.nodes[node]
+                .device
+                .spec()
+                .write_time(size)
+                .mul_f64(factor);
+            let cores = self.tasks[t as usize].spec.resources.cores_f64();
+            self.metrics.retry_cpu_secs += service.as_secs_f64() * cores;
+            let start = now + backoff;
+            q.push(
+                start + service,
+                Event::DumpDone {
+                    task: t,
+                    epoch,
+                    started: start,
+                },
+            );
+        } else {
+            // Budget exhausted: the dump is abandoned for good.
+            self.metrics.dump_fail_kills += 1;
+            self.dump_attempts.remove(&t);
+            if let Some((origin, bytes)) = self.criu.abort_tip(handle_u64(t)) {
+                self.nodes[origin as usize].device.release(bytes);
+            }
+            if let Some(path) = self.tasks[t as usize].dfs_paths.pop() {
+                if let Some(dfs) = &mut self.dfs {
+                    let _ = dfs.delete(&path);
+                }
+            }
+            if self.trace_on {
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::DumpFallback {
+                        task: t as u64,
+                        node: node as u32,
+                        reason: "dump-fail",
+                    },
+                );
+            }
+            self.kill_dump_victim(t, node, now);
+            self.schedule_pass(now, q);
+        }
+    }
+
+    /// Kills a `Dumping` victim whose dump could not be completed: the
+    /// progress since its last *valid* checkpoint is lost and the task
+    /// re-queues (from an older image if one survives in its chain).
+    fn kill_dump_victim(&mut self, t: u32, node: usize, now: SimTime) {
+        // The victim stopped at eviction; its progress was synced when the
+        // dump started, and the failed dump never advanced
+        // `checkpointed_progress`.
+        let lost = self.tasks[t as usize].progress_at_risk();
+        let cores = self.tasks[t as usize].spec.resources.cores_f64();
+        self.metrics.charge_kill(lost, cores);
+        self.emit(
+            now,
+            t,
+            TraceEventKind::Evict {
+                machine: node as u32,
+            },
+        );
+        if self.trace_on {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::TaskEvict {
+                    task: t as u64,
+                    node: node as u32,
+                    reason: "dump-fail",
+                },
+            );
+        }
+        self.release_container(t, now);
+        // Credit the drain to the blocked task it was serving: the kill
+        // freed the resources the reservation was waiting for.
+        if let Some(owner) = self.drain_owner.remove(&t) {
+            if let Some(r) = self.reservations.get_mut(&owner) {
+                r.drains_left = r.drains_left.saturating_sub(1);
+            }
+        }
+        let has_image = self.has_checkpoint(t);
+        let origin = self
+            .criu
+            .chain(handle_u64(t))
+            .and_then(|c| c.tip())
+            .map(|r| r.origin_node);
+        let task = &mut self.tasks[t as usize];
+        task.epoch += 1;
+        task.progress = task.checkpointed_progress;
+        if let Some(mem) = task.memory.as_mut() {
+            if has_image {
+                mem.clear_dirty();
+            } else {
+                mem.mark_all_dirty();
+            }
+        }
+        task.status = match origin {
+            Some(origin) if has_image => TaskStatus::Checkpointed { origin },
+            _ => TaskStatus::Pending,
+        };
+        self.enqueue_pending_preserving_status(t);
+        self.emit(now, t, TraceEventKind::Submit);
+    }
+
+    /// Handles a restore attempt that failed (detected when its read
+    /// completes): transient failures retry from a surviving HDFS replica
+    /// on the same placement while budget remains; corrupt images and
+    /// exhausted budgets abandon the image and restart from scratch.
+    #[allow(clippy::too_many_arguments)]
+    fn on_restore_failed(
+        &mut self,
+        t: u32,
+        node: usize,
+        epoch: u32,
+        attempt: u32,
+        corrupt: bool,
+        started: SimTime,
+        now: SimTime,
+        q: &mut EventQueue<Event>,
+    ) {
+        let plan = self.faults.as_ref().expect("caller checked plan presence");
+        let will_retry = !corrupt && attempt < plan.max_restore_retries();
+        let reason = if corrupt {
+            "corrupt-image"
+        } else {
+            "transient"
+        };
+        // The failed read occupied CPU for its whole service window.
+        let cores = self.tasks[t as usize].spec.resources.cores_f64();
+        self.metrics.retry_cpu_secs += now.since(started).as_secs_f64() * cores;
+        if self.trace_on {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::RestoreFail {
+                    task: t as u64,
+                    node: node as u32,
+                    attempt,
+                    reason,
+                    will_retry,
+                },
+            );
+        }
+        if will_retry {
+            self.metrics.restore_fail_retries += 1;
+            self.restore_attempts.insert(t, attempt + 1);
+            let factor = self.device_factor(node, now).max(1.0);
+            let service = self.restore_service(t, node).mul_f64(factor);
+            let size = self.criu.image_size(handle_u64(t));
+            let op = self.nodes[node]
+                .device
+                .submit_custom(now, OpKind::Read, size, service);
+            q.push(
+                op.end,
+                Event::RestoreDone {
+                    task: t,
+                    epoch,
+                    started: op.start,
+                },
+            );
+        } else {
+            self.metrics.scratch_restarts += 1;
+            self.restart_from_scratch(t, now);
+            self.schedule_pass(now, q);
+        }
+    }
+
+    /// Abandons task `t`'s image for good: the checkpointed progress is
+    /// re-execution waste, the chain is discarded, and the task re-queues
+    /// as a fresh start.
+    fn restart_from_scratch(&mut self, t: u32, now: SimTime) {
+        let cores = self.tasks[t as usize].spec.resources.cores_f64();
+        let lost = self.tasks[t as usize].checkpointed_progress;
+        self.metrics.kill_lost_cpu_secs += lost.as_secs_f64() * cores;
+        self.release_container(t, now);
+        self.discard_chain(t);
+        self.restore_attempts.remove(&t);
+        let task = &mut self.tasks[t as usize];
+        task.epoch += 1;
+        task.progress = SimDuration::ZERO;
+        task.checkpointed_progress = SimDuration::ZERO;
+        if let Some(mem) = task.memory.as_mut() {
+            mem.mark_all_dirty();
+        }
+        task.status = TaskStatus::Pending;
+        self.enqueue_pending(t);
+        self.emit(now, t, TraceEventKind::Submit);
+    }
+
+    /// Handles the loss of task `t`'s image chain to an HDFS block loss
+    /// (replication could not save every block): the chain is unreadable,
+    /// so the checkpointed progress is re-execution waste and the task
+    /// falls back to a fresh start wherever the image would have been
+    /// used next.
+    fn drop_lost_chain(&mut self, t: u32, now: SimTime) {
+        self.metrics.images_lost_to_failures += 1;
+        match self.tasks[t as usize].status {
+            TaskStatus::Restoring { node, .. } => {
+                // The in-flight read can no longer complete: abandon it
+                // and restart from scratch (the epoch bump staled the
+                // queued RestoreDone).
+                if self.trace_on {
+                    let attempt = self.restore_attempts.get(&t).copied().unwrap_or(0);
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::RestoreFail {
+                            task: t as u64,
+                            node,
+                            attempt,
+                            reason: "blocks-lost",
+                            will_retry: false,
+                        },
+                    );
+                }
+                self.metrics.scratch_restarts += 1;
+                self.restart_from_scratch(t, now);
+            }
+            TaskStatus::Dumping { node, .. } => {
+                // The tip being written sat below lost ancestor blocks:
+                // the whole chain is useless. Abort the write and fall
+                // back to the hard kill (the epoch bump stales DumpDone).
+                if let Some((origin, bytes)) = self.criu.abort_tip(handle_u64(t)) {
+                    self.nodes[origin as usize].device.release(bytes);
+                }
+                if let Some(path) = self.tasks[t as usize].dfs_paths.pop() {
+                    if let Some(dfs) = &mut self.dfs {
+                        let _ = dfs.delete(&path);
+                    }
+                }
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::DumpFallback {
+                            task: t as u64,
+                            node,
+                            reason: "node-fail",
+                        },
+                    );
+                }
+                self.discard_chain(t);
+                self.tasks[t as usize].checkpointed_progress = SimDuration::ZERO;
+                self.dump_attempts.remove(&t);
+                self.kill_dump_victim(t, node as usize, now);
+            }
+            _ => {
+                // Running, or queued (fresh or from the now-lost image):
+                // silently lose the chain; the next dump must be full and
+                // a queued restore degrades to a fresh start.
+                self.discard_chain(t);
+                let task = &mut self.tasks[t as usize];
+                task.checkpointed_progress = SimDuration::ZERO;
+                if let Some(mem) = task.memory.as_mut() {
+                    mem.mark_all_dirty();
+                }
+                if matches!(task.status, TaskStatus::Checkpointed { .. }) {
+                    // Still queued under its existing key; only the
+                    // resume mode changes.
+                    task.status = TaskStatus::Pending;
+                }
+            }
+        }
+    }
+
     /// Evicts `t` because its node failed. Unlike a kill, the eviction is
     /// not the scheduler's choice; unlike a checkpoint, nothing is saved.
     fn fail_task(&mut self, t: u32, node: usize, now: SimTime) {
@@ -1376,7 +1773,14 @@ impl ClusterSim {
             if let Some((origin, bytes)) = self.criu.abort_tip(handle_u64(t)) {
                 self.nodes[origin as usize].device.release(bytes);
             }
-            let _ = self.tasks[t as usize].dfs_paths.pop();
+            // Delete (not just pop) the aborted write's DFS entry: leaving
+            // it behind leaked namespace and replica space, and the next
+            // dump of this task would collide with the dangling path.
+            if let Some(path) = self.tasks[t as usize].dfs_paths.pop() {
+                if let Some(dfs) = &mut self.dfs {
+                    let _ = dfs.delete(&path);
+                }
+            }
             if let Some(owner) = self.drain_owner.remove(&t) {
                 if let Some(r) = self.reservations.get_mut(&owner) {
                     r.drains_left = r.drains_left.saturating_sub(1);
@@ -1400,6 +1804,11 @@ impl ClusterSim {
             }
             self.metrics.images_lost_to_failures += 1;
             self.tasks[t as usize].checkpointed_progress = SimDuration::ZERO;
+        }
+        // The node failure ends any in-flight dump/restore episode.
+        if self.faults.is_some() {
+            self.dump_attempts.remove(&t);
+            self.restore_attempts.remove(&t);
         }
 
         let has_image = self.has_checkpoint(t);
@@ -1450,6 +1859,45 @@ impl ClusterSim {
         victims.sort_unstable();
         for v in victims {
             self.fail_task(v, node, now);
+        }
+        // The node's datanode died with it: the NameNode re-replicates
+        // every block that lost a replica onto the surviving datanodes
+        // (blocks whose only replica lived here are lost for good).
+        let mut lost_chains: Vec<u32> = Vec::new();
+        if let Some(dfs) = &mut self.dfs {
+            if let Ok(repair) = dfs.fail_datanode(DnId(node as u32)) {
+                if self.trace_on && (repair.blocks_repaired > 0 || repair.blocks_lost > 0) {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::ReplicationRepair {
+                            node: node as u32,
+                            blocks: repair.blocks_repaired as u64,
+                            bytes: repair.bytes_copied.as_u64(),
+                        },
+                    );
+                }
+                self.metrics.dfs_blocks_repaired += repair.blocks_repaired as u64;
+                self.metrics.dfs_repair_bytes += repair.bytes_copied.as_u64();
+                self.metrics.dfs_blocks_lost += repair.blocks_lost as u64;
+                if repair.blocks_lost > 0 {
+                    // Some image chains just became unreadable; find them.
+                    for (t, task) in self.tasks.iter().enumerate() {
+                        if task.dfs_paths.is_empty() {
+                            continue;
+                        }
+                        let broken = task
+                            .dfs_paths
+                            .iter()
+                            .any(|p| !dfs.is_readable(p).unwrap_or(true));
+                        if broken {
+                            lost_chains.push(t as u32);
+                        }
+                    }
+                }
+            }
+        }
+        for t in lost_chains {
+            self.drop_lost_chain(t, now);
         }
         // Any reservation earmarked on the failed node is void.
         let voided: Vec<u32> = self
@@ -1659,8 +2107,20 @@ impl ClusterSim {
                 let TaskStatus::Dumping { node, .. } = self.tasks[task as usize].status else {
                     return;
                 };
-                self.release_container(task, now);
                 self.nodes[node as usize].device.on_advance(now);
+                // Deterministic fault check: did this dump attempt fail?
+                // (NVRAM suspends are memory copies; they do not take the
+                // storage fault path.)
+                if self.cfg.nvram.is_none() {
+                    if let Some(plan) = &self.faults {
+                        let attempt = self.dump_attempts.get(&task).copied().unwrap_or(0);
+                        if plan.dump_fails(task as u64, epoch, attempt) {
+                            self.on_dump_failed(task, node as usize, epoch, attempt, now, q);
+                            return;
+                        }
+                    }
+                }
+                self.release_container(task, now);
                 // Overhead was charged at dump submission; `started` only
                 // feeds the trace record.
                 if self.trace_on {
@@ -1676,6 +2136,17 @@ impl ClusterSim {
                 let task_state = &mut self.tasks[task as usize];
                 task_state.checkpointed_progress = task_state.progress;
                 task_state.status = TaskStatus::Checkpointed { origin: node };
+                // Corruption is decided once per image; a corrupted dump
+                // completes "successfully" but every later restore of it
+                // fails (matching real silent image corruption).
+                if let Some(plan) = &self.faults {
+                    self.dump_attempts.remove(&task);
+                    if self.cfg.nvram.is_none() && plan.image_corrupt(task as u64, epoch) {
+                        self.corrupt_images.insert(task);
+                    } else {
+                        self.corrupt_images.remove(&task);
+                    }
+                }
                 // Credit the drain to the blocked task it was serving.
                 if let Some(owner) = self.drain_owner.remove(&task) {
                     if let Some(r) = self.reservations.get_mut(&owner) {
@@ -1692,6 +2163,11 @@ impl ClusterSim {
             }
             Event::NodeRecover(node) => {
                 self.nodes[node as usize].up = true;
+                if let Some(dfs) = &mut self.dfs {
+                    // The datanode rejoins empty (its blocks were already
+                    // re-replicated or lost at failure time).
+                    let _ = dfs.recover_datanode(DnId(node));
+                }
                 if self.trace_on {
                     self.tracer
                         .record(now.as_micros(), &TraceRecord::NodeRecover { node });
@@ -1712,6 +2188,30 @@ impl ClusterSim {
                     return;
                 };
                 self.nodes[node as usize].device.on_advance(now);
+                // Deterministic fault check: did this restore attempt
+                // fail (transiently, or because the image is corrupt)?
+                if self.cfg.nvram.is_none() {
+                    if let Some(plan) = &self.faults {
+                        let attempt = self.restore_attempts.get(&task).copied().unwrap_or(0);
+                        let corrupt = self.corrupt_images.contains(&task);
+                        if corrupt || plan.restore_fails(task as u64, epoch, attempt) {
+                            self.on_restore_failed(
+                                task,
+                                node as usize,
+                                epoch,
+                                attempt,
+                                corrupt,
+                                started,
+                                now,
+                                q,
+                            );
+                            return;
+                        }
+                    }
+                }
+                if self.faults.is_some() {
+                    self.restore_attempts.remove(&task);
+                }
                 if self.trace_on {
                     self.tracer.record(
                         now.as_micros(),

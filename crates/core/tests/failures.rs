@@ -140,3 +140,56 @@ fn fair_discipline_helps_small_jobs() {
     // Throughput is conserved either way.
     assert_eq!(fair.metrics.tasks_finished, fifo.metrics.tasks_finished);
 }
+
+/// Regression for the drain guard in `schedule_next_failure`: once the
+/// workload has drained, the per-node fail/recover chain must stop
+/// regenerating (each node fires at most the one failure already queued
+/// at drain time). Without the guard the chain self-perpetuates and the
+/// run never terminates — the comment in `sim.rs` claims the behaviour,
+/// this pins it.
+#[test]
+fn failure_injection_stops_after_drain() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use cbp_core::ClusterSim;
+    use cbp_telemetry::{JsonlReader, JsonlTracer, TraceRecord};
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let w = workload(5);
+    let buf = SharedBuf::default();
+    let mut sim = ClusterSim::new(flaky_cluster(PreemptionPolicy::Adaptive), w.clone());
+    sim.set_tracer(Box::new(JsonlTracer::new(buf.clone())));
+    let report = sim.run();
+    assert_eq!(report.metrics.jobs_finished, w.job_count() as u64);
+
+    let bytes = buf.0.borrow().clone();
+    let mut last_finish = 0u64;
+    let mut fail_times: Vec<u64> = Vec::new();
+    for item in JsonlReader::new(bytes.as_slice()).unwrap() {
+        let (t, rec) = item.unwrap();
+        match rec {
+            TraceRecord::TaskFinish { .. } => last_finish = last_finish.max(t),
+            TraceRecord::NodeFail { .. } => fail_times.push(t),
+            _ => {}
+        }
+    }
+    assert!(!fail_times.is_empty(), "scenario must inject failures");
+    let after_drain = fail_times.iter().filter(|&&t| t > last_finish).count();
+    assert!(
+        after_drain <= 6, // one in-flight failure per node at most
+        "{after_drain} node failures fired after the last task finished \
+         (chain kept regenerating past the drain)"
+    );
+}

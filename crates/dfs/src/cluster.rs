@@ -299,6 +299,22 @@ impl DfsCluster {
         self.nodes.get(dn.0 as usize).is_some_and(|n| n.alive)
     }
 
+    /// True if every block of `path` still has at least one replica.
+    /// Files that lost blocks to datanode failures are unreadable until
+    /// rewritten.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotFound`] if the path is absent.
+    pub fn is_readable(&self, path: &str) -> Result<bool, DfsError> {
+        Ok(self
+            .namespace
+            .file(path)?
+            .blocks
+            .iter()
+            .all(|b| !b.replicas.is_empty()))
+    }
+
     /// The cost of reading `path` in full from datanode `reader`, splitting
     /// block bytes into local and remote and timing the transfer
     /// (remote bytes are capped by `min(network, source disk read)`).
@@ -316,6 +332,11 @@ impl DfsCluster {
         for b in &file.blocks {
             if b.is_local_to(reader) {
                 local += b.size;
+            } else if b.replicas.is_empty() {
+                // Block lost to datanode failures: nothing to read. Callers
+                // should gate on [`DfsCluster::is_readable`]; costing the
+                // remnant keeps this estimator total.
+                continue;
             } else {
                 remote += b.size;
                 // The slowest source disk in the replica set bounds us; use

@@ -1,6 +1,6 @@
 //! The NameNode's view: files, blocks and replica locations.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cbp_simkit::units::ByteSize;
 use serde::{Deserialize, Serialize};
@@ -48,10 +48,12 @@ pub struct FileInfo {
 }
 
 /// The flat path → file catalog (HDFS directories add nothing the model
-/// needs; paths are plain keys).
+/// needs; paths are plain keys). Ordered so that NameNode maintenance
+/// sweeps (re-replication after datanode failures) visit files — and
+/// consume placement randomness — in a deterministic order.
 #[derive(Debug, Default, Clone)]
 pub struct Namespace {
-    files: HashMap<String, FileInfo>,
+    files: BTreeMap<String, FileInfo>,
     next_file: u64,
     next_block: u64,
 }

@@ -1,0 +1,596 @@
+//! Deterministic fault plans for the `cbp` simulators.
+//!
+//! The paper's argument — checkpoint-based preemption beats kill —
+//! hinges on the dump/restore path being dependable. Real CRIU dumps
+//! fail, images corrupt, storage devices stall, and ApplicationMasters
+//! go unresponsive. This crate models those regimes as a **seeded,
+//! stateless fault plan**: every injection decision is a pure hash of
+//! `(plan seed, operation tag, identity, attempt)`, so
+//!
+//! * the same `(simulation seed, fault plan)` pair always produces the
+//!   same faults — byte-identical traces, replayable chaos runs; and
+//! * fault decisions never draw from a simulator's RNG stream, so
+//!   *enabling* a plan with all-zero probabilities is observationally
+//!   identical to running without one.
+//!
+//! [`FaultSpec`] is the declarative knob set (probabilities, retry
+//! budgets, stall windows); [`FaultPlan`] is the cheap decision oracle
+//! built from it. The simulators (`cbp-core`'s `ClusterSim`,
+//! `cbp-yarn`'s `YarnSim`) consult the plan at each dump completion,
+//! restore completion, preemption RPC and device operation, and apply
+//! the *handling policies* — bounded retries with exponential backoff,
+//! kill fallback, restart-from-scratch, RM-side escalation — that keep
+//! every submitted task live.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use cbp_simkit::{SimDuration, SimTime};
+
+/// Storage-device degradation: during a stalled window the device's
+/// effective bandwidth drops by `slowdown`.
+///
+/// Simulated time is cut into fixed windows of `window` length; each
+/// `(node, window index)` pair is independently stalled with
+/// probability `prob`. Cost estimators consult the same oracle, so
+/// degradation-aware scheduling sees the slowdown it will pay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallSpec {
+    /// Probability that a given `(node, window)` is degraded.
+    pub prob: f64,
+    /// Service-time multiplier while degraded (≥ 1).
+    pub slowdown: f64,
+    /// Window length.
+    pub window: SimDuration,
+}
+
+impl Default for StallSpec {
+    fn default() -> Self {
+        StallSpec {
+            prob: 0.0,
+            slowdown: 4.0,
+            window: SimDuration::from_secs(600),
+        }
+    }
+}
+
+/// Declarative fault plan: per-operation fault probabilities plus the
+/// retry/fallback budgets the recovery policies use.
+///
+/// All probabilities default to zero; a default spec injects nothing
+/// and (by construction of [`FaultPlan`]) perturbs nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Seed of the fault plan's decision hash (independent of the
+    /// simulation seed: the same workload can be replayed under many
+    /// plans, or many workloads under one plan).
+    pub seed: u64,
+    /// Probability that one checkpoint dump attempt fails.
+    pub dump_fail_prob: f64,
+    /// Probability that one restore attempt fails transiently (a retry
+    /// — e.g. from a surviving HDFS replica — may succeed).
+    pub restore_fail_prob: f64,
+    /// Probability that a checkpoint image is corrupted at dump time:
+    /// every restore of it fails, forcing a restart from scratch.
+    pub corrupt_image_prob: f64,
+    /// Probability that an ApplicationMaster ignores a preemption
+    /// request (YARN protocol simulator only).
+    pub am_unresponsive_prob: f64,
+    /// Storage degradation & stall windows (none by default).
+    pub stall: Option<StallSpec>,
+    /// Dump retries after the first failed attempt before falling back
+    /// to a kill (`"dump-fail"`).
+    pub max_dump_retries: u32,
+    /// Base backoff before a dump retry; doubles per attempt.
+    pub dump_retry_backoff: SimDuration,
+    /// Restore retries after the first failed attempt before
+    /// restarting the task from scratch.
+    pub max_restore_retries: u32,
+    /// RM-side escalation deadline for an unresponsive AM when no
+    /// `graceful_timeout` is configured (liveness backstop).
+    pub escalation_timeout: SimDuration,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0,
+            dump_fail_prob: 0.0,
+            restore_fail_prob: 0.0,
+            corrupt_image_prob: 0.0,
+            am_unresponsive_prob: 0.0,
+            stall: None,
+            max_dump_retries: 2,
+            dump_retry_backoff: SimDuration::from_secs(5),
+            max_restore_retries: 2,
+            escalation_timeout: SimDuration::from_secs(60),
+        }
+    }
+}
+
+impl FaultSpec {
+    /// The `light` chaos profile: occasional faults, quick recovery.
+    pub fn light() -> Self {
+        FaultSpec {
+            dump_fail_prob: 0.05,
+            restore_fail_prob: 0.05,
+            corrupt_image_prob: 0.01,
+            am_unresponsive_prob: 0.02,
+            stall: Some(StallSpec {
+                prob: 0.05,
+                ..StallSpec::default()
+            }),
+            ..FaultSpec::default()
+        }
+    }
+
+    /// The `heavy` chaos profile: the hostile regime where checkpoint
+    /// value can invert.
+    pub fn heavy() -> Self {
+        FaultSpec {
+            dump_fail_prob: 0.25,
+            restore_fail_prob: 0.25,
+            corrupt_image_prob: 0.10,
+            am_unresponsive_prob: 0.15,
+            stall: Some(StallSpec {
+                prob: 0.25,
+                slowdown: 8.0,
+                window: SimDuration::from_secs(300),
+            }),
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Parses a CLI fault spec.
+    ///
+    /// Accepts a named profile (`off`, `light`, `heavy`) or a
+    /// comma-separated `key=value` list, optionally starting from a
+    /// profile (`heavy,seed=7`). Keys:
+    ///
+    /// | key | meaning |
+    /// |---|---|
+    /// | `seed` | fault-plan seed (u64) |
+    /// | `dump` | dump failure probability |
+    /// | `restore` | restore failure probability |
+    /// | `corrupt` | corrupted-image probability |
+    /// | `am` | AM-unresponsive probability |
+    /// | `stall` | device stall-window probability |
+    /// | `slowdown` | stalled-window service multiplier |
+    /// | `window` | stall window length, seconds |
+    /// | `dump-retries` | dump retry budget |
+    /// | `restore-retries` | restore retry budget |
+    /// | `backoff` | base dump retry backoff, seconds |
+    /// | `escalation` | AM escalation deadline, seconds |
+    pub fn parse(text: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec::default();
+        for (i, part) in text.split(',').enumerate() {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part {
+                "off" => {
+                    spec = FaultSpec::default();
+                    continue;
+                }
+                "light" => {
+                    spec = FaultSpec::light();
+                    continue;
+                }
+                "heavy" => {
+                    spec = FaultSpec::heavy();
+                    continue;
+                }
+                _ => {}
+            }
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(format!(
+                    "fault spec item {i} ({part:?}): expected profile \
+                     (off/light/heavy) or key=value"
+                ));
+            };
+            let prob = |v: &str| -> Result<f64, String> {
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .ok_or_else(|| format!("fault spec {key}={v}: expected probability in [0,1]"))
+            };
+            let secs = |v: &str| -> Result<SimDuration, String> {
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|s| *s >= 0.0)
+                    .map(SimDuration::from_secs_f64)
+                    .ok_or_else(|| format!("fault spec {key}={v}: expected seconds >= 0"))
+            };
+            match key {
+                "seed" => {
+                    spec.seed = value
+                        .parse()
+                        .map_err(|_| format!("fault spec seed={value}: expected u64"))?;
+                }
+                "dump" => spec.dump_fail_prob = prob(value)?,
+                "restore" => spec.restore_fail_prob = prob(value)?,
+                "corrupt" => spec.corrupt_image_prob = prob(value)?,
+                "am" => spec.am_unresponsive_prob = prob(value)?,
+                "stall" => {
+                    spec.stall.get_or_insert_with(StallSpec::default).prob = prob(value)?;
+                }
+                "slowdown" => {
+                    let s = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|s| *s >= 1.0)
+                        .ok_or_else(|| {
+                            format!("fault spec slowdown={value}: expected factor >= 1")
+                        })?;
+                    spec.stall.get_or_insert_with(StallSpec::default).slowdown = s;
+                }
+                "window" => {
+                    let w = secs(value)?;
+                    if w.is_zero() {
+                        return Err("fault spec window=0: window must be positive".into());
+                    }
+                    spec.stall.get_or_insert_with(StallSpec::default).window = w;
+                }
+                "dump-retries" => {
+                    spec.max_dump_retries = value
+                        .parse()
+                        .map_err(|_| format!("fault spec dump-retries={value}: expected u32"))?;
+                }
+                "restore-retries" => {
+                    spec.max_restore_retries = value
+                        .parse()
+                        .map_err(|_| format!("fault spec restore-retries={value}: expected u32"))?;
+                }
+                "backoff" => spec.dump_retry_backoff = secs(value)?,
+                "escalation" => spec.escalation_timeout = secs(value)?,
+                other => return Err(format!("fault spec: unknown key {other:?}")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// True if every fault probability is zero (the plan injects
+    /// nothing; stall windows with zero probability also count as
+    /// inert).
+    pub fn is_inert(&self) -> bool {
+        self.dump_fail_prob == 0.0
+            && self.restore_fail_prob == 0.0
+            && self.corrupt_image_prob == 0.0
+            && self.am_unresponsive_prob == 0.0
+            && self.stall.is_none_or(|s| s.prob == 0.0)
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} dump={} restore={} corrupt={} am={}",
+            self.seed,
+            self.dump_fail_prob,
+            self.restore_fail_prob,
+            self.corrupt_image_prob,
+            self.am_unresponsive_prob,
+        )?;
+        if let Some(s) = self.stall {
+            write!(
+                f,
+                " stall={} slowdown={} window={}s",
+                s.prob,
+                s.slowdown,
+                s.window.as_secs_f64()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// Domain-separation tags: one per decision family, so e.g. dump and
+// restore faults for the same (task, epoch, attempt) are independent.
+const TAG_DUMP: u64 = 0x009D_5F01;
+const TAG_RESTORE: u64 = 0x009D_5F02;
+const TAG_CORRUPT: u64 = 0x009D_5F03;
+const TAG_AM: u64 = 0x009D_5F04;
+const TAG_STALL: u64 = 0x009D_5F05;
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a uniform f64 in `[0, 1)` (53 mantissa bits).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The decision oracle built from a [`FaultSpec`].
+///
+/// Every method is a pure function of `(spec, arguments)` — no internal
+/// state, no RNG stream — so decisions are order-independent and the
+/// plan can be consulted from any point in the event loop without
+/// perturbing determinism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+}
+
+impl FaultPlan {
+    /// Builds the oracle.
+    pub fn new(spec: FaultSpec) -> Self {
+        FaultPlan { spec }
+    }
+
+    /// The spec this plan was built from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    fn decide(&self, tag: u64, a: u64, b: u64, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let h = mix(mix(mix(mix(self.spec.seed) ^ tag) ^ a) ^ b);
+        unit(h) < p
+    }
+
+    /// Does dump attempt `attempt` of `(task, epoch)` fail?
+    pub fn dump_fails(&self, task: u64, epoch: u32, attempt: u32) -> bool {
+        self.decide(
+            TAG_DUMP,
+            task,
+            ((epoch as u64) << 32) | attempt as u64,
+            self.spec.dump_fail_prob,
+        )
+    }
+
+    /// Does restore attempt `attempt` of `(task, epoch)` fail
+    /// transiently?
+    pub fn restore_fails(&self, task: u64, epoch: u32, attempt: u32) -> bool {
+        self.decide(
+            TAG_RESTORE,
+            task,
+            ((epoch as u64) << 32) | attempt as u64,
+            self.spec.restore_fail_prob,
+        )
+    }
+
+    /// Is the image dumped at `(task, epoch)` corrupted? Corruption is
+    /// decided per image, not per attempt: retries never help.
+    pub fn image_corrupt(&self, task: u64, epoch: u32) -> bool {
+        self.decide(
+            TAG_CORRUPT,
+            task,
+            epoch as u64,
+            self.spec.corrupt_image_prob,
+        )
+    }
+
+    /// Does the AM ignore the preemption request issued at `(task,
+    /// epoch)`?
+    pub fn am_unresponsive(&self, task: u64, epoch: u32) -> bool {
+        self.decide(TAG_AM, task, epoch as u64, self.spec.am_unresponsive_prob)
+    }
+
+    /// Service-time multiplier for storage operations on `node` at
+    /// `now` (1.0 when healthy, `slowdown` inside a stalled window).
+    pub fn device_factor(&self, node: u32, now: SimTime) -> f64 {
+        let Some(stall) = self.spec.stall else {
+            return 1.0;
+        };
+        if stall.prob <= 0.0 {
+            return 1.0;
+        }
+        let widx = now.as_micros() / stall.window.as_micros().max(1);
+        if self.decide(TAG_STALL, node as u64, widx, stall.prob) {
+            stall.slowdown.max(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Backoff before dump retry `attempt` (1-based): exponential,
+    /// doubling per attempt, capped at 16× the base.
+    pub fn dump_retry_backoff(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.saturating_sub(1).min(4);
+        SimDuration::from_micros(
+            self.spec
+                .dump_retry_backoff
+                .as_micros()
+                .saturating_mul(1u64 << shift),
+        )
+    }
+
+    /// Dump retry budget (attempts allowed after the first failure).
+    pub fn max_dump_retries(&self) -> u32 {
+        self.spec.max_dump_retries
+    }
+
+    /// Restore retry budget.
+    pub fn max_restore_retries(&self) -> u32 {
+        self.spec.max_restore_retries
+    }
+
+    /// RM-side escalation deadline for an unresponsive AM.
+    pub fn escalation_timeout(&self) -> SimDuration {
+        self.spec.escalation_timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_order_independent() {
+        let plan = FaultPlan::new(FaultSpec {
+            dump_fail_prob: 0.5,
+            restore_fail_prob: 0.5,
+            ..FaultSpec::default()
+        });
+        let a: Vec<bool> = (0..100).map(|i| plan.dump_fails(i, 0, 0)).collect();
+        // Consulting other decision families in between changes nothing.
+        let _ = plan.restore_fails(3, 1, 2);
+        let b: Vec<bool> = (0..100).map(|i| plan.dump_fails(i, 0, 0)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x), "p=0.5 over 100 draws fires");
+        assert!(!a.iter().all(|&x| x), "p=0.5 over 100 draws also misses");
+    }
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let plan = FaultPlan::new(FaultSpec::default());
+        assert!(plan.spec().is_inert());
+        for t in 0..1000u64 {
+            assert!(!plan.dump_fails(t, 0, 0));
+            assert!(!plan.restore_fails(t, 0, 0));
+            assert!(!plan.image_corrupt(t, 0));
+            assert!(!plan.am_unresponsive(t, 0));
+            assert_eq!(plan.device_factor(t as u32, SimTime::from_secs(t)), 1.0);
+        }
+    }
+
+    #[test]
+    fn unit_probability_always_fires() {
+        let plan = FaultPlan::new(FaultSpec {
+            dump_fail_prob: 1.0,
+            ..FaultSpec::default()
+        });
+        for t in 0..100u64 {
+            assert!(plan.dump_fails(t, 3, 1));
+        }
+    }
+
+    #[test]
+    fn seeds_decouple_plans() {
+        let a = FaultPlan::new(FaultSpec {
+            seed: 1,
+            dump_fail_prob: 0.5,
+            ..FaultSpec::default()
+        });
+        let b = FaultPlan::new(FaultSpec {
+            seed: 2,
+            dump_fail_prob: 0.5,
+            ..FaultSpec::default()
+        });
+        let same = (0..256u64)
+            .filter(|&t| a.dump_fails(t, 0, 0) == b.dump_fails(t, 0, 0))
+            .count();
+        assert!(same < 256, "different seeds must disagree somewhere");
+    }
+
+    #[test]
+    fn families_are_domain_separated() {
+        let plan = FaultPlan::new(FaultSpec {
+            dump_fail_prob: 0.5,
+            restore_fail_prob: 0.5,
+            ..FaultSpec::default()
+        });
+        let agree = (0..256u64)
+            .filter(|&t| plan.dump_fails(t, 0, 0) == plan.restore_fails(t, 0, 0))
+            .count();
+        assert!(agree < 256, "dump and restore draws must be independent");
+    }
+
+    #[test]
+    fn empirical_rate_tracks_probability() {
+        let plan = FaultPlan::new(FaultSpec {
+            seed: 9,
+            dump_fail_prob: 0.2,
+            ..FaultSpec::default()
+        });
+        let n = 20_000u64;
+        let hits = (0..n).filter(|&t| plan.dump_fails(t, 0, 0)).count() as f64;
+        let rate = hits / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "rate {rate} far from 0.2");
+    }
+
+    #[test]
+    fn stall_windows_are_stable_within_a_window() {
+        let plan = FaultPlan::new(FaultSpec {
+            stall: Some(StallSpec {
+                prob: 0.5,
+                slowdown: 3.0,
+                window: SimDuration::from_secs(100),
+            }),
+            ..FaultSpec::default()
+        });
+        let mut stalled = 0;
+        for w in 0..200u64 {
+            let t0 = SimTime::from_secs(w * 100);
+            let t1 = SimTime::from_secs(w * 100 + 99);
+            let f0 = plan.device_factor(0, t0);
+            let f1 = plan.device_factor(0, t1);
+            assert_eq!(f0, f1, "factor is constant inside window {w}");
+            assert!(f0 == 1.0 || f0 == 3.0);
+            if f0 > 1.0 {
+                stalled += 1;
+            }
+        }
+        assert!(stalled > 50 && stalled < 150, "stalled {stalled}/200");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let plan = FaultPlan::new(FaultSpec {
+            dump_retry_backoff: SimDuration::from_secs(5),
+            ..FaultSpec::default()
+        });
+        assert_eq!(plan.dump_retry_backoff(1), SimDuration::from_secs(5));
+        assert_eq!(plan.dump_retry_backoff(2), SimDuration::from_secs(10));
+        assert_eq!(plan.dump_retry_backoff(3), SimDuration::from_secs(20));
+        assert_eq!(plan.dump_retry_backoff(100), SimDuration::from_secs(80));
+    }
+
+    #[test]
+    fn parse_profiles_and_overrides() {
+        assert_eq!(FaultSpec::parse("off").unwrap(), FaultSpec::default());
+        assert_eq!(FaultSpec::parse("light").unwrap(), FaultSpec::light());
+        assert_eq!(FaultSpec::parse("heavy").unwrap(), FaultSpec::heavy());
+        let s = FaultSpec::parse("dump=0.2,restore=0.1,corrupt=0.05,am=0.3,seed=7").unwrap();
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.dump_fail_prob, 0.2);
+        assert_eq!(s.restore_fail_prob, 0.1);
+        assert_eq!(s.corrupt_image_prob, 0.05);
+        assert_eq!(s.am_unresponsive_prob, 0.3);
+        let s = FaultSpec::parse("heavy,seed=3,dump=0.5").unwrap();
+        assert_eq!(s.seed, 3);
+        assert_eq!(s.dump_fail_prob, 0.5);
+        assert_eq!(s.restore_fail_prob, FaultSpec::heavy().restore_fail_prob);
+        let s = FaultSpec::parse("stall=0.4,slowdown=6,window=120").unwrap();
+        let st = s.stall.unwrap();
+        assert_eq!(st.prob, 0.4);
+        assert_eq!(st.slowdown, 6.0);
+        assert_eq!(st.window, SimDuration::from_secs(120));
+        let s =
+            FaultSpec::parse("dump-retries=5,restore-retries=1,backoff=2,escalation=30").unwrap();
+        assert_eq!(s.max_dump_retries, 5);
+        assert_eq!(s.max_restore_retries, 1);
+        assert_eq!(s.dump_retry_backoff, SimDuration::from_secs(2));
+        assert_eq!(s.escalation_timeout, SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(FaultSpec::parse("dump=1.5").is_err());
+        assert!(FaultSpec::parse("dump=-0.1").is_err());
+        assert!(FaultSpec::parse("slowdown=0.5").is_err());
+        assert!(FaultSpec::parse("window=0").is_err());
+        assert!(FaultSpec::parse("bogus=1").is_err());
+        assert!(FaultSpec::parse("noequals").is_err());
+        assert!(FaultSpec::parse("seed=abc").is_err());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = FaultSpec::parse("light").unwrap();
+        let text = format!("{s}");
+        assert!(text.contains("dump=0.05"));
+        assert!(text.contains("stall=0.05"));
+    }
+}

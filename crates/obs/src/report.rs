@@ -16,8 +16,9 @@ use crate::span::{Band, Blame, SpanCollector};
 
 /// Schema name stamped into report JSON.
 pub const REPORT_SCHEMA: &str = "cbp-obs-report";
-/// Schema version stamped into report JSON.
-pub const REPORT_VERSION: u32 = 1;
+/// Schema version stamped into report JSON (version 2 added the
+/// `retry_us` blame segment and the fault counters).
+pub const REPORT_VERSION: u32 = 2;
 
 /// MAD multiplier for anomaly flagging (the Iglewicz–Hoaglin modified
 /// z-score cutoff).
@@ -62,6 +63,12 @@ pub struct TotalsSummary {
     pub restores: u64,
     /// Dump fallbacks.
     pub fallbacks: u64,
+    /// Failed dump attempts (fault injection).
+    pub dump_fails: u64,
+    /// Failed restore attempts (fault injection).
+    pub restore_fails: u64,
+    /// RM escalations after unresponsive AMs.
+    pub escalations: u64,
 }
 
 /// Penalty summary for one priority band.
@@ -110,6 +117,12 @@ pub struct NodeSummary {
     pub restore_us: u64,
     /// Work discarded by evictions on the node (µs).
     pub lost_us: u64,
+    /// Recovery overhead on the node (failed dump/restore attempts, µs).
+    pub retry_us: u64,
+    /// Blocks re-replicated after the node's datanode failures.
+    pub repairs: u32,
+    /// Bytes re-replicated for those repairs.
+    pub repair_bytes: u64,
     /// Tasks that finished on the node.
     pub finishes: u32,
 }
@@ -250,6 +263,9 @@ impl ObsReport {
             totals.dumps += span.dumps as u64;
             totals.restores += span.restores as u64;
             totals.fallbacks += span.fallbacks as u64;
+            totals.dump_fails += span.dump_fails as u64;
+            totals.restore_fails += span.restore_fails as u64;
+            totals.escalations += span.escalations as u64;
             let acc = bands.get_mut(&span.band()).expect("all bands present");
             acc.tasks += 1;
             let job = jobs.entry(span.job).or_insert(JobSummary {
@@ -364,6 +380,9 @@ impl ObsReport {
                 restores: s.restores,
                 restore_us: s.restore_us,
                 lost_us: s.lost_us,
+                retry_us: s.retry_us,
+                repairs: s.repairs,
+                repair_bytes: s.repair_bytes,
                 finishes: s.finishes,
             })
             .collect();
@@ -433,6 +452,9 @@ impl ObsReport {
         kv_u64(&mut s, "dumps", self.totals.dumps);
         kv_u64(&mut s, "restores", self.totals.restores);
         kv_u64(&mut s, "fallbacks", self.totals.fallbacks);
+        kv_u64(&mut s, "dump_fails", self.totals.dump_fails);
+        kv_u64(&mut s, "restore_fails", self.totals.restore_fails);
+        kv_u64(&mut s, "escalations", self.totals.escalations);
         s.pop();
         s.push_str("},");
 
@@ -487,6 +509,9 @@ impl ObsReport {
             kv_u64(&mut s, "restores", n.restores as u64);
             kv_u64(&mut s, "restore_us", n.restore_us);
             kv_u64(&mut s, "lost_us", n.lost_us);
+            kv_u64(&mut s, "retry_us", n.retry_us);
+            kv_u64(&mut s, "repairs", n.repairs as u64);
+            kv_u64(&mut s, "repair_bytes", n.repair_bytes);
             kv_u64(&mut s, "finishes", n.finishes as u64);
             s.pop();
             s.push('}');
@@ -565,6 +590,13 @@ impl ObsReport {
             "events: {} evictions ({} kills, {} dumps, {} restores, {} fallbacks)",
             t.evictions, t.kills, t.dumps, t.restores, t.fallbacks
         );
+        if t.dump_fails > 0 || t.restore_fails > 0 || t.escalations > 0 {
+            let _ = writeln!(
+                out,
+                "faults: {} dump fails, {} restore fails, {} AM escalations",
+                t.dump_fails, t.restore_fails, t.escalations
+            );
+        }
         let _ = writeln!(
             out,
             "\n{:<11} {:>7} {:>8} {:>11} {:>11} {:>9} {:>9} {:>9} {:>6}",
@@ -595,12 +627,13 @@ impl ObsReport {
         }
         let _ = writeln!(
             out,
-            "\nblame totals (s): run {:.1}  ready-wait {:.1}  dump {:.1}  ckpt-wait {:.1}  restore {:.1}  lost {:.1}  suspended {:.1}",
+            "\nblame totals (s): run {:.1}  ready-wait {:.1}  dump {:.1}  ckpt-wait {:.1}  restore {:.1}  retry {:.1}  lost {:.1}  suspended {:.1}",
             secs(t.blame.run_us),
             secs(t.blame.ready_wait_us),
             secs(t.blame.dump_us),
             secs(t.blame.ckpt_wait_us),
             secs(t.blame.restore_us),
+            secs(t.blame.retry_us),
             secs(t.blame.lost_us),
             secs(t.blame.suspended_us),
         );
@@ -713,7 +746,7 @@ mod tests {
         let b = ObsReport::build(&collector_with_tasks(60), 5).to_json();
         assert_eq!(a, b, "same spans must produce byte-identical JSON");
         assert!(json::is_valid(&a), "report must be valid JSON: {a}");
-        assert!(a.starts_with("{\"schema\":\"cbp-obs-report\",\"version\":1,"));
+        assert!(a.starts_with("{\"schema\":\"cbp-obs-report\",\"version\":2,"));
         for key in [
             "\"source\"",
             "\"totals\"",

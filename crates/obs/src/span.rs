@@ -9,7 +9,7 @@
 //! # Blame accounting
 //!
 //! Every task's wall-clock (sim-time) span from `task_submit` to
-//! `task_finish` is tiled — exactly, in integer microseconds — by seven
+//! `task_finish` is tiled — exactly, in integer microseconds — by eight
 //! segments:
 //!
 //! * **run** — productive execution that counted toward completion;
@@ -20,6 +20,11 @@
 //!   side (evict → device start) and the restore side (placement →
 //!   device start);
 //! * **restore** — checkpoint restore service time;
+//! * **retry** — recovery overhead from injected faults: time burnt by
+//!   failed dump attempts (plus their backoff) and failed restore
+//!   attempts, up to the point where the operation either succeeds, is
+//!   abandoned for a kill fallback, or degenerates into a
+//!   restart-from-scratch (`dump_fail` / `restore_fail` records);
 //! * **lost** — intervals whose progress was discarded and must be
 //!   re-executed: execution since the last resume point when a task is
 //!   killed, time burnt by an aborted dump or restore, and previously
@@ -29,7 +34,7 @@
 //!   image, waiting to be rescheduled for a restore.
 //!
 //! The conservation invariant `run + ready_wait + dump + ckpt_wait +
-//! restore + lost + suspended == finish - submit` holds by construction
+//! restore + retry + lost + suspended == finish - submit` holds by construction
 //! and is hard-asserted at every `task_finish`; the property tests in
 //! `cbp-bench` exercise it across randomized scenarios on both
 //! simulators.
@@ -114,6 +119,9 @@ pub struct Blame {
     pub ckpt_wait_us: u64,
     /// Checkpoint restore service time.
     pub restore_us: u64,
+    /// Recovery overhead: failed dump/restore attempts and their
+    /// backoff, before the operation succeeded or was abandoned.
+    pub retry_us: u64,
     /// Discarded work re-executed later (kills, aborted dumps/restores,
     /// lost images).
     pub lost_us: u64,
@@ -130,6 +138,7 @@ impl Blame {
             + self.dump_us
             + self.ckpt_wait_us
             + self.restore_us
+            + self.retry_us
             + self.lost_us
             + self.suspended_us
     }
@@ -146,18 +155,20 @@ impl Blame {
         self.dump_us += other.dump_us;
         self.ckpt_wait_us += other.ckpt_wait_us;
         self.restore_us += other.restore_us;
+        self.retry_us += other.retry_us;
         self.lost_us += other.lost_us;
         self.suspended_us += other.suspended_us;
     }
 
     /// `(name, value)` pairs in canonical report order.
-    pub fn components(&self) -> [(&'static str, u64); 7] {
+    pub fn components(&self) -> [(&'static str, u64); 8] {
         [
             ("run_us", self.run_us),
             ("ready_wait_us", self.ready_wait_us),
             ("dump_us", self.dump_us),
             ("ckpt_wait_us", self.ckpt_wait_us),
             ("restore_us", self.restore_us),
+            ("retry_us", self.retry_us),
             ("lost_us", self.lost_us),
             ("suspended_us", self.suspended_us),
         ]
@@ -208,6 +219,12 @@ pub struct TaskSpan {
     pub restores: u32,
     /// Dump fallbacks (capacity, grace-expired, node-fail, ...).
     pub fallbacks: u32,
+    /// Failed dump attempts (`dump_fail` records).
+    pub dump_fails: u32,
+    /// Failed restore attempts (`restore_fail` records).
+    pub restore_fails: u32,
+    /// RM escalations after an unresponsive AM (`am_escalate` records).
+    pub escalations: u32,
     /// Records that arrived in a phase where they make no sense. Tasks
     /// with `malformed > 0` are excluded from aggregation.
     pub malformed: u32,
@@ -250,6 +267,12 @@ pub struct NodeStats {
     pub restore_us: u64,
     /// Work discarded by evictions on this node (µs).
     pub lost_us: u64,
+    /// Recovery overhead on this node (failed dump/restore attempts, µs).
+    pub retry_us: u64,
+    /// Blocks re-replicated after this node's datanode failures.
+    pub repairs: u32,
+    /// Bytes re-replicated for those repairs.
+    pub repair_bytes: u64,
     /// Tasks that finished on this node.
     pub finishes: u32,
 }
@@ -346,6 +369,9 @@ impl SpanCollector {
                         dumps: 0,
                         restores: 0,
                         fallbacks: 0,
+                        dump_fails: 0,
+                        restore_fails: 0,
+                        escalations: 0,
                         malformed: 0,
                         current: Phase::Queued { since: t },
                     },
@@ -496,6 +522,75 @@ impl SpanCollector {
                 if let Some(span) = self.tasks.get_mut(&task) {
                     span.fallbacks += 1;
                 }
+            }
+            TraceRecord::DumpFail { task, node, .. } => {
+                let Some(span) = self.tasks.get_mut(&task) else {
+                    self.bad(task, "dump_fail before task_submit", rec);
+                    return;
+                };
+                match span.current {
+                    Phase::DumpWait { evict_at, run_len } => {
+                        // The failed attempt (and any backoff before it)
+                        // is recovery overhead; the held-back run stays
+                        // held back for the next attempt or the fallback
+                        // kill.
+                        let burnt = t - evict_at;
+                        span.blame.retry_us += burnt;
+                        span.dump_fails += 1;
+                        span.current = Phase::DumpWait {
+                            evict_at: t,
+                            run_len,
+                        };
+                        self.node(node).retry_us += burnt;
+                    }
+                    _ => self.bad(task, "dump_fail without pending dump", rec),
+                }
+            }
+            TraceRecord::RestoreFail {
+                task,
+                node,
+                will_retry,
+                ..
+            } => {
+                let Some(span) = self.tasks.get_mut(&task) else {
+                    self.bad(task, "restore_fail before task_submit", rec);
+                    return;
+                };
+                match span.current {
+                    Phase::Restoring { sched_at } => {
+                        let burnt = t - sched_at;
+                        span.blame.retry_us += burnt;
+                        span.restore_fails += 1;
+                        span.current = if will_retry {
+                            // Next attempt (e.g. from a surviving HDFS
+                            // replica) begins now, on the same placement.
+                            Phase::Restoring { sched_at: t }
+                        } else {
+                            // Restart from scratch: the task re-queues;
+                            // the following task_schedule(restore=false)
+                            // reclassifies the credited run as lost.
+                            Phase::Queued { since: t }
+                        };
+                        self.node(node).retry_us += burnt;
+                    }
+                    _ => self.bad(task, "restore_fail without pending restore", rec),
+                }
+            }
+            TraceRecord::AmEscalate { task, .. } => {
+                // The victim keeps running until the forced kill's
+                // task_evict arrives; only counted here.
+                if let Some(span) = self.tasks.get_mut(&task) {
+                    span.escalations += 1;
+                }
+            }
+            TraceRecord::ReplicationRepair {
+                node,
+                blocks,
+                bytes,
+            } => {
+                let ns = self.node(node);
+                ns.repairs += blocks.min(u32::MAX as u64) as u32;
+                ns.repair_bytes += bytes;
             }
             // Bookkeeping-only records: the span machine does not need
             // them (dump/restore spans close on the *_done records, and
@@ -819,6 +914,211 @@ mod tests {
         assert_eq!(b.ckpt_wait_us, 20);
         assert_eq!(b.restore_us, 0);
         assert_eq!(b.total_us(), 100);
+    }
+
+    #[test]
+    fn dump_retry_burns_retry_not_lost() {
+        let mut c = SpanCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (0, sched(1, false)),
+                // Ran 50, evicted for a dump; attempt 0 fails at 70
+                // (20 µs burnt), retry succeeds: device starts 75,
+                // done 90.
+                (50, evict(1, "dump")),
+                (
+                    70,
+                    TraceRecord::DumpFail {
+                        task: 1,
+                        node: 0,
+                        attempt: 0,
+                        will_retry: true,
+                    },
+                ),
+                (
+                    90,
+                    TraceRecord::DumpDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 75,
+                    },
+                ),
+                (100, sched(1, true)),
+                (
+                    110,
+                    TraceRecord::RestoreDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 102,
+                    },
+                ),
+                (200, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        let span = &c.tasks()[&1];
+        let b = span.blame;
+        assert_eq!(b.retry_us, 20, "failed attempt is retry, not lost");
+        assert_eq!(b.run_us, 50 + 90);
+        assert_eq!(b.ckpt_wait_us, 5 + 2);
+        assert_eq!(b.dump_us, 15);
+        assert_eq!(b.restore_us, 8);
+        assert_eq!(b.suspended_us, 10);
+        assert_eq!(b.lost_us, 0);
+        assert_eq!(b.total_us(), 200);
+        assert_eq!(span.dump_fails, 1);
+        assert_eq!(span.dumps, 1);
+        assert_eq!(c.nodes()[&0].retry_us, 20);
+    }
+
+    #[test]
+    fn exhausted_dump_retries_fall_back_to_kill() {
+        let mut c = SpanCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (0, sched(1, false)),
+                (40, evict(1, "dump")),
+                (
+                    60,
+                    TraceRecord::DumpFail {
+                        task: 1,
+                        node: 0,
+                        attempt: 0,
+                        will_retry: true,
+                    },
+                ),
+                (
+                    90,
+                    TraceRecord::DumpFail {
+                        task: 1,
+                        node: 0,
+                        attempt: 1,
+                        will_retry: false,
+                    },
+                ),
+                (
+                    90,
+                    TraceRecord::DumpFallback {
+                        task: 1,
+                        node: 0,
+                        reason: "dump-fail",
+                    },
+                ),
+                (90, evict(1, "dump-fail")),
+                (100, sched(1, false)),
+                (200, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        let span = &c.tasks()[&1];
+        let b = span.blame;
+        assert_eq!(b.retry_us, 20 + 30, "both failed attempts are retry");
+        assert_eq!(b.lost_us, 40, "run since resume point dies with the kill");
+        assert_eq!(b.run_us, 100);
+        assert_eq!(b.ready_wait_us, 10);
+        assert_eq!(b.total_us(), 200);
+        assert_eq!(span.dump_fails, 2);
+        assert_eq!(span.fallbacks, 1);
+        assert_eq!(span.kills, 1, "dump-fail eviction is a hard kill");
+    }
+
+    #[test]
+    fn restore_retry_then_scratch_restart() {
+        let mut c = SpanCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (0, sched(1, false)),
+                (30, evict(1, "dump")),
+                (
+                    40,
+                    TraceRecord::DumpDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 30,
+                    },
+                ),
+                (50, sched(1, true)),
+                // Attempt 0 fails transiently at 65, retry from another
+                // replica fails for good at 80: restart from scratch.
+                (
+                    65,
+                    TraceRecord::RestoreFail {
+                        task: 1,
+                        node: 0,
+                        attempt: 0,
+                        reason: "transient",
+                        will_retry: true,
+                    },
+                ),
+                (
+                    80,
+                    TraceRecord::RestoreFail {
+                        task: 1,
+                        node: 0,
+                        attempt: 1,
+                        reason: "corrupt-image",
+                        will_retry: false,
+                    },
+                ),
+                (100, sched(1, false)),
+                (230, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        let span = &c.tasks()[&1];
+        let b = span.blame;
+        assert_eq!(b.retry_us, 15 + 15);
+        assert_eq!(
+            b.lost_us, 30,
+            "credited run is re-executed after the scratch restart"
+        );
+        assert_eq!(b.run_us, 130);
+        assert_eq!(b.dump_us, 10);
+        assert_eq!(b.suspended_us, 10);
+        assert_eq!(b.ready_wait_us, 20, "re-queue wait before the fresh start");
+        assert_eq!(b.restore_us, 0);
+        assert_eq!(b.total_us(), 230);
+        assert_eq!(span.restore_fails, 2);
+        assert_eq!(span.restores, 0);
+    }
+
+    #[test]
+    fn escalation_and_repair_are_counted() {
+        let mut c = SpanCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (0, sched(1, false)),
+                (
+                    50,
+                    TraceRecord::AmEscalate {
+                        task: 1,
+                        node: 0,
+                        waited_us: 50,
+                    },
+                ),
+                (50, evict(1, "kill")),
+                (
+                    55,
+                    TraceRecord::ReplicationRepair {
+                        node: 0,
+                        blocks: 4,
+                        bytes: 1 << 20,
+                    },
+                ),
+                (60, sched(1, false)),
+                (160, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        let span = &c.tasks()[&1];
+        assert_eq!(span.escalations, 1);
+        assert_eq!(span.blame.total_us(), 160);
+        assert_eq!(c.nodes()[&0].repairs, 4);
+        assert_eq!(c.nodes()[&0].repair_bytes, 1 << 20);
     }
 
     #[test]

@@ -19,8 +19,10 @@ pub const TRACE_SCHEMA: &str = "cbp-trace";
 ///
 /// Bump whenever a record variant changes shape or meaning (e.g. the
 /// `dump_done.start_us` field moved from submission time to service start
-/// when version 1 was introduced).
-pub const TRACE_SCHEMA_VERSION: u64 = 1;
+/// when version 1 was introduced; version 2 added the fault-injection
+/// vocabulary: `dump_fail`, `restore_fail`, `am_escalate`,
+/// `replication_repair`).
+pub const TRACE_SCHEMA_VERSION: u64 = 2;
 
 /// The exact header line (without trailing newline) the JSONL sink emits.
 pub fn schema_header() -> String {
@@ -98,6 +100,12 @@ fn intern(s: &str) -> &'static str {
         "storage-full",
         "nvram-full",
         "grace-expired",
+        "dump-fail",
+        "am-unresponsive",
+        // restore failure classes
+        "transient",
+        "corrupt-image",
+        "blocks-lost",
         // devices
         "hdd",
         "ssd",
@@ -236,6 +244,29 @@ impl<R: BufRead> JsonlReader<R> {
                 node: node32("node")?,
                 reason: s("reason")?,
             },
+            "dump_fail" => TraceRecord::DumpFail {
+                task: u("task")?,
+                node: node32("node")?,
+                attempt: u("attempt")?.min(u32::MAX as u64) as u32,
+                will_retry: b("will_retry")?,
+            },
+            "restore_fail" => TraceRecord::RestoreFail {
+                task: u("task")?,
+                node: node32("node")?,
+                attempt: u("attempt")?.min(u32::MAX as u64) as u32,
+                reason: s("reason")?,
+                will_retry: b("will_retry")?,
+            },
+            "am_escalate" => TraceRecord::AmEscalate {
+                task: u("task")?,
+                node: node32("node")?,
+                waited_us: u("waited_us")?,
+            },
+            "replication_repair" => TraceRecord::ReplicationRepair {
+                node: node32("node")?,
+                blocks: u("blocks")?,
+                bytes: u("bytes")?,
+            },
             "restore_start" => TraceRecord::RestoreStart {
                 task: u("task")?,
                 node: node32("node")?,
@@ -366,6 +397,41 @@ mod tests {
                     task: 7,
                     node: 1,
                     reason: "grace-expired",
+                },
+            ),
+            (
+                41,
+                TraceRecord::DumpFail {
+                    task: 7,
+                    node: 1,
+                    attempt: 2,
+                    will_retry: false,
+                },
+            ),
+            (
+                41,
+                TraceRecord::RestoreFail {
+                    task: 7,
+                    node: 1,
+                    attempt: 0,
+                    reason: "corrupt-image",
+                    will_retry: true,
+                },
+            ),
+            (
+                41,
+                TraceRecord::AmEscalate {
+                    task: 7,
+                    node: 1,
+                    waited_us: 15_000_000,
+                },
+            ),
+            (
+                41,
+                TraceRecord::ReplicationRepair {
+                    node: 1,
+                    blocks: 12,
+                    bytes: 3 << 20,
                 },
             ),
             (42, TraceRecord::NodeFail { node: 1 }),

@@ -126,6 +126,53 @@ pub enum TraceRecord {
         /// Why the fallback happened (e.g. `"no-capacity"`).
         reason: &'static str,
     },
+    /// A checkpoint dump attempt failed (fault injection); the victim
+    /// either retries after backoff or falls back to a kill.
+    DumpFail {
+        /// Task whose dump failed.
+        task: u64,
+        /// Node the dump ran on.
+        node: u32,
+        /// 0-based attempt index that failed.
+        attempt: u32,
+        /// Whether a retry is scheduled (`false` ⇒ kill fallback next).
+        will_retry: bool,
+    },
+    /// A checkpoint restore attempt failed (fault injection); the task
+    /// either retries from a surviving replica or restarts from scratch.
+    RestoreFail {
+        /// Task whose restore failed.
+        task: u64,
+        /// Node the restore ran on.
+        node: u32,
+        /// 0-based attempt index that failed.
+        attempt: u32,
+        /// Failure class (`"transient"`, `"corrupt-image"`,
+        /// `"blocks-lost"`).
+        reason: &'static str,
+        /// Whether a retry is scheduled (`false` ⇒ restart from
+        /// scratch).
+        will_retry: bool,
+    },
+    /// The RM escalated an unresponsive AM's preemption request to a
+    /// forced kill.
+    AmEscalate {
+        /// Victim task whose AM ignored the request.
+        task: u64,
+        /// Node the victim runs on.
+        node: u32,
+        /// How long the RM waited before escalating (µs).
+        waited_us: u64,
+    },
+    /// HDFS re-replicated blocks lost with a failed datanode.
+    ReplicationRepair {
+        /// The failed datanode's node id.
+        node: u32,
+        /// Number of under-replicated blocks repaired.
+        blocks: u64,
+        /// Total bytes copied to restore the replication factor.
+        bytes: u64,
+    },
     /// A checkpoint restore started.
     RestoreStart {
         /// Task being restored.
@@ -182,6 +229,10 @@ impl TraceRecord {
             TraceRecord::DumpStart { .. } => "dump_start",
             TraceRecord::DumpDone { .. } => "dump_done",
             TraceRecord::DumpFallback { .. } => "dump_fallback",
+            TraceRecord::DumpFail { .. } => "dump_fail",
+            TraceRecord::RestoreFail { .. } => "restore_fail",
+            TraceRecord::AmEscalate { .. } => "am_escalate",
+            TraceRecord::ReplicationRepair { .. } => "replication_repair",
             TraceRecord::RestoreStart { .. } => "restore_start",
             TraceRecord::RestoreDone { .. } => "restore_done",
             TraceRecord::NodeFail { .. } => "node_fail",
@@ -201,6 +252,10 @@ impl TraceRecord {
             | TraceRecord::DumpStart { node, .. }
             | TraceRecord::DumpDone { node, .. }
             | TraceRecord::DumpFallback { node, .. }
+            | TraceRecord::DumpFail { node, .. }
+            | TraceRecord::RestoreFail { node, .. }
+            | TraceRecord::AmEscalate { node, .. }
+            | TraceRecord::ReplicationRepair { node, .. }
             | TraceRecord::RestoreStart { node, .. }
             | TraceRecord::RestoreDone { node, .. }
             | TraceRecord::NodeFail { node }
@@ -295,6 +350,48 @@ impl TraceRecord {
                 kv_u64(out, "node", node as u64);
                 kv_str(out, "reason", reason);
             }
+            TraceRecord::DumpFail {
+                task,
+                node,
+                attempt,
+                will_retry,
+            } => {
+                kv_u64(out, "task", task);
+                kv_u64(out, "node", node as u64);
+                kv_u64(out, "attempt", attempt as u64);
+                kv_bool(out, "will_retry", will_retry);
+            }
+            TraceRecord::RestoreFail {
+                task,
+                node,
+                attempt,
+                reason,
+                will_retry,
+            } => {
+                kv_u64(out, "task", task);
+                kv_u64(out, "node", node as u64);
+                kv_u64(out, "attempt", attempt as u64);
+                kv_str(out, "reason", reason);
+                kv_bool(out, "will_retry", will_retry);
+            }
+            TraceRecord::AmEscalate {
+                task,
+                node,
+                waited_us,
+            } => {
+                kv_u64(out, "task", task);
+                kv_u64(out, "node", node as u64);
+                kv_u64(out, "waited_us", waited_us);
+            }
+            TraceRecord::ReplicationRepair {
+                node,
+                blocks,
+                bytes,
+            } => {
+                kv_u64(out, "node", node as u64);
+                kv_u64(out, "blocks", blocks);
+                kv_u64(out, "bytes", bytes);
+            }
             TraceRecord::RestoreStart {
                 task,
                 node,
@@ -365,7 +462,7 @@ impl Tracer for NullTracer {
 /// Writes one JSON object per line: `{"t_us":N,"event":"...",...}`.
 ///
 /// The first line is a schema header
-/// (`{"schema":"cbp-trace","version":1}`, see
+/// (`{"schema":"cbp-trace","version":2}`, see
 /// [`crate::reader::schema_header`]) so consumers can reject traces
 /// written by an incompatible emitter. Field order is fixed (`t_us`,
 /// `event`, then per-variant payload), so the same record stream
@@ -715,6 +812,41 @@ mod tests {
                     task: 9,
                     node: 1,
                     reason: "no-capacity",
+                },
+            ),
+            (
+                82,
+                TraceRecord::DumpFail {
+                    task: 9,
+                    node: 1,
+                    attempt: 0,
+                    will_retry: true,
+                },
+            ),
+            (
+                84,
+                TraceRecord::RestoreFail {
+                    task: 7,
+                    node: 5,
+                    attempt: 1,
+                    reason: "transient",
+                    will_retry: false,
+                },
+            ),
+            (
+                86,
+                TraceRecord::AmEscalate {
+                    task: 9,
+                    node: 1,
+                    waited_us: 5,
+                },
+            ),
+            (
+                88,
+                TraceRecord::ReplicationRepair {
+                    node: 2,
+                    blocks: 3,
+                    bytes: 4096,
                 },
             ),
             (90, TraceRecord::TaskFinish { task: 7, node: 5 }),

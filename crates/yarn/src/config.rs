@@ -3,6 +3,7 @@
 use cbp_cluster::{EnergyModel, Resources};
 use cbp_core::PreemptionPolicy;
 use cbp_dfs::DfsConfig;
+use cbp_faults::FaultSpec;
 use cbp_simkit::units::ByteSize;
 use cbp_simkit::SimDuration;
 use cbp_storage::{MediaKind, MediaSpec};
@@ -44,6 +45,9 @@ pub struct YarnConfig {
     pub energy: EnergyModel,
     /// Seed for DFS placement.
     pub seed: u64,
+    /// Deterministic fault-injection plan (`None` — and any inert spec —
+    /// disables injection entirely; see `cbp-faults`).
+    pub faults: Option<FaultSpec>,
 }
 
 impl YarnConfig {
@@ -68,6 +72,7 @@ impl YarnConfig {
             graceful_timeout: None,
             energy: EnergyModel::default(),
             seed: 42,
+            faults: None,
         }
     }
 
@@ -106,6 +111,14 @@ impl YarnConfig {
     /// Returns a copy with the NodeManager's force-kill grace period.
     pub fn with_graceful_timeout(mut self, timeout: SimDuration) -> Self {
         self.graceful_timeout = Some(timeout);
+        self
+    }
+
+    /// Returns a copy with a fault-injection plan. An inert spec (all
+    /// probabilities zero) is normalized to `None`, so enabling "no
+    /// faults" is observationally identical to never calling this.
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = if spec.is_inert() { None } else { Some(spec) };
         self
     }
 

@@ -28,6 +28,11 @@ pub struct YarnReport {
     pub capacity_fallbacks: u64,
     /// Dumps aborted by the NodeManager's grace-period force-kill.
     pub force_kills: u64,
+    /// Fault-injected dump failures the NodeManager converted to kills.
+    pub dump_fail_kills: u64,
+    /// Preemption requests the RM escalated to kills because the AM
+    /// stayed unresponsive (fault injection).
+    pub am_escalations: u64,
     /// CPU-hours of re-executed (killed) work.
     pub kill_lost_cpu_hours: f64,
     /// CPU-hours of containers held during dumps.
@@ -115,6 +120,8 @@ mod tests {
             remote_restores: 1,
             capacity_fallbacks: 0,
             force_kills: 0,
+            dump_fail_kills: 0,
+            am_escalations: 0,
             kill_lost_cpu_hours: 1.0,
             dump_overhead_cpu_hours: 0.5,
             restore_overhead_cpu_hours: 0.5,

@@ -5,6 +5,7 @@ use cbp_cluster::{Container, ContainerId, EnergyMeter, Node, NodeId};
 use cbp_core::PreemptionPolicy;
 use cbp_core::TelemetryReport;
 use cbp_dfs::{DfsCluster, DnId};
+use cbp_faults::FaultPlan;
 use cbp_simkit::stats::Samples;
 use cbp_simkit::{run_until_observed, EventQueue, RunStats, SimRng, SimTime, Simulation};
 use cbp_storage::{Device, MediaKind, OpKind};
@@ -80,6 +81,17 @@ pub enum YarnEvent {
         /// Staleness guard (the epoch assigned when the dump started).
         epoch: u32,
     },
+    /// The RM's escalation deadline for an unresponsive AM expired: the
+    /// preemption request was ignored, so the RM force-kills the
+    /// container itself (liveness backstop, fault injection only).
+    AmEscalate {
+        /// Application.
+        app: u32,
+        /// Task index.
+        task: u32,
+        /// Staleness guard (the epoch when the request was ignored).
+        epoch: u32,
+    },
 }
 
 struct NodeManager {
@@ -118,6 +130,8 @@ pub struct YarnSim {
     remote_restores: u64,
     capacity_fallbacks: u64,
     force_kills: u64,
+    am_escalations: u64,
+    dump_fail_kills: u64,
     kill_lost_cpu_secs: f64,
     dump_overhead_cpu_secs: f64,
     restore_overhead_cpu_secs: f64,
@@ -129,6 +143,10 @@ pub struct YarnSim {
     tracer: Box<dyn Tracer>,
     /// Cached `tracer.enabled()` so the disabled path costs one branch.
     trace_on: bool,
+    /// Deterministic fault oracle (absent when injection is off). Every
+    /// decision is a pure hash of (plan seed, identity), so an inert
+    /// plan perturbs nothing and the same plan replays identically.
+    faults: Option<FaultPlan>,
 }
 
 fn task_key(app: u32, task: u32) -> u64 {
@@ -162,8 +180,14 @@ impl YarnSim {
             })
             .unwrap_or(1);
         let total_slots = per_node * cfg.nodes as u32;
+        let faults = cfg
+            .faults
+            .clone()
+            .filter(|spec| !spec.is_inert())
+            .map(FaultPlan::new);
 
         YarnSim {
+            faults,
             rm: ResourceManager::new(),
             apps: Vec::with_capacity(workload.job_count()),
             criu: Criu::new(cfg.incremental),
@@ -180,6 +204,8 @@ impl YarnSim {
             remote_restores: 0,
             capacity_fallbacks: 0,
             force_kills: 0,
+            am_escalations: 0,
+            dump_fail_kills: 0,
             kill_lost_cpu_secs: 0.0,
             dump_overhead_cpu_secs: 0.0,
             restore_overhead_cpu_secs: 0.0,
@@ -249,6 +275,8 @@ impl YarnSim {
             remote_restores: self.remote_restores,
             capacity_fallbacks: self.capacity_fallbacks,
             force_kills: self.force_kills,
+            dump_fail_kills: self.dump_fail_kills,
+            am_escalations: self.am_escalations,
             kill_lost_cpu_hours: self.kill_lost_cpu_secs / 3600.0,
             dump_overhead_cpu_hours: self.dump_overhead_cpu_secs / 3600.0,
             restore_overhead_cpu_hours: self.restore_overhead_cpu_secs / 3600.0,
@@ -285,6 +313,8 @@ impl YarnSim {
             self.capacity_fallbacks,
         );
         reg.set_counter("scheduler.force_kills", "ops", self.force_kills);
+        reg.set_counter("faults.am_escalations", "ops", self.am_escalations);
+        reg.set_counter("faults.dump_fail_kills", "ops", self.dump_fail_kills);
         reg.set_counter("scheduler.tasks_finished", "ops", self.tasks_finished);
         reg.set_counter(
             "scheduler.jobs_finished",
@@ -785,6 +815,55 @@ impl YarnSim {
             }
         }
     }
+
+    /// Fault-injection fallback: the dump's `criu dump` errored at the
+    /// NM. The half-written image tip is aborted and the container
+    /// transitions through the same kill path the NM uses for a
+    /// grace-period expiry — progress since the last valid checkpoint is
+    /// lost but the preempted resources are released.
+    fn on_dump_failed(
+        &mut self,
+        app: u32,
+        task: u32,
+        node: u32,
+        now: SimTime,
+        q: &mut EventQueue<YarnEvent>,
+    ) {
+        let key = task_key(app, task);
+        self.dump_fail_kills += 1;
+        if let Some((origin, bytes)) = self.criu.abort_tip(key) {
+            self.nms[origin as usize].device.release(bytes);
+        }
+        if let Some(path) = self.apps[app as usize].tasks[task as usize].dfs_paths.pop() {
+            let _ = self.dfs.delete(&path);
+        }
+        if self.trace_on {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::DumpFail {
+                    task: key,
+                    node,
+                    attempt: 0,
+                    will_retry: false,
+                },
+            );
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::DumpFallback {
+                    task: key,
+                    node,
+                    reason: "dump-fail",
+                },
+            );
+        }
+        // The container is still held; transition it through a kill.
+        let am_task = &mut self.apps[app as usize].tasks[task as usize];
+        let AmTaskStatus::Dumping { node, container } = am_task.status else {
+            unreachable!("dump failure detected in Dumping state")
+        };
+        am_task.status = AmTaskStatus::Running { node, container };
+        self.kill(app, task, now, q);
+    }
 }
 
 /// Short stable policy name for trace records.
@@ -847,6 +926,22 @@ impl Simulation for YarnSim {
                     AmTaskStatus::Running { node, .. } => node as usize,
                     _ => unreachable!(),
                 };
+                // Fault injection: an unresponsive AM drops the
+                // ContainerPreemptEvent on the floor. The RM notices the
+                // missed deadline (`graceful_timeout`, or the plan's
+                // escalation backstop when none is configured) and
+                // escalates to a forced kill so the production ask is
+                // never starved forever.
+                if let Some(plan) = &self.faults {
+                    if plan.am_unresponsive(task_key(app, task), epoch) {
+                        let wait = self
+                            .cfg
+                            .graceful_timeout
+                            .unwrap_or_else(|| plan.escalation_timeout());
+                        q.push(now + wait, YarnEvent::AmEscalate { app, task, epoch });
+                        return;
+                    }
+                }
                 // Algorithm 1 needs the current dirty estimate.
                 self.apps[app as usize].tasks[task as usize].sync_progress(now);
                 self.apps[app as usize].tasks[task as usize].sync_memory(now);
@@ -923,6 +1018,32 @@ impl Simulation for YarnSim {
                 am_task.status = AmTaskStatus::Running { node, container };
                 self.kill(app, task, now, q);
             }
+            YarnEvent::AmEscalate { app, task, epoch } => {
+                let am_task = &self.apps[app as usize].tasks[task as usize];
+                if am_task.epoch != epoch {
+                    return; // the task moved on (finished or was dumped)
+                }
+                let AmTaskStatus::Running { node, .. } = am_task.status else {
+                    return;
+                };
+                self.am_escalations += 1;
+                if self.trace_on {
+                    let plan = self.faults.as_ref().expect("escalation requires a plan");
+                    let waited = self
+                        .cfg
+                        .graceful_timeout
+                        .unwrap_or_else(|| plan.escalation_timeout());
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::AmEscalate {
+                            task: task_key(app, task),
+                            node,
+                            waited_us: waited.as_micros(),
+                        },
+                    );
+                }
+                self.kill(app, task, now, q);
+            }
             YarnEvent::DumpDone {
                 app,
                 task,
@@ -936,8 +1057,18 @@ impl Simulation for YarnSim {
                 let AmTaskStatus::Dumping { node, .. } = am_task.status else {
                     return;
                 };
-                self.release_container(app, task, now);
                 self.nms[node as usize].device.on_advance(now);
+                // Fault injection: the NM's `criu dump` errored. The
+                // Preemption Manager's fallback is the stock-YARN one —
+                // abort the half-written image and kill the container
+                // (the RM's ask is served either way).
+                if let Some(plan) = &self.faults {
+                    if plan.dump_fails(task_key(app, task), epoch, 0) {
+                        self.on_dump_failed(app, task, node, now, q);
+                        return;
+                    }
+                }
+                self.release_container(app, task, now);
                 if self.trace_on {
                     self.tracer.record(
                         now.as_micros(),

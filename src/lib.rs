@@ -17,6 +17,7 @@ pub use cbp_checkpoint as checkpoint;
 pub use cbp_cluster as cluster;
 pub use cbp_core as core;
 pub use cbp_dfs as dfs;
+pub use cbp_faults as faults;
 pub use cbp_obs as obs;
 pub use cbp_simkit as simkit;
 pub use cbp_storage as storage;
