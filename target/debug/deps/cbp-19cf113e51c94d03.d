@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cbp-19cf113e51c94d03.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp-19cf113e51c94d03.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cbp-4d885bdf30a984db.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcbp-4d885bdf30a984db.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcbp-4d885bdf30a984db.rmeta: src/lib.rs
+
+src/lib.rs:

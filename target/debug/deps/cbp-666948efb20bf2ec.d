@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cbp-666948efb20bf2ec.d: src/lib.rs
+
+/root/repo/target/debug/deps/cbp-666948efb20bf2ec: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cbp-aee02f537dd1230e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp-aee02f537dd1230e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cbp_bench-d268c7823f1c912e.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablate.rs crates/bench/src/experiments/characterize.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/micro.rs crates/bench/src/experiments/qos.rs crates/bench/src/experiments/sensitivity.rs crates/bench/src/experiments/tracesim.rs crates/bench/src/experiments/yarnexp.rs crates/bench/src/table.rs crates/bench/src/telemetry_run.rs
+
+/root/repo/target/debug/deps/cbp_bench-d268c7823f1c912e: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablate.rs crates/bench/src/experiments/characterize.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/micro.rs crates/bench/src/experiments/qos.rs crates/bench/src/experiments/sensitivity.rs crates/bench/src/experiments/tracesim.rs crates/bench/src/experiments/yarnexp.rs crates/bench/src/table.rs crates/bench/src/telemetry_run.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablate.rs:
+crates/bench/src/experiments/characterize.rs:
+crates/bench/src/experiments/extensions.rs:
+crates/bench/src/experiments/micro.rs:
+crates/bench/src/experiments/qos.rs:
+crates/bench/src/experiments/sensitivity.rs:
+crates/bench/src/experiments/tracesim.rs:
+crates/bench/src/experiments/yarnexp.rs:
+crates/bench/src/table.rs:
+crates/bench/src/telemetry_run.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/cbp_bench-f0acea7d130a84d8.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablate.rs crates/bench/src/experiments/characterize.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/micro.rs crates/bench/src/experiments/qos.rs crates/bench/src/experiments/sensitivity.rs crates/bench/src/experiments/tracesim.rs crates/bench/src/experiments/yarnexp.rs crates/bench/src/table.rs crates/bench/src/telemetry_run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_bench-f0acea7d130a84d8.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablate.rs crates/bench/src/experiments/characterize.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/micro.rs crates/bench/src/experiments/qos.rs crates/bench/src/experiments/sensitivity.rs crates/bench/src/experiments/tracesim.rs crates/bench/src/experiments/yarnexp.rs crates/bench/src/table.rs crates/bench/src/telemetry_run.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablate.rs:
+crates/bench/src/experiments/characterize.rs:
+crates/bench/src/experiments/extensions.rs:
+crates/bench/src/experiments/micro.rs:
+crates/bench/src/experiments/qos.rs:
+crates/bench/src/experiments/sensitivity.rs:
+crates/bench/src/experiments/tracesim.rs:
+crates/bench/src/experiments/yarnexp.rs:
+crates/bench/src/table.rs:
+crates/bench/src/telemetry_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cbp_checkpoint-1541fb4d49e84181.d: crates/checkpoint/src/lib.rs crates/checkpoint/src/criu.rs crates/checkpoint/src/image.rs crates/checkpoint/src/memory.rs crates/checkpoint/src/nvram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_checkpoint-1541fb4d49e84181.rmeta: crates/checkpoint/src/lib.rs crates/checkpoint/src/criu.rs crates/checkpoint/src/image.rs crates/checkpoint/src/memory.rs crates/checkpoint/src/nvram.rs Cargo.toml
+
+crates/checkpoint/src/lib.rs:
+crates/checkpoint/src/criu.rs:
+crates/checkpoint/src/image.rs:
+crates/checkpoint/src/memory.rs:
+crates/checkpoint/src/nvram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

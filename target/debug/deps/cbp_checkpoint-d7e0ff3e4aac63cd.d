@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cbp_checkpoint-d7e0ff3e4aac63cd.d: crates/checkpoint/src/lib.rs crates/checkpoint/src/criu.rs crates/checkpoint/src/image.rs crates/checkpoint/src/memory.rs crates/checkpoint/src/nvram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_checkpoint-d7e0ff3e4aac63cd.rmeta: crates/checkpoint/src/lib.rs crates/checkpoint/src/criu.rs crates/checkpoint/src/image.rs crates/checkpoint/src/memory.rs crates/checkpoint/src/nvram.rs Cargo.toml
+
+crates/checkpoint/src/lib.rs:
+crates/checkpoint/src/criu.rs:
+crates/checkpoint/src/image.rs:
+crates/checkpoint/src/memory.rs:
+crates/checkpoint/src/nvram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

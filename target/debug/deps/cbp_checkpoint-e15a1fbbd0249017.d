@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cbp_checkpoint-e15a1fbbd0249017.d: crates/checkpoint/src/lib.rs crates/checkpoint/src/criu.rs crates/checkpoint/src/image.rs crates/checkpoint/src/memory.rs crates/checkpoint/src/nvram.rs
+
+/root/repo/target/debug/deps/cbp_checkpoint-e15a1fbbd0249017: crates/checkpoint/src/lib.rs crates/checkpoint/src/criu.rs crates/checkpoint/src/image.rs crates/checkpoint/src/memory.rs crates/checkpoint/src/nvram.rs
+
+crates/checkpoint/src/lib.rs:
+crates/checkpoint/src/criu.rs:
+crates/checkpoint/src/image.rs:
+crates/checkpoint/src/memory.rs:
+crates/checkpoint/src/nvram.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cbp_checkpoint-f4aafa29fdc0f413.d: crates/checkpoint/src/lib.rs crates/checkpoint/src/criu.rs crates/checkpoint/src/image.rs crates/checkpoint/src/memory.rs crates/checkpoint/src/nvram.rs
+
+/root/repo/target/debug/deps/libcbp_checkpoint-f4aafa29fdc0f413.rlib: crates/checkpoint/src/lib.rs crates/checkpoint/src/criu.rs crates/checkpoint/src/image.rs crates/checkpoint/src/memory.rs crates/checkpoint/src/nvram.rs
+
+/root/repo/target/debug/deps/libcbp_checkpoint-f4aafa29fdc0f413.rmeta: crates/checkpoint/src/lib.rs crates/checkpoint/src/criu.rs crates/checkpoint/src/image.rs crates/checkpoint/src/memory.rs crates/checkpoint/src/nvram.rs
+
+crates/checkpoint/src/lib.rs:
+crates/checkpoint/src/criu.rs:
+crates/checkpoint/src/image.rs:
+crates/checkpoint/src/memory.rs:
+crates/checkpoint/src/nvram.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cbp_cluster-62c6da5899b72128.d: crates/cluster/src/lib.rs crates/cluster/src/energy.rs crates/cluster/src/node.rs crates/cluster/src/resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_cluster-62c6da5899b72128.rmeta: crates/cluster/src/lib.rs crates/cluster/src/energy.rs crates/cluster/src/node.rs crates/cluster/src/resources.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/energy.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

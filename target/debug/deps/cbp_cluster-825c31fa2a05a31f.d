@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cbp_cluster-825c31fa2a05a31f.d: crates/cluster/src/lib.rs crates/cluster/src/energy.rs crates/cluster/src/node.rs crates/cluster/src/resources.rs
+
+/root/repo/target/debug/deps/libcbp_cluster-825c31fa2a05a31f.rlib: crates/cluster/src/lib.rs crates/cluster/src/energy.rs crates/cluster/src/node.rs crates/cluster/src/resources.rs
+
+/root/repo/target/debug/deps/libcbp_cluster-825c31fa2a05a31f.rmeta: crates/cluster/src/lib.rs crates/cluster/src/energy.rs crates/cluster/src/node.rs crates/cluster/src/resources.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/energy.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/resources.rs:

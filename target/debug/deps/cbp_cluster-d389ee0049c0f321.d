@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cbp_cluster-d389ee0049c0f321.d: crates/cluster/src/lib.rs crates/cluster/src/energy.rs crates/cluster/src/node.rs crates/cluster/src/resources.rs
+
+/root/repo/target/debug/deps/cbp_cluster-d389ee0049c0f321: crates/cluster/src/lib.rs crates/cluster/src/energy.rs crates/cluster/src/node.rs crates/cluster/src/resources.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/energy.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/resources.rs:

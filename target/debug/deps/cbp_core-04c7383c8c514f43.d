@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cbp_core-04c7383c8c514f43.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/scenario.rs crates/core/src/sim.rs crates/core/src/task.rs
+
+/root/repo/target/debug/deps/libcbp_core-04c7383c8c514f43.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/scenario.rs crates/core/src/sim.rs crates/core/src/task.rs
+
+/root/repo/target/debug/deps/libcbp_core-04c7383c8c514f43.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/scenario.rs crates/core/src/sim.rs crates/core/src/task.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/scenario.rs:
+crates/core/src/sim.rs:
+crates/core/src/task.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cbp_core-193290fcb5cd3fd8.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/scenario.rs crates/core/src/sim.rs crates/core/src/task.rs
+
+/root/repo/target/debug/deps/cbp_core-193290fcb5cd3fd8: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/scenario.rs crates/core/src/sim.rs crates/core/src/task.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/scenario.rs:
+crates/core/src/sim.rs:
+crates/core/src/task.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cbp_core-9a915b475a67c666.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/scenario.rs crates/core/src/sim.rs crates/core/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_core-9a915b475a67c666.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/scenario.rs crates/core/src/sim.rs crates/core/src/task.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/scenario.rs:
+crates/core/src/sim.rs:
+crates/core/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cbp_core-c17f787d85b4bda0.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/scenario.rs crates/core/src/sim.rs crates/core/src/task.rs
+
+/root/repo/target/debug/deps/libcbp_core-c17f787d85b4bda0.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/scenario.rs crates/core/src/sim.rs crates/core/src/task.rs
+
+/root/repo/target/debug/deps/libcbp_core-c17f787d85b4bda0.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/scenario.rs crates/core/src/sim.rs crates/core/src/task.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/scenario.rs:
+crates/core/src/sim.rs:
+crates/core/src/task.rs:

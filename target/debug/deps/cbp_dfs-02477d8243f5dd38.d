@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cbp_dfs-02477d8243f5dd38.d: crates/dfs/src/lib.rs crates/dfs/src/cluster.rs crates/dfs/src/namespace.rs
+
+/root/repo/target/debug/deps/libcbp_dfs-02477d8243f5dd38.rlib: crates/dfs/src/lib.rs crates/dfs/src/cluster.rs crates/dfs/src/namespace.rs
+
+/root/repo/target/debug/deps/libcbp_dfs-02477d8243f5dd38.rmeta: crates/dfs/src/lib.rs crates/dfs/src/cluster.rs crates/dfs/src/namespace.rs
+
+crates/dfs/src/lib.rs:
+crates/dfs/src/cluster.rs:
+crates/dfs/src/namespace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cbp_dfs-2c63774b3d4d3b75.d: crates/dfs/src/lib.rs crates/dfs/src/cluster.rs crates/dfs/src/namespace.rs
+
+/root/repo/target/debug/deps/cbp_dfs-2c63774b3d4d3b75: crates/dfs/src/lib.rs crates/dfs/src/cluster.rs crates/dfs/src/namespace.rs
+
+crates/dfs/src/lib.rs:
+crates/dfs/src/cluster.rs:
+crates/dfs/src/namespace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cbp_dfs-f4508119db885070.d: crates/dfs/src/lib.rs crates/dfs/src/cluster.rs crates/dfs/src/namespace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_dfs-f4508119db885070.rmeta: crates/dfs/src/lib.rs crates/dfs/src/cluster.rs crates/dfs/src/namespace.rs Cargo.toml
+
+crates/dfs/src/lib.rs:
+crates/dfs/src/cluster.rs:
+crates/dfs/src/namespace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cbp_faults-3fbfaf0411be4db8.d: crates/faults/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_faults-3fbfaf0411be4db8.rmeta: crates/faults/src/lib.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

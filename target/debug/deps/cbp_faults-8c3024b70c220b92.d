@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cbp_faults-8c3024b70c220b92.d: crates/faults/src/lib.rs
+
+/root/repo/target/debug/deps/libcbp_faults-8c3024b70c220b92.rlib: crates/faults/src/lib.rs
+
+/root/repo/target/debug/deps/libcbp_faults-8c3024b70c220b92.rmeta: crates/faults/src/lib.rs
+
+crates/faults/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cbp_faults-a2c8c4a0d56b1c16.d: crates/faults/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_faults-a2c8c4a0d56b1c16.rmeta: crates/faults/src/lib.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

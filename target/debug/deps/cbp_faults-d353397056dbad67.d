@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cbp_faults-d353397056dbad67.d: crates/faults/src/lib.rs
+
+/root/repo/target/debug/deps/cbp_faults-d353397056dbad67: crates/faults/src/lib.rs
+
+crates/faults/src/lib.rs:

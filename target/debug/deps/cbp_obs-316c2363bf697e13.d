@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cbp_obs-316c2363bf697e13.d: crates/obs/src/lib.rs crates/obs/src/diff.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/cbp_obs-316c2363bf697e13: crates/obs/src/lib.rs crates/obs/src/diff.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/diff.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:

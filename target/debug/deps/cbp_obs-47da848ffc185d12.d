@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cbp_obs-47da848ffc185d12.d: crates/obs/src/lib.rs crates/obs/src/diff.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libcbp_obs-47da848ffc185d12.rlib: crates/obs/src/lib.rs crates/obs/src/diff.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libcbp_obs-47da848ffc185d12.rmeta: crates/obs/src/lib.rs crates/obs/src/diff.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/diff.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cbp_obs-b8c2a41afba9b38e.d: crates/obs/src/lib.rs crates/obs/src/diff.rs crates/obs/src/report.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_obs-b8c2a41afba9b38e.rmeta: crates/obs/src/lib.rs crates/obs/src/diff.rs crates/obs/src/report.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/diff.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

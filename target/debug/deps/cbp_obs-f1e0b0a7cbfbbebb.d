@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cbp_obs-f1e0b0a7cbfbbebb.d: crates/obs/src/lib.rs crates/obs/src/diff.rs crates/obs/src/report.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_obs-f1e0b0a7cbfbbebb.rmeta: crates/obs/src/lib.rs crates/obs/src/diff.rs crates/obs/src/report.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/diff.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cbp_simkit-15346780567024eb.d: crates/simkit/src/lib.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/rng.rs crates/simkit/src/time.rs crates/simkit/src/dist.rs crates/simkit/src/stats.rs crates/simkit/src/stats_p2.rs crates/simkit/src/units.rs
+
+/root/repo/target/debug/deps/libcbp_simkit-15346780567024eb.rlib: crates/simkit/src/lib.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/rng.rs crates/simkit/src/time.rs crates/simkit/src/dist.rs crates/simkit/src/stats.rs crates/simkit/src/stats_p2.rs crates/simkit/src/units.rs
+
+/root/repo/target/debug/deps/libcbp_simkit-15346780567024eb.rmeta: crates/simkit/src/lib.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/rng.rs crates/simkit/src/time.rs crates/simkit/src/dist.rs crates/simkit/src/stats.rs crates/simkit/src/stats_p2.rs crates/simkit/src/units.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/engine.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/time.rs:
+crates/simkit/src/dist.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/stats_p2.rs:
+crates/simkit/src/units.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cbp_simkit-1e3654caa9468d31.d: crates/simkit/src/lib.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/rng.rs crates/simkit/src/time.rs crates/simkit/src/dist.rs crates/simkit/src/stats.rs crates/simkit/src/stats_p2.rs crates/simkit/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_simkit-1e3654caa9468d31.rmeta: crates/simkit/src/lib.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/rng.rs crates/simkit/src/time.rs crates/simkit/src/dist.rs crates/simkit/src/stats.rs crates/simkit/src/stats_p2.rs crates/simkit/src/units.rs Cargo.toml
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/engine.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/time.rs:
+crates/simkit/src/dist.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/stats_p2.rs:
+crates/simkit/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cbp_storage-5b3418a619ed5743.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/media.rs
+
+/root/repo/target/debug/deps/cbp_storage-5b3418a619ed5743: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/media.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/media.rs:

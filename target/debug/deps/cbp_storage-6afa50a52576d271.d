@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cbp_storage-6afa50a52576d271.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/media.rs
+
+/root/repo/target/debug/deps/libcbp_storage-6afa50a52576d271.rlib: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/media.rs
+
+/root/repo/target/debug/deps/libcbp_storage-6afa50a52576d271.rmeta: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/media.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/media.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cbp_storage-c39602337264b977.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/media.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_storage-c39602337264b977.rmeta: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/media.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/media.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cbp_storage-e23adb970ad6bc72.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/media.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_storage-e23adb970ad6bc72.rmeta: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/media.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/media.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cbp_telemetry-381a55cb9bb9933e.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/reader.rs crates/telemetry/src/timeseries.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/cbp_telemetry-381a55cb9bb9933e: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/reader.rs crates/telemetry/src/timeseries.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/reader.rs:
+crates/telemetry/src/timeseries.rs:
+crates/telemetry/src/trace.rs:

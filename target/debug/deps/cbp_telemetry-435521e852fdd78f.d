@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cbp_telemetry-435521e852fdd78f.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/reader.rs crates/telemetry/src/timeseries.rs crates/telemetry/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_telemetry-435521e852fdd78f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/reader.rs crates/telemetry/src/timeseries.rs crates/telemetry/src/trace.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/reader.rs:
+crates/telemetry/src/timeseries.rs:
+crates/telemetry/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

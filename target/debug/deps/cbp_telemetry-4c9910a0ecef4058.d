@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cbp_telemetry-4c9910a0ecef4058.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/reader.rs crates/telemetry/src/timeseries.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libcbp_telemetry-4c9910a0ecef4058.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/reader.rs crates/telemetry/src/timeseries.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libcbp_telemetry-4c9910a0ecef4058.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/reader.rs crates/telemetry/src/timeseries.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/reader.rs:
+crates/telemetry/src/timeseries.rs:
+crates/telemetry/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cbp_workload-7004ff2bc8daaf55.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/facebook.rs crates/workload/src/google.rs crates/workload/src/kmeans.rs crates/workload/src/mapreduce.rs crates/workload/src/spec.rs
+
+/root/repo/target/debug/deps/libcbp_workload-7004ff2bc8daaf55.rlib: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/facebook.rs crates/workload/src/google.rs crates/workload/src/kmeans.rs crates/workload/src/mapreduce.rs crates/workload/src/spec.rs
+
+/root/repo/target/debug/deps/libcbp_workload-7004ff2bc8daaf55.rmeta: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/facebook.rs crates/workload/src/google.rs crates/workload/src/kmeans.rs crates/workload/src/mapreduce.rs crates/workload/src/spec.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/facebook.rs:
+crates/workload/src/google.rs:
+crates/workload/src/kmeans.rs:
+crates/workload/src/mapreduce.rs:
+crates/workload/src/spec.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cbp_workload-8fd5a4d46bdfb50d.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/facebook.rs crates/workload/src/google.rs crates/workload/src/kmeans.rs crates/workload/src/mapreduce.rs crates/workload/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_workload-8fd5a4d46bdfb50d.rmeta: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/facebook.rs crates/workload/src/google.rs crates/workload/src/kmeans.rs crates/workload/src/mapreduce.rs crates/workload/src/spec.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/facebook.rs:
+crates/workload/src/google.rs:
+crates/workload/src/kmeans.rs:
+crates/workload/src/mapreduce.rs:
+crates/workload/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cbp_workload-a494f152e2987530.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/facebook.rs crates/workload/src/google.rs crates/workload/src/kmeans.rs crates/workload/src/mapreduce.rs crates/workload/src/spec.rs
+
+/root/repo/target/debug/deps/cbp_workload-a494f152e2987530: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/facebook.rs crates/workload/src/google.rs crates/workload/src/kmeans.rs crates/workload/src/mapreduce.rs crates/workload/src/spec.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/facebook.rs:
+crates/workload/src/google.rs:
+crates/workload/src/kmeans.rs:
+crates/workload/src/mapreduce.rs:
+crates/workload/src/spec.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cbp_yarn-0cc955447d6d5867.d: crates/yarn/src/lib.rs crates/yarn/src/components.rs crates/yarn/src/config.rs crates/yarn/src/report.rs crates/yarn/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcbp_yarn-0cc955447d6d5867.rmeta: crates/yarn/src/lib.rs crates/yarn/src/components.rs crates/yarn/src/config.rs crates/yarn/src/report.rs crates/yarn/src/sim.rs Cargo.toml
+
+crates/yarn/src/lib.rs:
+crates/yarn/src/components.rs:
+crates/yarn/src/config.rs:
+crates/yarn/src/report.rs:
+crates/yarn/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

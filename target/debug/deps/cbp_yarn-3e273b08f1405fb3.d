@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cbp_yarn-3e273b08f1405fb3.d: crates/yarn/src/lib.rs crates/yarn/src/components.rs crates/yarn/src/config.rs crates/yarn/src/report.rs crates/yarn/src/sim.rs
+
+/root/repo/target/debug/deps/cbp_yarn-3e273b08f1405fb3: crates/yarn/src/lib.rs crates/yarn/src/components.rs crates/yarn/src/config.rs crates/yarn/src/report.rs crates/yarn/src/sim.rs
+
+crates/yarn/src/lib.rs:
+crates/yarn/src/components.rs:
+crates/yarn/src/config.rs:
+crates/yarn/src/report.rs:
+crates/yarn/src/sim.rs:

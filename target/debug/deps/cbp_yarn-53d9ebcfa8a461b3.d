@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cbp_yarn-53d9ebcfa8a461b3.d: crates/yarn/src/lib.rs crates/yarn/src/components.rs crates/yarn/src/config.rs crates/yarn/src/report.rs crates/yarn/src/sim.rs
+
+/root/repo/target/debug/deps/libcbp_yarn-53d9ebcfa8a461b3.rlib: crates/yarn/src/lib.rs crates/yarn/src/components.rs crates/yarn/src/config.rs crates/yarn/src/report.rs crates/yarn/src/sim.rs
+
+/root/repo/target/debug/deps/libcbp_yarn-53d9ebcfa8a461b3.rmeta: crates/yarn/src/lib.rs crates/yarn/src/components.rs crates/yarn/src/config.rs crates/yarn/src/report.rs crates/yarn/src/sim.rs
+
+crates/yarn/src/lib.rs:
+crates/yarn/src/components.rs:
+crates/yarn/src/config.rs:
+crates/yarn/src/report.rs:
+crates/yarn/src/sim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cbp_yarn-a99463a638effc2d.d: crates/yarn/src/lib.rs crates/yarn/src/components.rs crates/yarn/src/config.rs crates/yarn/src/report.rs crates/yarn/src/sim.rs
+
+/root/repo/target/debug/deps/libcbp_yarn-a99463a638effc2d.rlib: crates/yarn/src/lib.rs crates/yarn/src/components.rs crates/yarn/src/config.rs crates/yarn/src/report.rs crates/yarn/src/sim.rs
+
+/root/repo/target/debug/deps/libcbp_yarn-a99463a638effc2d.rmeta: crates/yarn/src/lib.rs crates/yarn/src/components.rs crates/yarn/src/config.rs crates/yarn/src/report.rs crates/yarn/src/sim.rs
+
+crates/yarn/src/lib.rs:
+crates/yarn/src/components.rs:
+crates/yarn/src/config.rs:
+crates/yarn/src/report.rs:
+crates/yarn/src/sim.rs:

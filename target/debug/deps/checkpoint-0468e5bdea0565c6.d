@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpoint-0468e5bdea0565c6.d: crates/bench/benches/checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoint-0468e5bdea0565c6.rmeta: crates/bench/benches/checkpoint.rs Cargo.toml
+
+crates/bench/benches/checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

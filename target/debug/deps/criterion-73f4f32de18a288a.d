@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-73f4f32de18a288a.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-73f4f32de18a288a.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

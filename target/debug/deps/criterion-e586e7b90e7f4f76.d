@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-e586e7b90e7f4f76.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e586e7b90e7f4f76.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e586e7b90e7f4f76.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-c204ffbebe513e4e.d: crates/core/tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-c204ffbebe513e4e: crates/core/tests/edge_cases.rs
+
+crates/core/tests/edge_cases.rs:

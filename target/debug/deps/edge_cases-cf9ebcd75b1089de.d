@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_cases-cf9ebcd75b1089de.d: crates/core/tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_cases-cf9ebcd75b1089de.rmeta: crates/core/tests/edge_cases.rs Cargo.toml
+
+crates/core/tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

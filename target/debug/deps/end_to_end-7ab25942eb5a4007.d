@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7ab25942eb5a4007.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7ab25942eb5a4007: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failures-a0001e8a17ffcf6c.d: crates/core/tests/failures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailures-a0001e8a17ffcf6c.rmeta: crates/core/tests/failures.rs Cargo.toml
+
+crates/core/tests/failures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

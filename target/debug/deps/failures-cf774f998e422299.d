@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failures-cf774f998e422299.d: crates/core/tests/failures.rs
+
+/root/repo/target/debug/deps/failures-cf774f998e422299: crates/core/tests/failures.rs
+
+crates/core/tests/failures.rs:

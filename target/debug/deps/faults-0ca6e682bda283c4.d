@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-0ca6e682bda283c4.d: crates/bench/tests/faults.rs
+
+/root/repo/target/debug/deps/faults-0ca6e682bda283c4: crates/bench/tests/faults.rs
+
+crates/bench/tests/faults.rs:

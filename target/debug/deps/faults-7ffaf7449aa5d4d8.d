@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults-7ffaf7449aa5d4d8.d: crates/bench/tests/faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults-7ffaf7449aa5d4d8.rmeta: crates/bench/tests/faults.rs Cargo.toml
+
+crates/bench/tests/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graceful_timeout-50bf9fbd8eccb919.d: crates/yarn/tests/graceful_timeout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraceful_timeout-50bf9fbd8eccb919.rmeta: crates/yarn/tests/graceful_timeout.rs Cargo.toml
+
+crates/yarn/tests/graceful_timeout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graceful_timeout-e68c32220f87c0c3.d: crates/yarn/tests/graceful_timeout.rs
+
+/root/repo/target/debug/deps/graceful_timeout-e68c32220f87c0c3: crates/yarn/tests/graceful_timeout.rs
+
+crates/yarn/tests/graceful_timeout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness-4830848afec9da61.d: crates/bench/tests/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness-4830848afec9da61.rmeta: crates/bench/tests/harness.rs Cargo.toml
+
+crates/bench/tests/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

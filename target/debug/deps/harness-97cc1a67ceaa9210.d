@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-97cc1a67ceaa9210.d: crates/bench/tests/harness.rs
+
+/root/repo/target/debug/deps/harness-97cc1a67ceaa9210: crates/bench/tests/harness.rs
+
+crates/bench/tests/harness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-064205b51c5e31ec.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-064205b51c5e31ec.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

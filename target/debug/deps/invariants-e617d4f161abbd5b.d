@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-e617d4f161abbd5b.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-e617d4f161abbd5b: tests/invariants.rs
+
+tests/invariants.rs:

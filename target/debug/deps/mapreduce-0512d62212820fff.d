@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapreduce-0512d62212820fff.d: crates/yarn/tests/mapreduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapreduce-0512d62212820fff.rmeta: crates/yarn/tests/mapreduce.rs Cargo.toml
+
+crates/yarn/tests/mapreduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mapreduce-b79d69946c953c92.d: crates/yarn/tests/mapreduce.rs
+
+/root/repo/target/debug/deps/mapreduce-b79d69946c953c92: crates/yarn/tests/mapreduce.rs
+
+crates/yarn/tests/mapreduce.rs:

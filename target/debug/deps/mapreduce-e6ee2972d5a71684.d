@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mapreduce-e6ee2972d5a71684.d: crates/yarn/tests/mapreduce.rs
+
+/root/repo/target/debug/deps/mapreduce-e6ee2972d5a71684: crates/yarn/tests/mapreduce.rs
+
+crates/yarn/tests/mapreduce.rs:

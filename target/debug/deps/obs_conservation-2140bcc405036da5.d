@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_conservation-2140bcc405036da5.d: crates/bench/tests/obs_conservation.rs
+
+/root/repo/target/debug/deps/obs_conservation-2140bcc405036da5: crates/bench/tests/obs_conservation.rs
+
+crates/bench/tests/obs_conservation.rs:

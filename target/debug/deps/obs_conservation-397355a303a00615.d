@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_conservation-397355a303a00615.d: crates/bench/tests/obs_conservation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_conservation-397355a303a00615.rmeta: crates/bench/tests/obs_conservation.rs Cargo.toml
+
+crates/bench/tests/obs_conservation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

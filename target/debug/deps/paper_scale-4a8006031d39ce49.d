@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_scale-4a8006031d39ce49.d: crates/yarn/tests/paper_scale.rs
+
+/root/repo/target/debug/deps/paper_scale-4a8006031d39ce49: crates/yarn/tests/paper_scale.rs
+
+crates/yarn/tests/paper_scale.rs:

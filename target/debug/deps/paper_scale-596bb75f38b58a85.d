@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_scale-596bb75f38b58a85.d: crates/yarn/tests/paper_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_scale-596bb75f38b58a85.rmeta: crates/yarn/tests/paper_scale.rs Cargo.toml
+
+crates/yarn/tests/paper_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

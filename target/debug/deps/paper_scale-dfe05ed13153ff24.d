@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_scale-dfe05ed13153ff24.d: crates/yarn/tests/paper_scale.rs
+
+/root/repo/target/debug/deps/paper_scale-dfe05ed13153ff24: crates/yarn/tests/paper_scale.rs
+
+crates/yarn/tests/paper_scale.rs:

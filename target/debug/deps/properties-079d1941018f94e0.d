@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-079d1941018f94e0.d: crates/checkpoint/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-079d1941018f94e0.rmeta: crates/checkpoint/tests/properties.rs Cargo.toml
+
+crates/checkpoint/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-177d1eda7ecc275a.d: crates/simkit/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-177d1eda7ecc275a.rmeta: crates/simkit/tests/properties.rs Cargo.toml
+
+crates/simkit/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-3af4a7abf5284193.d: crates/storage/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-3af4a7abf5284193.rmeta: crates/storage/tests/properties.rs Cargo.toml
+
+crates/storage/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

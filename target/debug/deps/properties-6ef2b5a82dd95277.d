@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6ef2b5a82dd95277.d: crates/dfs/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6ef2b5a82dd95277: crates/dfs/tests/properties.rs
+
+crates/dfs/tests/properties.rs:

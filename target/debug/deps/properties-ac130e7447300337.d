@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ac130e7447300337.d: crates/checkpoint/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ac130e7447300337: crates/checkpoint/tests/properties.rs
+
+crates/checkpoint/tests/properties.rs:

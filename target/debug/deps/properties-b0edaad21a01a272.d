@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b0edaad21a01a272.d: crates/storage/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b0edaad21a01a272: crates/storage/tests/properties.rs
+
+crates/storage/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c525706417eb823f.d: crates/dfs/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c525706417eb823f.rmeta: crates/dfs/tests/properties.rs Cargo.toml
+
+crates/dfs/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-eaeddd245eeb2ad2.d: crates/simkit/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-eaeddd245eeb2ad2: crates/simkit/tests/properties.rs
+
+crates/simkit/tests/properties.rs:

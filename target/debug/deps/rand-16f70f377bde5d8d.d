@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-16f70f377bde5d8d.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-16f70f377bde5d8d.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-16f70f377bde5d8d.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-af662955a428d46e.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-af662955a428d46e.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

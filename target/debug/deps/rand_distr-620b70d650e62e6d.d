@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-620b70d650e62e6d.d: /tmp/stubs/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-620b70d650e62e6d.rlib: /tmp/stubs/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-620b70d650e62e6d.rmeta: /tmp/stubs/rand_distr/src/lib.rs
+
+/tmp/stubs/rand_distr/src/lib.rs:

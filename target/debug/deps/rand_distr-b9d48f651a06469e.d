@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-b9d48f651a06469e.d: /tmp/stubs/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-b9d48f651a06469e.rmeta: /tmp/stubs/rand_distr/src/lib.rs
+
+/tmp/stubs/rand_distr/src/lib.rs:

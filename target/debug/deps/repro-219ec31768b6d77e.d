@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-219ec31768b6d77e.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-219ec31768b6d77e: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-9199babb74a53c6b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-9199babb74a53c6b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

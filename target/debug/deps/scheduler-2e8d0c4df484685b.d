@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler-2e8d0c4df484685b.d: crates/bench/benches/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler-2e8d0c4df484685b.rmeta: crates/bench/benches/scheduler.rs Cargo.toml
+
+crates/bench/benches/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

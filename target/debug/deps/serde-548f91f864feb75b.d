@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-548f91f864feb75b.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-548f91f864feb75b.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-548f91f864feb75b.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-afd7e739109439c6.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-afd7e739109439c6.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

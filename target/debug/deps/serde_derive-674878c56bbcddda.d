@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-674878c56bbcddda.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-674878c56bbcddda.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

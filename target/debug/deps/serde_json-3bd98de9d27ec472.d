@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-3bd98de9d27ec472.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-3bd98de9d27ec472.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-3bd98de9d27ec472.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_behavior-b74a01983cfadd72.d: crates/core/tests/sim_behavior.rs
+
+/root/repo/target/debug/deps/sim_behavior-b74a01983cfadd72: crates/core/tests/sim_behavior.rs
+
+crates/core/tests/sim_behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_behavior-d5c07127eee788cb.d: crates/core/tests/sim_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_behavior-d5c07127eee788cb.rmeta: crates/core/tests/sim_behavior.rs Cargo.toml
+
+crates/core/tests/sim_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-1bb6d8f2c0d04cb6.d: crates/core/tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-1bb6d8f2c0d04cb6.rmeta: crates/core/tests/telemetry.rs Cargo.toml
+
+crates/core/tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

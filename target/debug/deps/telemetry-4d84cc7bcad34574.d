@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-4d84cc7bcad34574.d: crates/core/tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-4d84cc7bcad34574: crates/core/tests/telemetry.rs
+
+crates/core/tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-e73cc08a9f739898.d: crates/core/tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-e73cc08a9f739898: crates/core/tests/telemetry.rs
+
+crates/core/tests/telemetry.rs:

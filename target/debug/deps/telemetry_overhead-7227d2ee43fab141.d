@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_overhead-7227d2ee43fab141.d: crates/bench/benches/telemetry_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_overhead-7227d2ee43fab141.rmeta: crates/bench/benches/telemetry_overhead.rs Cargo.toml
+
+crates/bench/benches/telemetry_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

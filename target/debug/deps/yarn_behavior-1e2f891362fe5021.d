@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/yarn_behavior-1e2f891362fe5021.d: crates/yarn/tests/yarn_behavior.rs
+
+/root/repo/target/debug/deps/yarn_behavior-1e2f891362fe5021: crates/yarn/tests/yarn_behavior.rs
+
+crates/yarn/tests/yarn_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/yarn_behavior-31943ee3d9b454cf.d: crates/yarn/tests/yarn_behavior.rs
+
+/root/repo/target/debug/deps/yarn_behavior-31943ee3d9b454cf: crates/yarn/tests/yarn_behavior.rs
+
+crates/yarn/tests/yarn_behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/yarn_behavior-c46ea154ee6f0957.d: crates/yarn/tests/yarn_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libyarn_behavior-c46ea154ee6f0957.rmeta: crates/yarn/tests/yarn_behavior.rs Cargo.toml
+
+crates/yarn/tests/yarn_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

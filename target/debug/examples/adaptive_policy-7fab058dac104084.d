@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_policy-7fab058dac104084.d: examples/adaptive_policy.rs
+
+/root/repo/target/debug/examples/adaptive_policy-7fab058dac104084: examples/adaptive_policy.rs
+
+examples/adaptive_policy.rs:

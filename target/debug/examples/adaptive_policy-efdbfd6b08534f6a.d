@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_policy-efdbfd6b08534f6a.d: examples/adaptive_policy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_policy-efdbfd6b08534f6a.rmeta: examples/adaptive_policy.rs Cargo.toml
+
+examples/adaptive_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mapreduce-651999f5cf4278e2.d: examples/mapreduce.rs
+
+/root/repo/target/debug/examples/mapreduce-651999f5cf4278e2: examples/mapreduce.rs
+
+examples/mapreduce.rs:

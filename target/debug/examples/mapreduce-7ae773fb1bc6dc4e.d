@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mapreduce-7ae773fb1bc6dc4e.d: examples/mapreduce.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmapreduce-7ae773fb1bc6dc4e.rmeta: examples/mapreduce.rs Cargo.toml
+
+examples/mapreduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/node_failures-326359c34341e697.d: examples/node_failures.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnode_failures-326359c34341e697.rmeta: examples/node_failures.rs Cargo.toml
+
+examples/node_failures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/node_failures-3cc2dbe0a062c5d8.d: examples/node_failures.rs
+
+/root/repo/target/debug/examples/node_failures-3cc2dbe0a062c5d8: examples/node_failures.rs
+
+examples/node_failures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-1c37702feebac515.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-1c37702feebac515.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

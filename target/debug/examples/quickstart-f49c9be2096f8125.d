@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f49c9be2096f8125.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f49c9be2096f8125: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-6d9dc5a4118c5e81.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-6d9dc5a4118c5e81: examples/trace_replay.rs
+
+examples/trace_replay.rs:

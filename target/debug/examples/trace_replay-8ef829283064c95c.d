@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_replay-8ef829283064c95c.d: examples/trace_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_replay-8ef829283064c95c.rmeta: examples/trace_replay.rs Cargo.toml
+
+examples/trace_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/yarn_cluster-c567cfdec89f333f.d: examples/yarn_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libyarn_cluster-c567cfdec89f333f.rmeta: examples/yarn_cluster.rs Cargo.toml
+
+examples/yarn_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

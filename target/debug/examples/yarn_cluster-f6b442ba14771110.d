@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/yarn_cluster-f6b442ba14771110.d: examples/yarn_cluster.rs
+
+/root/repo/target/debug/examples/yarn_cluster-f6b442ba14771110: examples/yarn_cluster.rs
+
+examples/yarn_cluster.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cbp-175fb67bcb60bfd8.d: src/lib.rs
+
+/root/repo/target/release/deps/libcbp-175fb67bcb60bfd8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcbp-175fb67bcb60bfd8.rmeta: src/lib.rs
+
+src/lib.rs:

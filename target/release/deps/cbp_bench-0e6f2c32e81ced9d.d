@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/cbp_bench-0e6f2c32e81ced9d.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablate.rs crates/bench/src/experiments/characterize.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/micro.rs crates/bench/src/experiments/qos.rs crates/bench/src/experiments/sensitivity.rs crates/bench/src/experiments/tracesim.rs crates/bench/src/experiments/yarnexp.rs crates/bench/src/table.rs crates/bench/src/telemetry_run.rs
+
+/root/repo/target/release/deps/libcbp_bench-0e6f2c32e81ced9d.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablate.rs crates/bench/src/experiments/characterize.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/micro.rs crates/bench/src/experiments/qos.rs crates/bench/src/experiments/sensitivity.rs crates/bench/src/experiments/tracesim.rs crates/bench/src/experiments/yarnexp.rs crates/bench/src/table.rs crates/bench/src/telemetry_run.rs
+
+/root/repo/target/release/deps/libcbp_bench-0e6f2c32e81ced9d.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablate.rs crates/bench/src/experiments/characterize.rs crates/bench/src/experiments/extensions.rs crates/bench/src/experiments/micro.rs crates/bench/src/experiments/qos.rs crates/bench/src/experiments/sensitivity.rs crates/bench/src/experiments/tracesim.rs crates/bench/src/experiments/yarnexp.rs crates/bench/src/table.rs crates/bench/src/telemetry_run.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablate.rs:
+crates/bench/src/experiments/characterize.rs:
+crates/bench/src/experiments/extensions.rs:
+crates/bench/src/experiments/micro.rs:
+crates/bench/src/experiments/qos.rs:
+crates/bench/src/experiments/sensitivity.rs:
+crates/bench/src/experiments/tracesim.rs:
+crates/bench/src/experiments/yarnexp.rs:
+crates/bench/src/table.rs:
+crates/bench/src/telemetry_run.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cbp_checkpoint-93385932e818f4df.d: crates/checkpoint/src/lib.rs crates/checkpoint/src/criu.rs crates/checkpoint/src/image.rs crates/checkpoint/src/memory.rs crates/checkpoint/src/nvram.rs
+
+/root/repo/target/release/deps/libcbp_checkpoint-93385932e818f4df.rlib: crates/checkpoint/src/lib.rs crates/checkpoint/src/criu.rs crates/checkpoint/src/image.rs crates/checkpoint/src/memory.rs crates/checkpoint/src/nvram.rs
+
+/root/repo/target/release/deps/libcbp_checkpoint-93385932e818f4df.rmeta: crates/checkpoint/src/lib.rs crates/checkpoint/src/criu.rs crates/checkpoint/src/image.rs crates/checkpoint/src/memory.rs crates/checkpoint/src/nvram.rs
+
+crates/checkpoint/src/lib.rs:
+crates/checkpoint/src/criu.rs:
+crates/checkpoint/src/image.rs:
+crates/checkpoint/src/memory.rs:
+crates/checkpoint/src/nvram.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cbp_cluster-ee318eadcb113962.d: crates/cluster/src/lib.rs crates/cluster/src/energy.rs crates/cluster/src/node.rs crates/cluster/src/resources.rs
+
+/root/repo/target/release/deps/libcbp_cluster-ee318eadcb113962.rlib: crates/cluster/src/lib.rs crates/cluster/src/energy.rs crates/cluster/src/node.rs crates/cluster/src/resources.rs
+
+/root/repo/target/release/deps/libcbp_cluster-ee318eadcb113962.rmeta: crates/cluster/src/lib.rs crates/cluster/src/energy.rs crates/cluster/src/node.rs crates/cluster/src/resources.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/energy.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/resources.rs:

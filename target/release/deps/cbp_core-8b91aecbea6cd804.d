@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cbp_core-8b91aecbea6cd804.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/scenario.rs crates/core/src/sim.rs crates/core/src/task.rs
+
+/root/repo/target/release/deps/libcbp_core-8b91aecbea6cd804.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/scenario.rs crates/core/src/sim.rs crates/core/src/task.rs
+
+/root/repo/target/release/deps/libcbp_core-8b91aecbea6cd804.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/scenario.rs crates/core/src/sim.rs crates/core/src/task.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/scenario.rs:
+crates/core/src/sim.rs:
+crates/core/src/task.rs:

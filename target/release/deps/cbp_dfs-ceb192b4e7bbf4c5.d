@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cbp_dfs-ceb192b4e7bbf4c5.d: crates/dfs/src/lib.rs crates/dfs/src/cluster.rs crates/dfs/src/namespace.rs
+
+/root/repo/target/release/deps/libcbp_dfs-ceb192b4e7bbf4c5.rlib: crates/dfs/src/lib.rs crates/dfs/src/cluster.rs crates/dfs/src/namespace.rs
+
+/root/repo/target/release/deps/libcbp_dfs-ceb192b4e7bbf4c5.rmeta: crates/dfs/src/lib.rs crates/dfs/src/cluster.rs crates/dfs/src/namespace.rs
+
+crates/dfs/src/lib.rs:
+crates/dfs/src/cluster.rs:
+crates/dfs/src/namespace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cbp_faults-aa6f51c34713baa7.d: crates/faults/src/lib.rs
+
+/root/repo/target/release/deps/libcbp_faults-aa6f51c34713baa7.rlib: crates/faults/src/lib.rs
+
+/root/repo/target/release/deps/libcbp_faults-aa6f51c34713baa7.rmeta: crates/faults/src/lib.rs
+
+crates/faults/src/lib.rs:

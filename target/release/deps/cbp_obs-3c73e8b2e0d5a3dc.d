@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cbp_obs-3c73e8b2e0d5a3dc.d: crates/obs/src/lib.rs crates/obs/src/diff.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libcbp_obs-3c73e8b2e0d5a3dc.rlib: crates/obs/src/lib.rs crates/obs/src/diff.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libcbp_obs-3c73e8b2e0d5a3dc.rmeta: crates/obs/src/lib.rs crates/obs/src/diff.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/diff.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:

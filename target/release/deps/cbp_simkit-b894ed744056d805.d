@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cbp_simkit-b894ed744056d805.d: crates/simkit/src/lib.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/rng.rs crates/simkit/src/time.rs crates/simkit/src/dist.rs crates/simkit/src/stats.rs crates/simkit/src/stats_p2.rs crates/simkit/src/units.rs
+
+/root/repo/target/release/deps/libcbp_simkit-b894ed744056d805.rlib: crates/simkit/src/lib.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/rng.rs crates/simkit/src/time.rs crates/simkit/src/dist.rs crates/simkit/src/stats.rs crates/simkit/src/stats_p2.rs crates/simkit/src/units.rs
+
+/root/repo/target/release/deps/libcbp_simkit-b894ed744056d805.rmeta: crates/simkit/src/lib.rs crates/simkit/src/engine.rs crates/simkit/src/event.rs crates/simkit/src/rng.rs crates/simkit/src/time.rs crates/simkit/src/dist.rs crates/simkit/src/stats.rs crates/simkit/src/stats_p2.rs crates/simkit/src/units.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/engine.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/time.rs:
+crates/simkit/src/dist.rs:
+crates/simkit/src/stats.rs:
+crates/simkit/src/stats_p2.rs:
+crates/simkit/src/units.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cbp_storage-5c74f2717be3432a.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/media.rs
+
+/root/repo/target/release/deps/libcbp_storage-5c74f2717be3432a.rlib: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/media.rs
+
+/root/repo/target/release/deps/libcbp_storage-5c74f2717be3432a.rmeta: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/media.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/media.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cbp_telemetry-91f59d42dbeb75b9.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/reader.rs crates/telemetry/src/timeseries.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libcbp_telemetry-91f59d42dbeb75b9.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/reader.rs crates/telemetry/src/timeseries.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libcbp_telemetry-91f59d42dbeb75b9.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/reader.rs crates/telemetry/src/timeseries.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/reader.rs:
+crates/telemetry/src/timeseries.rs:
+crates/telemetry/src/trace.rs:

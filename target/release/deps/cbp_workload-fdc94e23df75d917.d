@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cbp_workload-fdc94e23df75d917.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/facebook.rs crates/workload/src/google.rs crates/workload/src/kmeans.rs crates/workload/src/mapreduce.rs crates/workload/src/spec.rs
+
+/root/repo/target/release/deps/libcbp_workload-fdc94e23df75d917.rlib: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/facebook.rs crates/workload/src/google.rs crates/workload/src/kmeans.rs crates/workload/src/mapreduce.rs crates/workload/src/spec.rs
+
+/root/repo/target/release/deps/libcbp_workload-fdc94e23df75d917.rmeta: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/facebook.rs crates/workload/src/google.rs crates/workload/src/kmeans.rs crates/workload/src/mapreduce.rs crates/workload/src/spec.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/facebook.rs:
+crates/workload/src/google.rs:
+crates/workload/src/kmeans.rs:
+crates/workload/src/mapreduce.rs:
+crates/workload/src/spec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cbp_yarn-2d7c898730b062f8.d: crates/yarn/src/lib.rs crates/yarn/src/components.rs crates/yarn/src/config.rs crates/yarn/src/report.rs crates/yarn/src/sim.rs
+
+/root/repo/target/release/deps/libcbp_yarn-2d7c898730b062f8.rlib: crates/yarn/src/lib.rs crates/yarn/src/components.rs crates/yarn/src/config.rs crates/yarn/src/report.rs crates/yarn/src/sim.rs
+
+/root/repo/target/release/deps/libcbp_yarn-2d7c898730b062f8.rmeta: crates/yarn/src/lib.rs crates/yarn/src/components.rs crates/yarn/src/config.rs crates/yarn/src/report.rs crates/yarn/src/sim.rs
+
+crates/yarn/src/lib.rs:
+crates/yarn/src/components.rs:
+crates/yarn/src/config.rs:
+crates/yarn/src/report.rs:
+crates/yarn/src/sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-9252fafcb28d4432.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9252fafcb28d4432.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9252fafcb28d4432.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-557c48c2ae3429ed.d: /tmp/stubs/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-557c48c2ae3429ed.rlib: /tmp/stubs/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-557c48c2ae3429ed.rmeta: /tmp/stubs/rand_distr/src/lib.rs
+
+/tmp/stubs/rand_distr/src/lib.rs:

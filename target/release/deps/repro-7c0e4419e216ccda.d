@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-7c0e4419e216ccda.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-7c0e4419e216ccda: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-180e00a185bb6c31.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-180e00a185bb6c31.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-180e00a185bb6c31.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:
