@@ -11,6 +11,12 @@
 //! * `sampled` — `NullTracer` plus the 60 s time-series probe.
 //!
 //! `null_tracer` is the number to watch: it is the disabled-path cost.
+//!
+//! After the timed groups, the bench prints an engine-throughput line
+//! (events/sec from the run's `TelemetryReport`, which the engine fills
+//! from its `RunStats`) for each configuration, so the Criterion output
+//! can be compared against the `repro bench` BENCH_*.json trajectory —
+//! see EXPERIMENTS.md, "Wall-clock profiling & perf trajectory".
 
 use cbp_core::{ClusterSim, PreemptionPolicy, SimConfig};
 use cbp_simkit::SimDuration;
@@ -57,6 +63,33 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     });
 
     group.finish();
+    report_throughput(&cfg, &workload);
+}
+
+/// One untimed run per configuration, reporting engine events/sec so the
+/// Criterion wall times can be read alongside the BENCH_*.json trajectory.
+fn report_throughput(cfg: &SimConfig, workload: &Workload) {
+    println!("telemetry_overhead: engine throughput (events/sec)");
+    type Prepare = fn(&mut ClusterSim);
+    let configs: [(&str, Prepare); 3] = [
+        ("null_tracer", |_| {}),
+        ("sink_tracer", |sim| {
+            sim.set_tracer(Box::new(JsonlTracer::new(std::io::sink())));
+        }),
+        ("sampled", |sim| {
+            sim.enable_sampling(SimDuration::from_secs(60));
+        }),
+    ];
+    for (name, prepare) in configs {
+        let mut sim = ClusterSim::new(cfg.clone(), workload.clone());
+        prepare(&mut sim);
+        let telemetry = sim.run().telemetry;
+        println!(
+            "  {name:<12} {:>9} events  {:>12.0} events/s",
+            telemetry.engine_events,
+            telemetry.events_per_sec()
+        );
+    }
 }
 
 criterion_group!(benches, bench_telemetry_overhead);

@@ -28,10 +28,17 @@
 use std::fmt::Write as _;
 
 use cbp_bench::{
-    analyze_trace_file, run_all, run_instrumented, run_one, Scale, TelemetryOptions, ANALYZE_TOP_K,
-    EXPERIMENT_IDS,
+    analyze_trace_file, check_bench_files, find_scenario, run_all, run_instrumented, run_one,
+    run_scenario, standard_matrix, tiny_matrix, BenchOptions, Scale, TelemetryOptions,
+    ANALYZE_TOP_K, EXPERIMENT_IDS,
 };
 use cbp_obs::{diff_reports, Tolerances, Verdict};
+
+// Installed only for allocator-peak benchmarking: every BENCH json then
+// reports `alloc_peak_bytes` instead of null.
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static ALLOC: cbp_prof::alloc::CountingAllocator = cbp_prof::alloc::CountingAllocator;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +54,10 @@ fn main() {
     }
     if args[0] == "analyze" {
         analyze_cmd(&args[1..]);
+        return;
+    }
+    if args[0] == "bench" {
+        bench_cmd(&args[1..]);
         return;
     }
 
@@ -191,13 +202,159 @@ fn main() {
             "# Reproduced experiments\n\nGenerated by `repro all --scale {} --seed {seed}`. \
              Absolute numbers come from the simulated substrates; compare *shapes* \
              (orderings, crossovers, rough factors) against the paper's anchors quoted \
-             with each experiment.\n",
+             with each experiment.\n\nAll tables report *simulated* time. For the \
+             simulators' own wall-clock cost — events/sec, per-scope self time, \
+             the `BENCH_*.json` trajectory and its regression gate — see `repro bench` \
+             (README \"Perf\" section, DESIGN.md §5.2) and the `telemetry_overhead` \
+             Criterion bench's throughput report.\n",
             scale.factor
         );
         for exp in &experiments {
             out.push_str(&exp.markdown());
         }
         std::fs::write(&path, out).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+}
+
+/// `repro bench` — the wall-clock perf harness.
+///
+/// ```text
+/// repro bench [--matrix tiny|standard] [--scenario NAME]... [--reps N]
+///             [--warmup N] [--out DIR] [--profile]
+/// repro bench --check <baseline.json> --candidate <candidate.json> [--tol-pct P]
+/// ```
+///
+/// Run mode benchmarks each scenario and writes `BENCH_<scenario>.json`
+/// under `--out` (default: current directory). Check mode compares two
+/// BENCH files direction-aware and exits 1 on regression.
+fn bench_cmd(args: &[String]) {
+    let mut matrix: Option<String> = None;
+    let mut scenarios: Vec<String> = Vec::new();
+    let mut opts = BenchOptions::default();
+    let mut out_dir = String::from(".");
+    let mut profile = false;
+    let mut check: Option<String> = None;
+    let mut candidate: Option<String> = None;
+    let mut tol_pct = 5.0;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--matrix" => {
+                i += 1;
+                matrix = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("missing --matrix value (tiny|standard)")),
+                );
+            }
+            "--scenario" => {
+                i += 1;
+                scenarios.push(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("missing --scenario name")),
+                );
+            }
+            "--reps" => {
+                i += 1;
+                opts.reps = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| die("invalid --reps value"));
+            }
+            "--warmup" => {
+                i += 1;
+                opts.warmup = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("invalid --warmup value"));
+            }
+            "--out" => {
+                i += 1;
+                out_dir = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("missing --out dir"));
+            }
+            "--profile" => profile = true,
+            "--check" => {
+                i += 1;
+                check = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("missing --check baseline path")),
+                );
+            }
+            "--candidate" => {
+                i += 1;
+                candidate = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("missing --candidate path")),
+                );
+            }
+            "--tol-pct" => {
+                i += 1;
+                tol_pct = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|p: &f64| *p >= 0.0)
+                    .unwrap_or_else(|| die("invalid --tol-pct value"));
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+
+    if let Some(baseline_path) = check {
+        let candidate_path =
+            candidate.unwrap_or_else(|| die("--check needs --candidate <bench.json>"));
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| die(&format!("read {baseline_path}: {e}")));
+        let cand = std::fs::read_to_string(&candidate_path)
+            .unwrap_or_else(|e| die(&format!("read {candidate_path}: {e}")));
+        let diff = check_bench_files(&baseline, &cand, tol_pct).unwrap_or_else(|e| die(&e));
+        print!("{}", diff.render());
+        if diff.regressed() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let selected = if !scenarios.is_empty() {
+        scenarios
+            .iter()
+            .map(|n| {
+                find_scenario(n)
+                    .unwrap_or_else(|| die(&format!("unknown scenario '{n}'; see --matrix lists")))
+            })
+            .collect()
+    } else {
+        match matrix.as_deref().unwrap_or("tiny") {
+            "tiny" => tiny_matrix(),
+            "standard" => standard_matrix(),
+            other => die(&format!("unknown matrix '{other}' (tiny|standard)")),
+        }
+    };
+
+    std::fs::create_dir_all(&out_dir)
+        .unwrap_or_else(|e| die(&format!("create --out dir {out_dir}: {e}")));
+    for s in &selected {
+        let result = run_scenario(s, opts);
+        println!("{}", result.render_line());
+        if profile {
+            for t in &result.top_scopes {
+                println!(
+                    "    {:<40} {:>10} calls  {:>9.2} ms self  {:>5.1}%",
+                    t.path, t.calls, t.self_ms, t.self_pct
+                );
+            }
+        }
+        let path = format!("{out_dir}/BENCH_{}.json", s.name);
+        std::fs::write(&path, result.to_json())
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
         eprintln!("wrote {path}");
     }
 }
@@ -276,6 +433,16 @@ fn usage() {
          \x20            [--analyze PATH] [--faults SPEC]\n\
          \x20      repro analyze <trace.jsonl> [--report PATH] [--baseline PATH] [--tol-rel F] \
          [--tol-abs-us F]\n\
+         \x20      repro bench [--matrix tiny|standard] [--scenario NAME]... [--reps N] \
+         [--warmup N] [--out DIR] [--profile]\n\
+         \x20      repro bench --check <baseline.json> --candidate <candidate.json> [--tol-pct P]\n\
+         \n\
+         perf harness (wall-clock; writes schema-versioned BENCH_<scenario>.json):\n\
+         \x20 --matrix tiny        one smoke scenario per simulator (default; CI)\n\
+         \x20 --matrix standard    both simulators x small/large x faults off/light\n\
+         \x20 --profile            also print the top self-time scopes per scenario\n\
+         \x20 --check/--candidate  compare two BENCH files direction-aware; exit 1 on\n\
+         \x20                      regression (wall/alloc up or events/s down > --tol-pct)\n\
          \n\
          telemetry flags (single experiment only; one extra instrumented run):\n\
          \x20 --trace-out PATH     structured JSONL trace ({{\"t_us\":..,\"event\":..}} per line)\n\

@@ -10,10 +10,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_run;
 pub mod experiments;
 mod table;
 pub mod telemetry_run;
 
+pub use bench_run::{
+    check_bench_files, find_scenario, run_scenario, standard_matrix, tiny_matrix, BenchDiff,
+    BenchOptions, BenchResult, BenchScenario, SimKind, BENCH_SCHEMA, BENCH_VERSION,
+};
 pub use table::{Experiment, Table};
 pub use telemetry_run::{analyze_trace_file, run_instrumented, TelemetryOptions, ANALYZE_TOP_K};
 

@@ -264,6 +264,7 @@ impl Criu {
         now: SimTime,
         service: Option<SimDuration>,
     ) -> Result<DumpResult, CapacityError> {
+        let _prof = cbp_prof::scope("criu_dump");
         let (raw_size, is_incremental) = self.next_dump_size(task, mem);
         // Compression shrinks what hits storage, but the dump cannot run
         // faster than the compressor consumes input.
@@ -341,6 +342,7 @@ impl Criu {
         device: &mut Device,
         now: SimTime,
     ) -> Option<RestoreResult> {
+        let _prof = cbp_prof::scope("criu_restore");
         let size = self.image_size(task);
         if size.is_zero() {
             return None;

@@ -1179,6 +1179,7 @@ impl ClusterSim {
         now: SimTime,
         q: &mut EventQueue<Event>,
     ) -> bool {
+        let _prof = cbp_prof::scope("preempt_victim");
         match self.cfg.policy {
             PreemptionPolicy::Wait => unreachable!("Wait never preempts"),
             PreemptionPolicy::Kill => {
@@ -1918,6 +1919,7 @@ impl ClusterSim {
 
     /// One scheduling pass: serve the pending queue in priority order.
     fn schedule_pass(&mut self, now: SimTime, q: &mut EventQueue<Event>) {
+        let _prof = cbp_prof::scope("schedule_pass");
         let mut preempt_budget = self.cfg.preempt_budget_per_pass;
         let mut max_avail = self.max_available();
         // Walk the pending set with a cursor instead of snapshotting it:
@@ -2015,6 +2017,17 @@ impl Simulation for ClusterSim {
             );
         }
         self.last_queue_depth = depth;
+    }
+
+    fn event_kind(&self, event: &Event) -> &'static str {
+        match event {
+            Event::JobSubmit(_) => "job_submit",
+            Event::TaskFinish { .. } => "task_finish",
+            Event::DumpDone { .. } => "dump_done",
+            Event::RestoreDone { .. } => "restore_done",
+            Event::NodeFail(_) => "node_fail",
+            Event::NodeRecover(_) => "node_recover",
+        }
     }
 }
 

@@ -53,6 +53,18 @@ pub trait Simulation {
     /// `now` is a logic error (the engine panics, in all build profiles,
     /// when it pops an event older than the one it just processed).
     fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+
+    /// Classifies an event for the wall-clock profiler. When a profiled
+    /// [`run_until_observed`] processes an event, its `handle` call runs
+    /// inside a `cbp_prof::scope` named by this classification, so the
+    /// profile report breaks engine time down per event type.
+    ///
+    /// Must return one of a small fixed set of static names (each distinct
+    /// name becomes a tree node). The default lumps everything under
+    /// `"event"`; simulations override it to expose their real event enum.
+    fn event_kind(&self, _event: &Self::Event) -> &'static str {
+        "event"
+    }
 }
 
 /// Runs `sim` until the queue is empty and returns the time of the last
@@ -101,6 +113,9 @@ pub fn run_until_observed<S: Simulation>(
     let start = std::time::Instant::now();
     let mut now = SimTime::ZERO;
     let mut events: u64 = 0;
+    // Hoisted so an unprofiled run pays one branch per event, and a
+    // mid-run `cbp_prof::start` cannot produce a half-profiled report.
+    let profiled = cbp_prof::enabled();
     while let Some(t) = queue.peek_time() {
         if t > deadline {
             break;
@@ -112,7 +127,12 @@ pub fn run_until_observed<S: Simulation>(
              a handler scheduled an event in the past"
         );
         now = t;
-        sim.handle(now, ev, queue);
+        if profiled {
+            let _scope = cbp_prof::scope(sim.event_kind(&ev));
+            sim.handle(now, ev, queue);
+        } else {
+            sim.handle(now, ev, queue);
+        }
         events += 1;
         if events.is_multiple_of(OBSERVE_EVERY) {
             observer(&RunStats {
@@ -205,6 +225,100 @@ mod tests {
         // 6 events < OBSERVE_EVERY, so only the final snapshot fires.
         assert_eq!(snapshots, 1);
         assert_eq!(sim.fired, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn observer_fires_exactly_once_even_for_empty_runs() {
+        let mut sim = Counter {
+            fired: vec![],
+            respawn: false,
+        };
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut snapshots = 0u32;
+        let stats = run_until_observed(&mut sim, &mut q, SimTime::MAX, &mut |_s| snapshots += 1);
+        // Zero events still yields the final snapshot — consumers (the
+        // bench harness progress meter) rely on at least one callback.
+        assert_eq!(snapshots, 1);
+        assert_eq!(stats.events, 0);
+        assert_eq!(stats.now, SimTime::ZERO);
+    }
+
+    #[test]
+    fn events_per_sec_is_finite_for_degenerate_stats() {
+        // Zero wall time (a run too fast to measure) must not divide by
+        // zero: the throughput figure feeds BENCH json, where NaN/inf
+        // would serialize as null and break the regression differ.
+        let zero_wall = RunStats {
+            events: 100,
+            now: SimTime::ZERO,
+            wall: std::time::Duration::ZERO,
+        };
+        assert_eq!(zero_wall.events_per_sec(), 0.0);
+        let zero_events = RunStats {
+            events: 0,
+            now: SimTime::ZERO,
+            wall: std::time::Duration::from_millis(5),
+        };
+        assert_eq!(zero_events.events_per_sec(), 0.0);
+        assert!(zero_wall.events_per_sec().is_finite());
+    }
+
+    /// Counter with an event_kind override: evens and odds profile apart.
+    struct KindedCounter;
+
+    impl Simulation for KindedCounter {
+        type Event = u64;
+        fn handle(&mut self, now: SimTime, ev: u64, q: &mut EventQueue<u64>) {
+            if ev < 5 {
+                q.push(now + SimDuration::from_secs(1), ev + 1);
+            }
+        }
+        fn event_kind(&self, ev: &u64) -> &'static str {
+            if ev.is_multiple_of(2) {
+                "even"
+            } else {
+                "odd"
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_run_breaks_time_down_per_event_kind() {
+        let mut sim = KindedCounter;
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 0);
+        cbp_prof::start(cbp_prof::ProfOptions::default());
+        let stats = run_until_observed(&mut sim, &mut q, SimTime::MAX, &mut |_| {});
+        let report = cbp_prof::stop().expect("profiler was started");
+        assert_eq!(stats.events, 6);
+        let names: Vec<&str> = report.roots.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["even", "odd"], "children sorted by name");
+        assert_eq!(report.roots[0].calls, 3, "events 0,2,4");
+        assert_eq!(report.roots[1].calls, 3, "events 1,3,5");
+    }
+
+    #[test]
+    fn unprofiled_run_is_identical_to_plain_run() {
+        assert!(!cbp_prof::enabled());
+        let mk = || {
+            let mut q = EventQueue::new();
+            q.push(SimTime::ZERO, 0);
+            q
+        };
+        let mut plain_sim = Counter {
+            fired: vec![],
+            respawn: true,
+        };
+        let mut q = mk();
+        let end = run(&mut plain_sim, &mut q);
+        let mut observed_sim = Counter {
+            fired: vec![],
+            respawn: true,
+        };
+        let mut q = mk();
+        let stats = run_until_observed(&mut observed_sim, &mut q, SimTime::MAX, &mut |_| {});
+        assert_eq!(plain_sim.fired, observed_sim.fired);
+        assert_eq!(end, stats.now);
     }
 
     struct TimeTraveler;

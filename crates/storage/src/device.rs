@@ -166,6 +166,7 @@ impl Device {
     }
 
     fn commit(&mut self, now: SimTime, op: OpCompletion, kind: OpKind, size: ByteSize) {
+        let _prof = cbp_prof::scope("device_submit");
         self.on_advance(now);
         self.busy_until = op.end;
         self.queue_len += 1;

@@ -399,6 +399,7 @@ impl YarnSim {
     /// The RM's scheduling pass: grant free slots production-first, then
     /// preempt the default queue if production is still starved.
     fn rm_schedule(&mut self, now: SimTime, q: &mut EventQueue<YarnEvent>) {
+        let _prof = cbp_prof::scope("rm_schedule_pass");
         // Allocation loop: serve head-of-line asks against the *actual*
         // demand of the task the AM will launch next (map and reduce
         // containers differ in size).
@@ -1181,6 +1182,19 @@ impl Simulation for YarnSim {
                 }
                 q.push(now + self.cfg.rpc_delay, YarnEvent::RmSchedule);
             }
+        }
+    }
+
+    fn event_kind(&self, event: &YarnEvent) -> &'static str {
+        match event {
+            YarnEvent::JobSubmit(_) => "job_submit",
+            YarnEvent::RmSchedule => "rm_schedule",
+            YarnEvent::PreemptDecision { .. } => "preempt_decision",
+            YarnEvent::DumpDone { .. } => "dump_done",
+            YarnEvent::RestoreDone { .. } => "restore_done",
+            YarnEvent::TaskFinish { .. } => "task_finish",
+            YarnEvent::ForceKill { .. } => "force_kill",
+            YarnEvent::AmEscalate { .. } => "am_escalate",
         }
     }
 }

@@ -134,8 +134,8 @@ fn fig8_waste_ordering() {
 /// keeping high-priority response comparable to kill.
 #[test]
 fn fig8_response_shape_on_nvm() {
-    let kill = run(PreemptionPolicy::Kill, MediaKind::Nvm, 5);
-    let chk = run(PreemptionPolicy::Checkpoint, MediaKind::Nvm, 5);
+    let kill = run(PreemptionPolicy::Kill, MediaKind::Nvm, 4);
+    let chk = run(PreemptionPolicy::Checkpoint, MediaKind::Nvm, 4);
     assert!(
         chk.mean_low_response() < kill.mean_low_response(),
         "chk low {} >= kill low {}",

@@ -19,6 +19,7 @@ pub use cbp_core as core;
 pub use cbp_dfs as dfs;
 pub use cbp_faults as faults;
 pub use cbp_obs as obs;
+pub use cbp_prof as prof;
 pub use cbp_simkit as simkit;
 pub use cbp_storage as storage;
 pub use cbp_telemetry as telemetry;

@@ -1,0 +1,254 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Same authoring surface ([`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! `criterion_group!` / `criterion_main!`) but a much simpler engine: each
+//! benchmark is timed over a fixed number of batches and the median batch
+//! time is printed. There is no HTML report, no statistical analysis, and
+//! no baseline storage. `cargo bench -- --test` (what CI uses) runs every
+//! routine exactly once to smoke-test it; positional arguments act as
+//! substring filters on benchmark names.
+
+use std::time::Instant;
+
+/// How `iter_batched` amortizes setup cost. The stub times setup and
+/// routine together but runs batches small enough that it rarely matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input; setup runs once per timed iteration.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per batch of iterations.
+    PerIteration,
+}
+
+/// Shared run options parsed from the command line.
+#[derive(Debug, Clone)]
+struct RunOpts {
+    /// Run each routine once, untimed (CI smoke mode, `--test`).
+    test_mode: bool,
+    /// Positional substring filters; empty means "run everything".
+    filters: Vec<String>,
+}
+
+impl RunOpts {
+    fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags the real harness accepts; ignore them (and one
+                // value for the ones that take a value).
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--sample-size" | "--measurement-time" | "--warm-up-time"
+                | "--noplot" | "--quiet" | "--verbose" | "--exact" => {}
+                a if a.starts_with('-') => {}
+                a => filters.push(a.to_string()),
+            }
+        }
+        RunOpts { test_mode, filters }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+}
+
+/// Per-routine timing handle passed to `bench_function` closures.
+pub struct Bencher<'a> {
+    opts: &'a RunOpts,
+    /// Median seconds per iteration, filled in by `iter`/`iter_batched`.
+    median_ns: Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, recording the median over several batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.opts.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        self.median_ns = Some(median_time_ns(|| {
+            std::hint::black_box(routine());
+        }));
+    }
+
+    /// Times `routine` over inputs produced by `setup`. The stub re-runs
+    /// `setup` before every timed call; setup time is *excluded*.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.opts.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+const SAMPLES: usize = 11;
+
+/// Runs `f` `SAMPLES` times and returns the median duration in ns.
+fn median_time_ns(mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn report(name: &str, median_ns: Option<f64>, test_mode: bool) {
+    if test_mode {
+        println!("test {name} ... ok");
+    } else if let Some(ns) = median_ns {
+        println!("{name:<50} median {}", format_ns(ns));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The benchmark manager handed to each `criterion_group!` function.
+pub struct Criterion {
+    opts: RunOpts,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            opts: RunOpts::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let name = name.into();
+        if self.opts.matches(&name) {
+            let mut b = Bencher {
+                opts: &self.opts,
+                median_ns: None,
+            };
+            f(&mut b);
+            report(&name, b.median_ns, self.opts.test_mode);
+        }
+        self
+    }
+
+    /// Opens a named group; benchmarks inside report as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Registers and immediately runs one benchmark inside this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        if self.criterion.opts.matches(&full) {
+            let mut b = Bencher {
+                opts: &self.criterion.opts,
+                median_ns: None,
+            };
+            f(&mut b);
+            report(&full, b.median_ns, self.criterion.opts.test_mode);
+        }
+        self
+    }
+
+    /// Ends the group (no-op beyond matching upstream's API).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut __c = <$crate::Criterion as ::std::default::Default>::default();
+            $($target(&mut __c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_paths_and_filters() {
+        let opts = RunOpts {
+            test_mode: true,
+            filters: vec!["queue".to_string()],
+        };
+        assert!(opts.matches("event_queue_push_pop"));
+        assert!(!opts.matches("dfs_create"));
+        let all = RunOpts {
+            test_mode: true,
+            filters: vec![],
+        };
+        assert!(all.matches("anything"));
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert_eq!(format_ns(500.0), "500 ns");
+        assert_eq!(format_ns(2_500.0), "2.500 us");
+        assert_eq!(format_ns(3_000_000.0), "3.000 ms");
+        assert_eq!(format_ns(1.5e9), "1.500 s");
+    }
+}

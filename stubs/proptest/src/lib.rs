@@ -1,0 +1,285 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Keeps the surface this workspace's property tests use — the `proptest!`
+//! macro (with `#![proptest_config]` and explicit `#[test]` attributes),
+//! range / tuple / `collection::vec` strategies, `prop_map`, `prop_oneof!`,
+//! `Just`, `any`, `prop::sample::Index`, and the `prop_assert*` family —
+//! while replacing the engine: cases are generated from a deterministic
+//! per-(test, case) SplitMix64 stream and failures are **not shrunk**; the
+//! failing case index and message are reported instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod sample {
+    //! Random index selection.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A stand-in for an arbitrary collection index: holds raw randomness,
+    /// projected onto `0..len` on demand.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// This index projected onto a collection of length `len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    /// Strategy producing [`Index`] values (used via `any::<Index>()`).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct IndexStrategy;
+
+    impl Strategy for IndexStrategy {
+        type Value = Index;
+        fn generate(&self, rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()`: canonical strategies per type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::sample::Index(rng.next_u64())
+        }
+    }
+
+    /// Strategy wrapper returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector strategy: each case draws a length in `size`, then that
+    /// many elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// `prop::` module alias (e.g. `prop::sample::Index`).
+    pub use crate as prop;
+}
+
+// Re-export so `proptest::prop::...` paths also work.
+pub use crate as prop;
+
+/// Builds a strategy choosing uniformly among the given strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Property-test assertion: fails the current case without panicking the
+/// whole harness (the runner reports the case index and message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Discards the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests. Each `fn name(binding in strategy, ...) { .. }`
+/// becomes a test running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($binding:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(
+                            let $binding =
+                                $crate::strategy::Strategy::generate(&$strategy, &mut __rng);
+                        )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) => {
+                        panic!(
+                            "proptest {}: case {}/{} failed: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __cfg.cases,
+                            __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}

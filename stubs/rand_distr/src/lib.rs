@@ -1,0 +1,236 @@
+//! Minimal offline stand-in for the `rand_distr` crate.
+//!
+//! Implements the distributions this workspace samples — `Exp`,
+//! `LogNormal`, `Pareto`, `Uniform` and `Zipf` — by inverse-transform (and
+//! Box–Muller for the normal), which is exact for all but `Zipf`, where a
+//! continuous power-law inversion approximates the discrete ranks (correct
+//! support, correct skew; the workspace only asserts those two properties).
+
+use rand::RngCore;
+
+/// Invalid-parameter error. The workspace only ever `.expect()`s these, so
+/// one shared carrier type with a message is enough.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be sampled from a distribution.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform in `[0, 1)`.
+#[inline]
+fn unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution; `lambda` must be positive and
+    /// finite.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(Error("Exp: lambda must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: -ln(1-u)/λ; 1-u ∈ (0, 1] keeps ln finite.
+        -(1.0 - unit(rng)).ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution; `sigma` must be finite and
+    /// non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma.is_finite() && sigma >= 0.0 && mu.is_finite() {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(Error("LogNormal: sigma must be finite and non-negative"))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: z = sqrt(-2 ln u1) · cos(2π u2), u1 ∈ (0, 1].
+        let u1 = 1.0 - unit(rng);
+        let u2 = unit(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Pareto distribution with scale `x_min` and shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution; both parameters must be positive and
+    /// finite.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, Error> {
+        if scale > 0.0 && scale.is_finite() && shape > 0.0 && shape.is_finite() {
+            Ok(Pareto { scale, shape })
+        } else {
+            Err(Error("Pareto: scale and shape must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: x_min · (1-u)^(-1/α).
+        self.scale * (1.0 - unit(rng)).powf(-1.0 / self.shape)
+    }
+}
+
+/// Uniform distribution over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<X> {
+    lo: X,
+    hi: X,
+}
+
+impl<X: PartialOrd> Uniform<X> {
+    /// Creates a uniform distribution; requires `lo < hi`.
+    pub fn new(lo: X, hi: X) -> Result<Self, Error> {
+        if lo < hi {
+            Ok(Uniform { lo, hi })
+        } else {
+            Err(Error("Uniform: requires lo < hi"))
+        }
+    }
+}
+
+impl Distribution<f64> for Uniform<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + unit(rng) * (self.hi - self.lo)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf<F> {
+    n: F,
+    s: F,
+}
+
+impl Zipf<f64> {
+    /// Creates a Zipf distribution; `n >= 1` and `s` positive and finite.
+    pub fn new(n: f64, s: f64) -> Result<Self, Error> {
+        if n >= 1.0 && n.is_finite() && s > 0.0 && s.is_finite() {
+            Ok(Zipf { n, s })
+        } else {
+            Err(Error("Zipf: need n >= 1 and positive finite s"))
+        }
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Continuous power-law inversion over [1, n+1), floored to a rank:
+        // density ∝ x^-s, CDF inverted in closed form. Approximates the
+        // discrete Zipf pmf while keeping exact support and heavy skew.
+        let u = unit(rng);
+        let top = self.n + 1.0;
+        let x = if (self.s - 1.0).abs() < 1e-9 {
+            top.powf(u)
+        } else {
+            let one_minus_s = 1.0 - self.s;
+            (1.0 + u * (top.powf(one_minus_s) - 1.0)).powf(1.0 / one_minus_s)
+        };
+        x.floor().clamp(1.0, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean(d: &impl Distribution<f64>, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(0.1).unwrap();
+        let m = mean(&d, 50_000, 1);
+        assert!((m - 10.0).abs() < 0.3, "exp mean was {m}");
+    }
+
+    #[test]
+    fn log_normal_mean_matches_closed_form() {
+        let (mu, sigma) = (1.0, 0.5);
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let want = (mu + sigma * sigma / 2.0f64).exp();
+        let m = mean(&d, 100_000, 2);
+        assert!((m - want).abs() < 0.05 * want, "lognormal mean {m} vs {want}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let d = Pareto::new(2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_errors() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        let d = Uniform::new(5.0, 6.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((5.0..6.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_support_and_skew() {
+        let d = Zipf::new(100.0, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut rank1 = 0;
+        for _ in 0..1000 {
+            let r = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&r));
+            if r == 1.0 {
+                rank1 += 1;
+            }
+        }
+        assert!(rank1 > 100, "rank 1 should dominate, got {rank1}/1000");
+    }
+}

@@ -1,0 +1,438 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the stub `serde`'s [`Serialize`]/[`Deserialize`] traits (the
+//! direct value-model pair, not upstream serde's visitor machinery) by
+//! walking the raw token stream — no `syn`/`quote`, so the stub stays
+//! dependency-free. Supported shapes are exactly what this workspace
+//! declares: non-generic named structs, tuple structs, unit structs, and
+//! enums with unit / named-field / tuple variants, plus the field attribute
+//! `#[serde(skip)]` (omitted on serialize, defaulted on deserialize).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    /// Tuple struct: per-position skip flags.
+    Tuple(Vec<bool>),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+/// True if an attribute group (`[...]` contents) is `serde(skip)`.
+fn attr_is_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes from `tokens[*i..]`, returning whether any
+/// was `#[serde(skip)]`.
+fn eat_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        skip |= attr_is_skip(g);
+                        *i += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+/// Consumes an optional `pub` / `pub(...)` from `tokens[*i..]`.
+fn eat_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Splits a token slice at top-level commas, tracking `<...>` nesting so
+/// commas inside generic arguments don't split (grouped delimiters are
+/// single trees already).
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses `name: Type` fields (with attributes/visibility) from the token
+/// stream of a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_commas(stream.into_iter().collect())
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let mut i = 0;
+            let skip = eat_attrs(&part, &mut i);
+            eat_vis(&part, &mut i);
+            let name = match &part[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected field name, found {other}"),
+            };
+            Field { name, skip }
+        })
+        .collect()
+}
+
+/// Parses tuple-struct/variant fields, returning per-position skip flags.
+fn parse_tuple_fields(stream: TokenStream) -> Vec<bool> {
+    split_commas(stream.into_iter().collect())
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let mut i = 0;
+            let skip = eat_attrs(&part, &mut i);
+            eat_vis(&part, &mut i);
+            skip
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        eat_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected enum variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Discriminants (`= expr`) and trailing commas.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    eat_attrs(&tokens, &mut i);
+    eat_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("stub serde_derive does not support generic types (deriving `{name}`)");
+    }
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Shape::Tuple(parse_tuple_fields(g.stream())))
+            }
+            _ => Body::Struct(Shape::Unit),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    };
+    Item { name, body }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+
+/// Expression serializing named fields bound as local references into a map
+/// expression.
+fn ser_named(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::from("{ let mut __m = ::serde::Map::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "__m.insert(\"{n}\", ::serde::Serialize::to_value({a}));\n",
+            n = f.name,
+            a = access(&f.name)
+        ));
+    }
+    out.push_str("::serde::Value::Object(__m) }");
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Shape::Named(fields)) => ser_named(fields, |f| format!("&self.{f}")),
+        Body::Struct(Shape::Tuple(skips)) => {
+            let live: Vec<usize> = (0..skips.len()).filter(|&i| !skips[i]).collect();
+            if live.len() == 1 {
+                // Newtype structs serialize transparently, as upstream does.
+                format!("::serde::Serialize::to_value(&self.{})", live[0])
+            } else {
+                let elems: Vec<String> = live
+                    .iter()
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            }
+        }
+        Body::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Shape::Named(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = ser_named(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {b} }} => {{ let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(\"{vn}\", {inner});\n\
+                             ::serde::Value::Object(__outer) }}\n",
+                            b = binds.join(", ")
+                        ));
+                    }
+                    Shape::Tuple(skips) => {
+                        let binds: Vec<String> =
+                            (0..skips.len()).map(|i| format!("__f{i}")).collect();
+                        let live: Vec<&String> = binds
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| !skips[*i])
+                            .map(|(_, b)| b)
+                            .collect();
+                        let payload = if live.len() == 1 {
+                            format!("::serde::Serialize::to_value({})", live[0])
+                        } else {
+                            let elems: Vec<String> = live
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({b}) => {{ let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(\"{vn}\", {payload});\n\
+                             ::serde::Value::Object(__outer) }}\n",
+                            b = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+
+/// `Name { f1: de_field(..)?, skipped: Default::default() }` initializer.
+fn de_named(path: &str, fields: &[Field], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::std::default::Default::default()", f.name)
+            } else {
+                format!("{n}: ::serde::de_field({src}, \"{n}\")?", n = f.name)
+            }
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn de_tuple(path: &str, skips: &[bool], src: &str) -> String {
+    let live: Vec<usize> = (0..skips.len()).filter(|&i| !skips[i]).collect();
+    if live.len() == 1 && skips.len() == 1 {
+        return format!("{path}(::serde::Deserialize::from_value({src})?)");
+    }
+    let mut out = format!(
+        "{{ let __a = {src}.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array for {path}\"))?;\n\
+         if __a.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::msg(\"wrong tuple arity for {path}\")); }}\n\
+         {path}(",
+        n = live.len()
+    );
+    let mut arg = 0usize;
+    let inits: Vec<String> = skips
+        .iter()
+        .map(|&skip| {
+            if skip {
+                "::std::default::Default::default()".to_string()
+            } else {
+                let s = format!("::serde::Deserialize::from_value(&__a[{arg}])?");
+                arg += 1;
+                s
+            }
+        })
+        .collect();
+    out.push_str(&inits.join(", "));
+    out.push_str(") }");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Shape::Named(fields)) => {
+            format!(
+                "::std::result::Result::Ok({})",
+                de_named(name, fields, "__v")
+            )
+        }
+        Body::Struct(Shape::Tuple(skips)) => {
+            format!("::std::result::Result::Ok({})", de_tuple(name, skips, "__v"))
+        }
+        Body::Struct(Shape::Unit) => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Named(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({}),\n",
+                        de_named(&format!("{name}::{vn}"), fields, "__inner")
+                    )),
+                    Shape::Tuple(skips) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({}),\n",
+                        de_tuple(&format!("{name}::{vn}"), skips, "__inner")
+                    )),
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown {name} variant `{{__s}}`\"))),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = __m.first().expect(\"non-empty object\");\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown {name} variant `{{__tag}}`\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 \"expected {name} variant\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
