@@ -3,8 +3,10 @@
 //! ```text
 //! repro <experiment-id|all> [--scale full|small|smoke|<0..1>] [--seed N] [--md PATH] [--json PATH]
 //!       [--trace-out PATH] [--chrome-trace PATH] [--timeseries PATH] [--telemetry]
-//!       [--analyze PATH] [--faults SPEC]
+//!       [--analyze PATH] [--critical-path] [--flamegraph-out PATH] [--what-if SCENARIO]
+//!       [--faults SPEC]
 //! repro analyze <trace.jsonl> [--report PATH] [--baseline PATH] [--tol-rel F] [--tol-abs-us F]
+//!       [--critical-path] [--flamegraph-out PATH] [--what-if SCENARIO]
 //! ```
 //!
 //! Experiment ids: fig1 table1 table2 fig2 table3 fig3 fig4 fig5 fig6
@@ -28,11 +30,11 @@
 use std::fmt::Write as _;
 
 use cbp_bench::{
-    analyze_trace_file, check_bench_files, find_scenario, run_all, run_instrumented, run_one,
-    run_scenario, standard_matrix, tiny_matrix, BenchOptions, Scale, TelemetryOptions,
-    ANALYZE_TOP_K, EXPERIMENT_IDS,
+    analyze_trace_collector, check_bench_files, emit_crit_extras, find_scenario, run_all,
+    run_instrumented, run_one, run_scenario, standard_matrix, tiny_matrix, BenchOptions, Scale,
+    TelemetryOptions, ANALYZE_TOP_K, EXPERIMENT_IDS,
 };
-use cbp_obs::{diff_reports, Tolerances, Verdict};
+use cbp_obs::{diff_reports, ObsReport, Tolerances, Verdict, WhatIf};
 
 // Installed only for allocator-peak benchmarking: every BENCH json then
 // reports `alloc_peak_bytes` instead of null.
@@ -133,6 +135,27 @@ fn main() {
                     args.get(i)
                         .cloned()
                         .unwrap_or_else(|| die("missing --analyze path")),
+                );
+            }
+            "--critical-path" => {
+                telemetry.critical_path = true;
+            }
+            "--flamegraph-out" => {
+                i += 1;
+                telemetry.flamegraph_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("missing --flamegraph-out path")),
+                );
+            }
+            "--what-if" => {
+                i += 1;
+                let spec = args.get(i).unwrap_or_else(|| {
+                    die("missing --what-if scenario (dump0|iobw-inf|faults-off)")
+                });
+                telemetry.what_if.push(
+                    WhatIf::parse(spec)
+                        .unwrap_or_else(|| die(&format!("unknown --what-if scenario '{spec}'"))),
                 );
             }
             "--faults" => {
@@ -367,9 +390,31 @@ fn analyze_cmd(args: &[String]) {
     let mut report_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut tol = Tolerances::default();
+    let mut crit = TelemetryOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--critical-path" => {
+                crit.critical_path = true;
+            }
+            "--flamegraph-out" => {
+                i += 1;
+                crit.flamegraph_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("missing --flamegraph-out path")),
+                );
+            }
+            "--what-if" => {
+                i += 1;
+                let spec = args.get(i).unwrap_or_else(|| {
+                    die("missing --what-if scenario (dump0|iobw-inf|faults-off)")
+                });
+                crit.what_if.push(
+                    WhatIf::parse(spec)
+                        .unwrap_or_else(|| die(&format!("unknown --what-if scenario '{spec}'"))),
+                );
+            }
             "--report" => {
                 i += 1;
                 report_path = Some(
@@ -407,8 +452,13 @@ fn analyze_cmd(args: &[String]) {
         i += 1;
     }
     let trace = trace.unwrap_or_else(|| die("usage: repro analyze <trace.jsonl> [...]"));
-    let report = analyze_trace_file(&trace, ANALYZE_TOP_K).unwrap_or_else(|e| die(&e));
+    let collector = analyze_trace_collector(&trace, crit.wants_crit()).unwrap_or_else(|e| die(&e));
+    let mut report = ObsReport::build(&collector, ANALYZE_TOP_K);
+    if crit.wants_crit() {
+        report = report.with_crit(&collector).unwrap_or_else(|e| die(&e));
+    }
     print!("{}", report.render_table());
+    emit_crit_extras(&report, &collector, &crit).unwrap_or_else(|e| die(&e));
     if let Some(path) = &report_path {
         std::fs::write(path, report.to_json())
             .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
@@ -450,10 +500,17 @@ fn usage() {
          \x20 --timeseries PATH    columnar time-series JSON (utilization, queue depth, ...)\n\
          \x20 --telemetry          print the `subsystem.metric` registry and engine throughput\n\
          \x20 --analyze PATH       write the cbp-obs blame/penalty report and print its tables\n\
+         \x20 --critical-path      extract per-job critical paths; print the attribution table\n\
+         \x20                      (the report JSON gains a \"crit\" section)\n\
+         \x20 --flamegraph-out P   write critical paths as inferno folded stacks (implies\n\
+         \x20                      --critical-path; render with inferno-flamegraph < P)\n\
+         \x20 --what-if SCENARIO   predict per-band p95 responses under a counterfactual\n\
+         \x20                      (dump0|iobw-inf|faults-off; repeatable; implies --critical-path)\n\
          \x20 --faults SPEC        attach a deterministic fault plan to the instrumented run\n\
          \x20                      (off|light|heavy, tunable: heavy,seed=7,dump=0.3,stall=0.2)\n\
          \n\
-         offline analysis (replays a --trace-out file; byte-identical to --analyze):\n\
+         offline analysis (replays a --trace-out file; byte-identical to --analyze,\n\
+         also accepts --critical-path / --flamegraph-out / --what-if):\n\
          \x20 --report PATH        write the report JSON (archive as a baseline)\n\
          \x20 --baseline PATH      diff against an archived report; exit 1 on regression\n\
          \x20 --tol-rel F          relative tolerance for the diff (default 0.05)\n\

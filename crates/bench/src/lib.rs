@@ -20,7 +20,10 @@ pub use bench_run::{
     BenchOptions, BenchResult, BenchScenario, SimKind, BENCH_SCHEMA, BENCH_VERSION,
 };
 pub use table::{Experiment, Table};
-pub use telemetry_run::{analyze_trace_file, run_instrumented, TelemetryOptions, ANALYZE_TOP_K};
+pub use telemetry_run::{
+    analyze_trace_collector, analyze_trace_file, emit_crit_extras, run_instrumented,
+    TelemetryOptions, ANALYZE_TOP_K,
+};
 
 /// Scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq)]

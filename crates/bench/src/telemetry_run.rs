@@ -19,7 +19,7 @@ use std::io::{BufReader, BufWriter};
 
 use cbp_core::{ClusterSim, PreemptionPolicy, TelemetryReport};
 use cbp_faults::FaultSpec;
-use cbp_obs::{ObsReport, SharedCollector};
+use cbp_obs::{paths_to_folded, ObsReport, SharedCollector, SpanCollector, WhatIf};
 use cbp_simkit::SimDuration;
 use cbp_storage::MediaKind;
 use cbp_telemetry::{ChromeTraceTracer, JsonlTracer, MultiTracer, Tracer};
@@ -48,6 +48,16 @@ pub struct TelemetryOptions {
     /// `--analyze PATH`: write the `cbp-obs` analysis report and print
     /// the penalty table.
     pub analyze: Option<String>,
+    /// `--critical-path`: record segment timelines, extract per-job
+    /// critical paths and print the attribution table (the report JSON
+    /// gains its `"crit"` section).
+    pub critical_path: bool,
+    /// `--flamegraph-out PATH`: write the critical paths as
+    /// inferno-compatible folded-stack text (implies `--critical-path`).
+    pub flamegraph_out: Option<String>,
+    /// `--what-if SCENARIO` (repeatable): print predicted per-band p95
+    /// responses under the counterfactual (implies `--critical-path`).
+    pub what_if: Vec<WhatIf>,
     /// `--faults SPEC`: attach a deterministic fault plan to the
     /// instrumented run (chaos replay; see [`FaultSpec::parse`]).
     pub faults: Option<FaultSpec>,
@@ -61,6 +71,12 @@ impl TelemetryOptions {
             || self.timeseries.is_some()
             || self.telemetry
             || self.analyze.is_some()
+            || self.wants_crit()
+    }
+
+    /// True if any flag needs segment timelines and critical paths.
+    pub fn wants_crit(&self) -> bool {
+        self.critical_path || self.flamegraph_out.is_some() || !self.what_if.is_empty()
     }
 }
 
@@ -113,7 +129,13 @@ fn build_tracer(
         let f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
         multi.push(Box::new(ChromeTraceTracer::new(BufWriter::new(f))));
     }
-    let collector = opts.analyze.as_ref().map(|_| SharedCollector::new());
+    let collector = if opts.wants_crit() {
+        Some(SharedCollector::with_segments())
+    } else if opts.analyze.is_some() {
+        Some(SharedCollector::new())
+    } else {
+        None
+    };
     if let Some(c) = &collector {
         multi.push(Box::new(c.clone()));
     }
@@ -180,10 +202,20 @@ fn run_yarn(
 /// [`ObsReport`] the online `--analyze` path produces. Entry point for
 /// the `repro analyze` subcommand.
 pub fn analyze_trace_file(path: &str, top_k: usize) -> Result<ObsReport, String> {
+    Ok(ObsReport::build(
+        &analyze_trace_collector(path, false)?,
+        top_k,
+    ))
+}
+
+/// Replays a `--trace-out` JSONL file into a [`SpanCollector`],
+/// optionally recording segment timelines for critical-path extraction.
+/// The offline collector state is identical to the online one for the
+/// same run, so reports built either way are byte-identical.
+pub fn analyze_trace_collector(path: &str, segments: bool) -> Result<SpanCollector, String> {
     let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let collector =
-        cbp_obs::collect_jsonl(BufReader::new(f)).map_err(|e| format!("read {path}: {e}"))?;
-    Ok(ObsReport::build(&collector, top_k))
+    cbp_obs::collect_jsonl_with(BufReader::new(f), segments)
+        .map_err(|e| format!("read {path}: {e}"))
 }
 
 /// Writes the time series (if requested), prints the registry table and
@@ -222,15 +254,46 @@ fn emit(
             telemetry.events_per_sec()
         );
     }
-    if let Some(path) = &opts.analyze {
+    if opts.analyze.is_some() || opts.wants_crit() {
         let collector = collector
-            .expect("--analyze always installs a collector")
+            .expect("analysis flags always install a collector")
             .take();
-        let report = ObsReport::build(&collector, ANALYZE_TOP_K);
-        std::fs::write(path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
-        eprintln!("wrote {path}");
+        let mut report = ObsReport::build(&collector, ANALYZE_TOP_K);
+        if opts.wants_crit() {
+            report = report.with_crit(&collector)?;
+        }
+        if let Some(path) = &opts.analyze {
+            std::fs::write(path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
         println!("################ analysis ################");
         print!("{}", report.render_table());
+        emit_crit_extras(&report, &collector, opts)?;
+    }
+    Ok(())
+}
+
+/// Folded-stack export and what-if tables behind the critical-path
+/// flags. Shared by the online (`--analyze`) and offline (`repro
+/// analyze`) paths.
+pub fn emit_crit_extras(
+    report: &ObsReport,
+    collector: &SpanCollector,
+    opts: &TelemetryOptions,
+) -> Result<(), String> {
+    if let Some(path) = &opts.flamegraph_out {
+        let paths = cbp_obs::CritReport::extract_paths(collector)?;
+        std::fs::write(path, paths_to_folded(&paths)).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if !opts.what_if.is_empty() {
+        let crit = report
+            .crit
+            .as_ref()
+            .expect("what-if requires the crit section");
+        for w in &opts.what_if {
+            print!("{}", crit.render_what_if(*w));
+        }
     }
     Ok(())
 }
@@ -351,6 +414,47 @@ mod tests {
             "online and offline reports must be byte-identical"
         );
         assert!(online.source.tasks_finished > 0, "smoke run finishes tasks");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Same contract with the critical-path section on: the online
+    /// segment-recording collector and an offline segment-recording
+    /// replay produce byte-identical reports *including* `"crit"`, and
+    /// byte-identical folded stacks.
+    #[test]
+    fn online_and_offline_critical_paths_agree() {
+        let dir = std::env::temp_dir().join(format!("cbp-crit-analyze-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl");
+        let opts = TelemetryOptions {
+            trace_out: Some(trace.to_str().unwrap().to_string()),
+            critical_path: true,
+            ..Default::default()
+        };
+        let (_, collector) = run_trace_sim(Scale::SMOKE, 11, &opts).unwrap();
+        let online_c = collector.expect("collector installed").take();
+        let online = ObsReport::build(&online_c, ANALYZE_TOP_K)
+            .with_crit(&online_c)
+            .unwrap();
+        let offline_c = analyze_trace_collector(trace.to_str().unwrap(), true).unwrap();
+        let offline = ObsReport::build(&offline_c, ANALYZE_TOP_K)
+            .with_crit(&offline_c)
+            .unwrap();
+        assert_eq!(
+            online.to_json(),
+            offline.to_json(),
+            "online and offline crit reports must be byte-identical"
+        );
+        assert!(
+            online.to_json().contains("\"crit\":{"),
+            "report must carry the crit section"
+        );
+        let online_folded =
+            paths_to_folded(&cbp_obs::CritReport::extract_paths(&online_c).unwrap());
+        let offline_folded =
+            paths_to_folded(&cbp_obs::CritReport::extract_paths(&offline_c).unwrap());
+        assert_eq!(online_folded, offline_folded);
+        assert!(!online_folded.is_empty(), "smoke run yields folded stacks");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,7 +1,7 @@
 //! Property tests for the `cbp-obs` blame-conservation invariant.
 //!
-//! Every finished task's seven blame segments (run, ready-queue wait,
-//! dump, checkpoint-queue wait, restore, lost work, suspended) must tile
+//! Every finished task's eight blame segments (run, ready-queue wait,
+//! dump, checkpoint-queue wait, restore, retry, lost work, suspended) must tile
 //! the submit→finish interval *exactly*, in integer microseconds, on
 //! every trace either simulator can emit. The collector hard-asserts
 //! this at each `TaskFinish`; these tests drive randomized scenarios
@@ -173,7 +173,7 @@ fn obs_report_is_byte_stable_per_seed() {
     let b = build();
     assert_eq!(a, b, "same seed must serialize to identical bytes");
     assert!(
-        a.starts_with("{\"schema\":\"cbp-obs-report\",\"version\":2,"),
+        a.starts_with("{\"schema\":\"cbp-obs-report\",\"version\":3,"),
         "report must open with its schema header"
     );
 }

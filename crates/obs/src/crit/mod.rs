@@ -1,0 +1,38 @@
+//! Causal critical-path extraction and counterfactual ("what-if")
+//! attribution over the segment timelines recorded by
+//! [`SpanCollector`](crate::SpanCollector).
+//!
+//! Blame accounting (see [`crate::span`]) explains where each *task's*
+//! time went; this module explains what bounds *end-to-end latency*. A
+//! job finishes when its last task finishes, so the causal chain that
+//! determines the job's completion time is the ordered segment timeline
+//! of that completion-determining task: every microsecond of the job's
+//! response is pinned to exactly one segment — scheduler queueing
+//! (`ready_wait`, `suspended`), checkpoint device queueing
+//! (`dump_queue`, `restore_queue`), device service (`dump`, `restore`),
+//! fault recovery (`retry`), discarded work (`lost`) or productive run.
+//!
+//! * [`path`] — per-job critical-path extraction with a hard tiling
+//!   invariant: the chain's segments partition the job's submit→finish
+//!   interval exactly (no gaps, no overlaps, integer microseconds).
+//! * [`whatif`] — counterfactual cost models (zero-cost dump, infinite
+//!   device bandwidth, faults off) that re-walk every task's timeline
+//!   with the targeted segments removed and predict per-band
+//!   response-time deltas. First-order estimates: validated against
+//!   actual re-runs in `cbp-bench` (see DESIGN.md §5.3 for the validity
+//!   argument and its limits).
+//! * [`report`] — [`CritReport`], the aggregate merged into
+//!   [`ObsReport`](crate::ObsReport) JSON (byte-stable).
+//! * [`folded`] — inferno-compatible folded-stack text (one stack per
+//!   critical-path segment, weighted by microseconds) for flamegraph
+//!   rendering.
+
+pub mod folded;
+pub mod path;
+pub mod report;
+pub mod whatif;
+
+pub use folded::paths_to_folded;
+pub use path::{extract_job_paths, JobPath, JobPaths};
+pub use report::{CritBand, CritReport};
+pub use whatif::{predicted_job_responses, WhatIf};

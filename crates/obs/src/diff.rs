@@ -19,7 +19,7 @@ use std::fmt;
 
 use cbp_telemetry::json::{self, Value};
 
-use crate::report::{REPORT_SCHEMA, REPORT_VERSION};
+use crate::report::{REPORT_MIN_VERSION, REPORT_SCHEMA, REPORT_VERSION};
 
 /// Comparison tolerances.
 #[derive(Debug, Clone, Copy)]
@@ -271,9 +271,9 @@ pub fn flatten_report(text: &str) -> Result<BTreeMap<String, f64>, String> {
         return Err(format!("expected schema {REPORT_SCHEMA:?}, got {schema:?}"));
     }
     let version = v.get("version").and_then(Value::as_u64).unwrap_or(0);
-    if version != REPORT_VERSION as u64 {
+    if version < REPORT_MIN_VERSION as u64 || version > REPORT_VERSION as u64 {
         return Err(format!(
-            "expected schema version {REPORT_VERSION}, got {version}"
+            "expected schema version {REPORT_MIN_VERSION}..={REPORT_VERSION}, got {version}"
         ));
     }
     let mut out = BTreeMap::new();

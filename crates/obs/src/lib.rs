@@ -8,9 +8,9 @@
 //! single streaming pass, then derives three analyses:
 //!
 //! * **Blame accounting** ([`span`]) — every finished task's response
-//!   time is decomposed into seven segments (run, ready-queue wait,
-//!   dump, checkpoint-queue wait, restore, lost-work re-execution,
-//!   suspended) that tile the submit→finish interval *exactly*, in
+//!   time is decomposed into eight segments (run, ready-queue wait,
+//!   dump, checkpoint-queue wait, restore, retry/backoff, lost-work
+//!   re-execution, suspended) that tile the submit→finish interval *exactly*, in
 //!   integer microseconds. The conservation invariant is hard-asserted
 //!   on every task and property-tested against randomized scenarios on
 //!   both simulators.
@@ -20,6 +20,12 @@
 //!   dump/restore/eviction tallies, the top-K worst-penalized jobs, and
 //!   a robust-statistics anomaly pass flagging tasks whose eviction
 //!   count or restore latency is an outlier within their band.
+//! * **Critical paths & what-if** ([`crit`]) — per-job causal chains
+//!   (the segment timeline of the completion-determining task, tiling
+//!   the job's submit→finish exactly), cluster-wide makespan/response
+//!   attribution per band, counterfactual cost models (zero-cost dump,
+//!   infinite device bandwidth, faults off) and inferno-compatible
+//!   folded-stack export for flamegraph rendering.
 //! * **Regression diffing** ([`diff`]) — [`ObsReport::to_json`] is
 //!   byte-stable per trace, so reports can be archived as baselines and
 //!   compared under configurable tolerances, with lower-is-better /
@@ -36,13 +42,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crit;
 pub mod diff;
 pub mod report;
 pub mod span;
 
+pub use crit::{extract_job_paths, paths_to_folded, CritBand, CritReport, JobPath, WhatIf};
 pub use diff::{diff_reports, flatten_report, DiffReport, DiffRow, Tolerances, Verdict};
 pub use report::{
     Anomaly, BandSummary, JobSummary, NodeSummary, ObsReport, SourceSummary, TotalsSummary,
     ANOMALY_K, REPORT_SCHEMA, REPORT_VERSION,
 };
-pub use span::{collect_jsonl, Band, Blame, NodeStats, SharedCollector, SpanCollector, TaskSpan};
+pub use span::{
+    collect_jsonl, collect_jsonl_with, Band, Blame, NodeStats, SegKind, Segment, SharedCollector,
+    SpanCollector, TaskSpan,
+};

@@ -17,8 +17,14 @@ use crate::span::{Band, Blame, SpanCollector};
 /// Schema name stamped into report JSON.
 pub const REPORT_SCHEMA: &str = "cbp-obs-report";
 /// Schema version stamped into report JSON (version 2 added the
-/// `retry_us` blame segment and the fault counters).
-pub const REPORT_VERSION: u32 = 2;
+/// `retry_us` blame segment and the fault counters; version 3 added the
+/// optional `crit` critical-path section).
+pub const REPORT_VERSION: u32 = 3;
+
+/// Oldest report schema version [`crate::flatten_report`] still accepts
+/// as a diff baseline (version-2 reports differ only by lacking the
+/// optional `crit` section).
+pub const REPORT_MIN_VERSION: u32 = 2;
 
 /// MAD multiplier for anomaly flagging (the Iglewicz–Hoaglin modified
 /// z-score cutoff).
@@ -179,6 +185,10 @@ pub struct ObsReport {
     pub top_jobs: Vec<JobSummary>,
     /// Flagged outlier tasks.
     pub anomalies: Vec<Anomaly>,
+    /// Critical-path and what-if attribution; present only when the
+    /// collector recorded segment timelines and critical-path analysis
+    /// was requested (see [`ObsReport::with_crit`]).
+    pub crit: Option<crate::crit::CritReport>,
 }
 
 /// Robust location/scale of a sample: `(median, scale)` where scale is
@@ -398,7 +408,17 @@ impl ObsReport {
             nodes,
             top_jobs,
             anomalies,
+            crit: None,
         }
+    }
+
+    /// Attaches the critical-path section, built from the same
+    /// collector (which must have recorded segment timelines). Fails if
+    /// segments are missing or a job's critical path violates the
+    /// tiling invariant.
+    pub fn with_crit(mut self, collector: &SpanCollector) -> Result<ObsReport, String> {
+        self.crit = Some(crate::crit::CritReport::build(collector)?);
+        Ok(self)
     }
 
     /// Serializes the report as one byte-stable JSON object: fixed field
@@ -557,7 +577,13 @@ impl ObsReport {
             s.pop();
             s.push('}');
         }
-        s.push_str("]}");
+        s.push(']');
+        if let Some(crit) = &self.crit {
+            s.push(',');
+            json::push_key(&mut s, "crit");
+            crit.push_json(&mut s);
+        }
+        s.push('}');
         debug_assert!(json::is_valid(&s), "report JSON must be valid");
         s
     }
@@ -674,6 +700,10 @@ impl ObsReport {
                 );
             }
         }
+        if let Some(crit) = &self.crit {
+            let _ = writeln!(out);
+            out.push_str(&crit.render_table());
+        }
         out
     }
 }
@@ -746,7 +776,7 @@ mod tests {
         let b = ObsReport::build(&collector_with_tasks(60), 5).to_json();
         assert_eq!(a, b, "same spans must produce byte-identical JSON");
         assert!(json::is_valid(&a), "report must be valid JSON: {a}");
-        assert!(a.starts_with("{\"schema\":\"cbp-obs-report\",\"version\":2,"));
+        assert!(a.starts_with("{\"schema\":\"cbp-obs-report\",\"version\":3,"));
         for key in [
             "\"source\"",
             "\"totals\"",

@@ -175,6 +175,110 @@ impl Blame {
     }
 }
 
+/// Kind of one ordered lifecycle segment. Finer-grained than [`Blame`]:
+/// checkpoint-device *queue* time is split by side (dump vs restore), so
+/// counterfactual cost models can zero them independently — `Blame`'s
+/// `ckpt_wait_us` equals `DumpQueue + RestoreQueue`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SegKind {
+    /// Productive execution that counted toward completion.
+    Run,
+    /// Pending-queue time before a fresh (non-restore) placement.
+    ReadyWait,
+    /// Checkpoint device queue time on the dump side (evict → service).
+    DumpQueue,
+    /// Checkpoint dump service time.
+    Dump,
+    /// Pending-queue time while holding a checkpoint image.
+    Suspended,
+    /// Checkpoint device queue time on the restore side (placement →
+    /// service).
+    RestoreQueue,
+    /// Checkpoint restore service time.
+    Restore,
+    /// Recovery overhead from failed dump/restore attempts and backoff.
+    Retry,
+    /// Discarded work: killed execution, aborted dumps/restores, and run
+    /// that a later fresh start re-executed.
+    Lost,
+}
+
+impl SegKind {
+    /// All kinds, in canonical report order.
+    pub const ALL: [SegKind; 9] = [
+        SegKind::Run,
+        SegKind::ReadyWait,
+        SegKind::DumpQueue,
+        SegKind::Dump,
+        SegKind::Suspended,
+        SegKind::RestoreQueue,
+        SegKind::Restore,
+        SegKind::Retry,
+        SegKind::Lost,
+    ];
+
+    /// Short stable name (used in report JSON and folded stacks).
+    pub fn name(self) -> &'static str {
+        match self {
+            SegKind::Run => "run",
+            SegKind::ReadyWait => "ready_wait",
+            SegKind::DumpQueue => "dump_queue",
+            SegKind::Dump => "dump",
+            SegKind::Suspended => "suspended",
+            SegKind::RestoreQueue => "restore_queue",
+            SegKind::Restore => "restore",
+            SegKind::Retry => "retry",
+            SegKind::Lost => "lost",
+        }
+    }
+
+    /// Index into [`SegKind::ALL`] (for fixed-size accumulators).
+    pub fn index(self) -> usize {
+        match self {
+            SegKind::Run => 0,
+            SegKind::ReadyWait => 1,
+            SegKind::DumpQueue => 2,
+            SegKind::Dump => 3,
+            SegKind::Suspended => 4,
+            SegKind::RestoreQueue => 5,
+            SegKind::Restore => 6,
+            SegKind::Retry => 7,
+            SegKind::Lost => 8,
+        }
+    }
+}
+
+/// One ordered interval of a task's lifetime (µs sim time; `end_us` is
+/// exclusive). Zero-length intervals are never recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// What the task was doing (or waiting on) during the interval.
+    pub kind: SegKind,
+    /// Interval start (µs sim time).
+    pub start_us: u64,
+    /// Interval end (µs sim time, exclusive).
+    pub end_us: u64,
+}
+
+impl Segment {
+    /// Interval length in microseconds.
+    pub fn dur_us(&self) -> u64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// Appends a non-empty segment (zero-length intervals carry no blame and
+/// would only clutter the timeline).
+fn push_seg(span: &mut TaskSpan, kind: SegKind, start: u64, end: u64) {
+    if end > start {
+        span.segments.push(Segment {
+            kind,
+            start_us: start,
+            end_us: end,
+        });
+    }
+}
+
 /// Where a task currently is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -228,7 +332,15 @@ pub struct TaskSpan {
     /// Records that arrived in a phase where they make no sense. Tasks
     /// with `malformed > 0` are excluded from aggregation.
     pub malformed: u32,
+    /// Ordered lifecycle intervals; empty unless the collector was built
+    /// with segment recording. Sorted by `start_us` — and guaranteed to
+    /// tile `submit_us..finish_us` exactly — once the task finished.
+    pub segments: Vec<Segment>,
     current: Phase,
+    /// Execution interval held back while a dump is pending: credited as
+    /// a `Run` segment if the dump completes, `Lost` if it is aborted.
+    /// Only maintained when segments are recorded.
+    pending_run: Option<(u64, u64)>,
 }
 
 impl TaskSpan {
@@ -288,6 +400,7 @@ pub struct SpanCollector {
     records: u64,
     malformed: u64,
     strict: bool,
+    record_segments: bool,
 }
 
 impl SpanCollector {
@@ -305,6 +418,20 @@ impl SpanCollector {
     /// for traces of unknown provenance.
     pub fn lenient() -> Self {
         SpanCollector::default()
+    }
+
+    /// Enables per-task segment timelines (the input to critical-path
+    /// extraction). Costs O(transitions) extra memory per task; when a
+    /// task finishes, its ordered segments are hard-asserted to tile
+    /// `submit..finish` exactly, mirroring the blame conservation check.
+    pub fn with_segments(mut self) -> Self {
+        self.record_segments = true;
+        self
+    }
+
+    /// Whether segment timelines are being recorded.
+    pub fn segments_enabled(&self) -> bool {
+        self.record_segments
     }
 
     /// Records consumed so far.
@@ -373,11 +500,14 @@ impl SpanCollector {
                         restore_fails: 0,
                         escalations: 0,
                         malformed: 0,
+                        segments: Vec::new(),
                         current: Phase::Queued { since: t },
+                        pending_run: None,
                     },
                 );
             }
             TraceRecord::TaskSchedule { task, restore, .. } => {
+                let segs = self.record_segments;
                 let Some(span) = self.tasks.get_mut(&task) else {
                     self.bad(task, "task_schedule before task_submit", rec);
                     return;
@@ -387,6 +517,9 @@ impl SpanCollector {
                         let wait = t - since;
                         if restore {
                             span.blame.suspended_us += wait;
+                            if segs {
+                                push_seg(span, SegKind::Suspended, since, t);
+                            }
                             span.current = Phase::Restoring { sched_at: t };
                         } else {
                             span.blame.ready_wait_us += wait;
@@ -394,6 +527,14 @@ impl SpanCollector {
                             // so far (the image, if any, was unusable).
                             span.blame.lost_us += span.blame.run_us;
                             span.blame.run_us = 0;
+                            if segs {
+                                push_seg(span, SegKind::ReadyWait, since, t);
+                                for s in span.segments.iter_mut() {
+                                    if s.kind == SegKind::Run {
+                                        s.kind = SegKind::Lost;
+                                    }
+                                }
+                            }
                             span.current = Phase::Running { since: t };
                         }
                     }
@@ -401,6 +542,7 @@ impl SpanCollector {
                 }
             }
             TraceRecord::TaskFinish { task, node } => {
+                let segs = self.record_segments;
                 let Some(span) = self.tasks.get_mut(&task) else {
                     self.bad(task, "task_finish before task_submit", rec);
                     return;
@@ -418,12 +560,36 @@ impl SpanCollector {
                             span.blame,
                             span.submit_us,
                         );
+                        if segs {
+                            push_seg(span, SegKind::Run, since, t);
+                            // Held-back run segments (DumpDone credits) and
+                            // abort-time Lost segments were appended out of
+                            // chronological order; restore it. Non-empty
+                            // intervals never overlap, so start order is
+                            // total.
+                            span.segments.sort_by_key(|s| s.start_us);
+                            let mut cursor = span.submit_us;
+                            for s in &span.segments {
+                                assert_eq!(
+                                    s.start_us, cursor,
+                                    "segment timeline violated for task {task}: \
+                                     gap or overlap at {cursor} before {s:?}",
+                                );
+                                cursor = s.end_us;
+                            }
+                            assert_eq!(
+                                cursor, t,
+                                "segment timeline violated for task {task}: \
+                                 segments end at {cursor}, finish at {t}",
+                            );
+                        }
                         self.node(node).finishes += 1;
                     }
                     _ => self.bad(task, "task_finish while not running", rec),
                 }
             }
             TraceRecord::TaskEvict { task, node, reason } => {
+                let segs = self.record_segments;
                 let Some(span) = self.tasks.get_mut(&task) else {
                     self.bad(task, "task_evict before task_submit", rec);
                     return;
@@ -434,10 +600,18 @@ impl SpanCollector {
                     span.kills += 1;
                 }
                 let lost = match span.current {
-                    Phase::Running { since } if hard => Some(t - since),
+                    Phase::Running { since } if hard => {
+                        if segs {
+                            push_seg(span, SegKind::Lost, since, t);
+                        }
+                        Some(t - since)
+                    }
                     Phase::Running { since } => {
                         // reason == "dump": execution since the resume
                         // point is held back until the dump completes.
+                        if segs {
+                            span.pending_run = Some((since, t));
+                        }
                         span.current = Phase::DumpWait {
                             evict_at: t,
                             run_len: t - since,
@@ -447,9 +621,20 @@ impl SpanCollector {
                     Phase::DumpWait { evict_at, run_len } => {
                         // The in-flight dump was aborted: the held-back
                         // run and the dump time bought nothing.
+                        if segs {
+                            if let Some((rs, re)) = span.pending_run.take() {
+                                push_seg(span, SegKind::Lost, rs, re);
+                            }
+                            push_seg(span, SegKind::Lost, evict_at, t);
+                        }
                         Some(run_len + (t - evict_at))
                     }
-                    Phase::Restoring { sched_at } => Some(t - sched_at),
+                    Phase::Restoring { sched_at } => {
+                        if segs {
+                            push_seg(span, SegKind::Lost, sched_at, t);
+                        }
+                        Some(t - sched_at)
+                    }
                     Phase::Queued { .. } | Phase::Done => {
                         self.bad(task, "task_evict while not placed", rec);
                         return;
@@ -485,6 +670,13 @@ impl SpanCollector {
                         span.blame.ckpt_wait_us += boundary - evict_at;
                         span.blame.dump_us += t - boundary;
                         span.dumps += 1;
+                        if self.record_segments {
+                            if let Some((rs, re)) = span.pending_run.take() {
+                                push_seg(span, SegKind::Run, rs, re);
+                            }
+                            push_seg(span, SegKind::DumpQueue, evict_at, boundary);
+                            push_seg(span, SegKind::Dump, boundary, t);
+                        }
                         span.current = Phase::Queued { since: t };
                         let ns = self.node(node);
                         ns.dumps += 1;
@@ -508,6 +700,10 @@ impl SpanCollector {
                         span.blame.ckpt_wait_us += boundary - sched_at;
                         span.blame.restore_us += t - boundary;
                         span.restores += 1;
+                        if self.record_segments {
+                            push_seg(span, SegKind::RestoreQueue, sched_at, boundary);
+                            push_seg(span, SegKind::Restore, boundary, t);
+                        }
                         span.current = Phase::Running { since: t };
                         let ns = self.node(node);
                         ns.restores += 1;
@@ -537,6 +733,9 @@ impl SpanCollector {
                         let burnt = t - evict_at;
                         span.blame.retry_us += burnt;
                         span.dump_fails += 1;
+                        if self.record_segments {
+                            push_seg(span, SegKind::Retry, evict_at, t);
+                        }
                         span.current = Phase::DumpWait {
                             evict_at: t,
                             run_len,
@@ -561,6 +760,9 @@ impl SpanCollector {
                         let burnt = t - sched_at;
                         span.blame.retry_us += burnt;
                         span.restore_fails += 1;
+                        if self.record_segments {
+                            push_seg(span, SegKind::Retry, sched_at, t);
+                        }
                         span.current = if will_retry {
                             // Next attempt (e.g. from a surviving HDFS
                             // replica) begins now, on the same placement.
@@ -623,6 +825,12 @@ impl SharedCollector {
         SharedCollector(Rc::new(RefCell::new(SpanCollector::new())))
     }
 
+    /// Wraps a fresh strict collector with segment timelines enabled
+    /// (needed for critical-path extraction).
+    pub fn with_segments() -> Self {
+        SharedCollector(Rc::new(RefCell::new(SpanCollector::new().with_segments())))
+    }
+
     /// Takes the collector out, leaving an empty one behind. Call after
     /// the simulation finished.
     pub fn take(&self) -> SpanCollector {
@@ -639,7 +847,19 @@ impl Tracer for SharedCollector {
 /// Replays a JSONL trace (as written by `cbp_telemetry::JsonlTracer`)
 /// into a lenient [`SpanCollector`].
 pub fn collect_jsonl<R: BufRead>(input: R) -> Result<SpanCollector, TraceReadError> {
+    collect_jsonl_with(input, false)
+}
+
+/// [`collect_jsonl`] with optional segment timelines (the input to
+/// critical-path extraction).
+pub fn collect_jsonl_with<R: BufRead>(
+    input: R,
+    segments: bool,
+) -> Result<SpanCollector, TraceReadError> {
     let mut collector = SpanCollector::lenient();
+    if segments {
+        collector = collector.with_segments();
+    }
     for item in JsonlReader::new(input)? {
         let (t_us, rec) = item?;
         collector.observe(t_us, &rec);
@@ -1161,6 +1381,225 @@ mod tests {
         let collector = shared.take();
         assert_eq!(collector.records(), 3);
         assert_eq!(collector.tasks()[&3].blame.run_us, 6);
+    }
+
+    fn kinds(c: &SpanCollector, task: u64) -> Vec<(SegKind, u64)> {
+        c.tasks()[&task]
+            .segments
+            .iter()
+            .map(|s| (s.kind, s.dur_us()))
+            .collect()
+    }
+
+    #[test]
+    fn segments_tile_dump_restore_cycle() {
+        let mut c = SpanCollector::new().with_segments();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (10, sched(1, false)),
+                (100, evict(1, "dump")),
+                (
+                    140,
+                    TraceRecord::DumpDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 110,
+                    },
+                ),
+                (200, sched(1, true)),
+                (
+                    230,
+                    TraceRecord::RestoreDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 205,
+                    },
+                ),
+                (300, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        assert_eq!(
+            kinds(&c, 1),
+            vec![
+                (SegKind::ReadyWait, 10),
+                (SegKind::Run, 90),
+                (SegKind::DumpQueue, 10),
+                (SegKind::Dump, 30),
+                (SegKind::Suspended, 60),
+                (SegKind::RestoreQueue, 5),
+                (SegKind::Restore, 25),
+                (SegKind::Run, 70),
+            ],
+        );
+        // Segment sums refine the blame totals exactly.
+        let span = &c.tasks()[&1];
+        let mut per_kind = [0u64; 9];
+        for s in &span.segments {
+            per_kind[s.kind.index()] += s.dur_us();
+        }
+        assert_eq!(per_kind[SegKind::Run.index()], span.blame.run_us);
+        assert_eq!(
+            per_kind[SegKind::DumpQueue.index()] + per_kind[SegKind::RestoreQueue.index()],
+            span.blame.ckpt_wait_us
+        );
+    }
+
+    #[test]
+    fn segments_mark_aborted_dump_lost() {
+        let mut c = SpanCollector::new().with_segments();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (0, sched(1, false)),
+                (50, evict(1, "dump")),
+                (80, evict(1, "kill")),
+                (90, sched(1, false)),
+                (190, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        assert_eq!(
+            kinds(&c, 1),
+            vec![
+                (SegKind::Lost, 50),
+                (SegKind::Lost, 30),
+                (SegKind::ReadyWait, 10),
+                (SegKind::Run, 100),
+            ],
+        );
+    }
+
+    #[test]
+    fn segments_reclassify_run_after_lost_image() {
+        let mut c = SpanCollector::new().with_segments();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (0, sched(1, false)),
+                (60, evict(1, "dump")),
+                (
+                    70,
+                    TraceRecord::DumpDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 60,
+                    },
+                ),
+                (100, sched(1, false)),
+                (260, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        // The 60 µs credited as run at dump_done are re-executed after
+        // the fresh start, so the segment is retroactively lost.
+        assert_eq!(
+            kinds(&c, 1),
+            vec![
+                (SegKind::Lost, 60),
+                (SegKind::Dump, 10),
+                (SegKind::ReadyWait, 30),
+                (SegKind::Run, 160),
+            ],
+        );
+    }
+
+    #[test]
+    fn segments_cover_dump_retries() {
+        let mut c = SpanCollector::new().with_segments();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (0, sched(1, false)),
+                (50, evict(1, "dump")),
+                (
+                    70,
+                    TraceRecord::DumpFail {
+                        task: 1,
+                        node: 0,
+                        attempt: 0,
+                        will_retry: true,
+                    },
+                ),
+                (
+                    90,
+                    TraceRecord::DumpDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 75,
+                    },
+                ),
+                (100, sched(1, true)),
+                (
+                    110,
+                    TraceRecord::RestoreDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 102,
+                    },
+                ),
+                (200, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        assert_eq!(
+            kinds(&c, 1),
+            vec![
+                (SegKind::Run, 50),
+                (SegKind::Retry, 20),
+                (SegKind::DumpQueue, 5),
+                (SegKind::Dump, 15),
+                (SegKind::Suspended, 10),
+                (SegKind::RestoreQueue, 2),
+                (SegKind::Restore, 8),
+                (SegKind::Run, 90),
+            ],
+        );
+    }
+
+    #[test]
+    fn disabled_segments_stay_empty() {
+        let mut c = SpanCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (5, sched(1, false)),
+                (50, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        assert!(!c.segments_enabled());
+        assert!(c.tasks()[&1].segments.is_empty());
+    }
+
+    #[test]
+    fn evicted_never_rescheduled_holds_partial_blame() {
+        // A task killed and never placed again (e.g. the trace was cut
+        // short): its blame must stay internally consistent — the run
+        // since the resume point is lost, nothing is credited as run —
+        // and it must report as unfinished so aggregation excludes it.
+        let mut c = SpanCollector::new().with_segments();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (20, sched(1, false)),
+                (90, evict(1, "kill")),
+            ],
+        );
+        let span = &c.tasks()[&1];
+        assert!(!span.finished());
+        assert_eq!(span.response_us(), None);
+        assert_eq!(span.blame.run_us, 0);
+        assert_eq!(span.blame.ready_wait_us, 20);
+        assert_eq!(span.blame.lost_us, 70);
+        assert_eq!(span.blame.total_us(), 90, "blame covers submit..evict");
+        assert_eq!(span.kills, 1);
+        assert_eq!(
+            kinds(&c, 1),
+            vec![(SegKind::ReadyWait, 20), (SegKind::Lost, 70)],
+        );
     }
 
     #[test]

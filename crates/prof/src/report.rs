@@ -226,6 +226,34 @@ impl ProfReport {
         out.push_str("]}");
         out
     }
+
+    /// Serializes the scope tree as inferno-compatible folded-stack text:
+    /// one `frame;frame;frame weight` line per path, weighted by *self*
+    /// nanoseconds (flamegraph renderers reconstruct inclusive time by
+    /// summing descendants). Paths with zero self time are skipped —
+    /// they would render as invisible zero-width frames. Lines are
+    /// emitted in depth-first tree order, which is already sorted by
+    /// name at every level, so the output is byte-stable for a given
+    /// tree shape.
+    pub fn to_folded(&self) -> String {
+        fn walk(nodes: &[ProfNode], prefix: &str, out: &mut String) {
+            use std::fmt::Write as _;
+            for n in nodes {
+                let path = if prefix.is_empty() {
+                    n.name.clone()
+                } else {
+                    format!("{prefix};{}", n.name)
+                };
+                if n.self_ns > 0 {
+                    let _ = writeln!(out, "{path} {}", n.self_ns);
+                }
+                walk(&n.children, &path, out);
+            }
+        }
+        let mut out = String::new();
+        walk(&self.roots, "", &mut out);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +312,15 @@ mod tests {
         for name in ["run", "event", "io"] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn folded_stacks_weight_by_self_time() {
+        let mut r = sample();
+        assert_eq!(r.to_folded(), "run 3000\nrun;event 6000\nrun;io 1000\n");
+        // Zero-self frames disappear but their children keep full paths.
+        r.roots[0].self_ns = 0;
+        assert_eq!(r.to_folded(), "run;event 6000\nrun;io 1000\n");
     }
 
     #[test]

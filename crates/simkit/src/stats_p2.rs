@@ -171,6 +171,68 @@ mod tests {
         assert_eq!(q.estimate(), Some(20.0));
     }
 
+    /// The n<5 fallback is the exact order statistic at rank
+    /// `ceil(p·n)` (1-clamped) for *every* tracked quantile, unsorted
+    /// input, and every sample count on the exact path.
+    #[test]
+    fn small_sample_fallback_is_exact_order_statistic() {
+        // Deliberately unsorted; duplicates included.
+        let xs = [40.0, 10.0, 40.0, 20.0];
+        for (p, expected_by_n) in [
+            // p95: ceil(0.95 n) = n -> always the running max.
+            (0.95, [40.0, 40.0, 40.0, 40.0]),
+            // p50: ranks 1, 1, 2, 2 of the sorted prefixes
+            // [40], [10,40], [10,40,40], [10,20,40,40].
+            (0.50, [40.0, 10.0, 40.0, 20.0]),
+            // p05: ceil is 1 for n<=4 -> always the running min.
+            (0.05, [40.0, 10.0, 10.0, 10.0]),
+        ] {
+            let mut q = P2Quantile::new(p);
+            assert_eq!(q.estimate(), None, "empty estimator has no estimate");
+            for (i, x) in xs.iter().enumerate() {
+                q.observe(*x);
+                assert_eq!(
+                    q.estimate(),
+                    Some(expected_by_n[i]),
+                    "p{p} after {} observations",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    /// `estimate()` must not disturb the estimator: the heights buffer
+    /// is insertion-ordered below five observations, and the mid-stream
+    /// sort in `estimate` works on a copy. An interleaved
+    /// observe/estimate sequence must end at the same estimate as a
+    /// pure observe sequence.
+    #[test]
+    fn small_sample_estimate_is_side_effect_free() {
+        let xs = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0];
+        let mut interleaved = P2Quantile::new(0.5);
+        let mut pure = P2Quantile::new(0.5);
+        for x in xs {
+            interleaved.observe(x);
+            let _ = interleaved.estimate();
+            pure.observe(x);
+        }
+        assert_eq!(interleaved.estimate(), pure.estimate());
+        assert_eq!(interleaved.count(), xs.len());
+    }
+
+    /// Crossing the five-observation threshold hands over from exact
+    /// order statistics to the marker machinery without a glitch: at
+    /// exactly n=5 the middle marker *is* the exact median.
+    #[test]
+    fn transition_to_marker_estimate_at_five() {
+        let mut q = P2Quantile::new(0.5);
+        for x in [50.0, 10.0, 40.0, 20.0, 30.0] {
+            q.observe(x);
+        }
+        assert_eq!(q.count(), 5);
+        assert_eq!(q.estimate(), Some(30.0), "exact median of 10..50 at n=5");
+    }
+
     #[test]
     fn median_of_uniform_stream() {
         let mut q = P2Quantile::new(0.5);

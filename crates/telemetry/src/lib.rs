@@ -51,7 +51,10 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricEntry, MetricValue, MetricsRegistry,
     QuantileSnapshot, StreamingQuantiles,
 };
-pub use reader::{schema_header, JsonlReader, TraceReadError, TRACE_SCHEMA, TRACE_SCHEMA_VERSION};
+pub use reader::{
+    schema_header, JsonlReader, TraceReadError, TRACE_SCHEMA, TRACE_SCHEMA_MIN_VERSION,
+    TRACE_SCHEMA_VERSION,
+};
 pub use timeseries::TimeSeries;
 pub use trace::{
     ChromeTraceTracer, JsonlTracer, MultiTracer, NullTracer, PreemptAction, TraceRecord, Tracer,

@@ -24,6 +24,11 @@ pub const TRACE_SCHEMA: &str = "cbp-trace";
 /// `replication_repair`).
 pub const TRACE_SCHEMA_VERSION: u64 = 2;
 
+/// Oldest schema version [`JsonlReader`] still accepts. Version 2 only
+/// *added* vocabulary — every v1 line parses identically under the v2
+/// reader — so v1 traces remain readable.
+pub const TRACE_SCHEMA_MIN_VERSION: u64 = 1;
+
 /// The exact header line (without trailing newline) the JSONL sink emits.
 pub fn schema_header() -> String {
     format!("{{\"schema\":\"{TRACE_SCHEMA}\",\"version\":{TRACE_SCHEMA_VERSION}}}")
@@ -63,8 +68,9 @@ impl std::fmt::Display for TraceReadError {
             ),
             TraceReadError::IncompatibleSchema { schema, version } => write!(
                 f,
-                "incompatible trace schema {schema:?} v{version} \
-                 (this reader understands {TRACE_SCHEMA:?} v{TRACE_SCHEMA_VERSION})"
+                "incompatible trace schema {schema:?} v{version} (this reader \
+                 understands {TRACE_SCHEMA:?} \
+                 v{TRACE_SCHEMA_MIN_VERSION}..=v{TRACE_SCHEMA_VERSION})"
             ),
             TraceReadError::Parse { line, msg } => {
                 write!(f, "trace line {line}: {msg}")
@@ -95,6 +101,8 @@ fn intern(s: &str) -> &'static str {
         // eviction reasons
         "dump",
         "node-fail",
+        // eviction reason for AM-escalation kills (YarnSim)
+        "am-escalate",
         // fallback reasons
         "no-capacity",
         "storage-full",
@@ -152,7 +160,9 @@ impl<R: BufRead> JsonlReader<R> {
         let v = json::parse(&header).ok_or(TraceReadError::MissingHeader)?;
         let schema = v.get("schema").and_then(Value::as_str).unwrap_or("?");
         let version = v.get("version").and_then(Value::as_u64).unwrap_or(0);
-        if schema != TRACE_SCHEMA || version != TRACE_SCHEMA_VERSION {
+        if schema != TRACE_SCHEMA
+            || !(TRACE_SCHEMA_MIN_VERSION..=TRACE_SCHEMA_VERSION).contains(&version)
+        {
             return Err(TraceReadError::IncompatibleSchema {
                 schema: schema.to_owned(),
                 version,
@@ -500,6 +510,48 @@ mod tests {
             }
             other => panic!("expected version rejection, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn accepts_v1_traces() {
+        let trace = "{\"schema\":\"cbp-trace\",\"version\":1}\n\
+                     {\"t_us\":7,\"event\":\"node_fail\",\"node\":3}\n";
+        let mut r = JsonlReader::new(trace.as_bytes()).expect("v1 must be accepted");
+        let (t, rec) = r.next().unwrap().unwrap();
+        assert_eq!(t, 7);
+        assert!(matches!(rec, TraceRecord::NodeFail { node: 3 }));
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn accepts_current_version() {
+        let trace = format!("{}\n", schema_header());
+        assert!(JsonlReader::new(trace.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn rejects_future_version_naming_supported_range() {
+        let trace = "{\"schema\":\"cbp-trace\",\"version\":3}\n";
+        let err = JsonlReader::new(trace.as_bytes()).expect_err("v3 must be rejected");
+        assert_eq!(
+            err,
+            TraceReadError::IncompatibleSchema {
+                schema: "cbp-trace".to_string(),
+                version: 3,
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("v3"), "must name the found version: {msg}");
+        assert!(
+            msg.contains("v1") && msg.contains("v2"),
+            "must name the supported range: {msg}"
+        );
+        // Version 0 (or a missing version field) is below the floor.
+        let trace = "{\"schema\":\"cbp-trace\",\"version\":0}\n";
+        assert!(matches!(
+            JsonlReader::new(trace.as_bytes()),
+            Err(TraceReadError::IncompatibleSchema { version: 0, .. })
+        ));
     }
 
     #[test]

@@ -76,8 +76,13 @@ pub enum TraceRecord {
         task: u64,
         /// Node the task was evicted from.
         node: u32,
-        /// Why the eviction happened (e.g. `"kill"`, `"dump"`,
-        /// `"node-fail"`).
+        /// Why the eviction happened. Vocabulary: `"kill"` (scheduler
+        /// kill), `"dump"` (checkpoint-then-evict), `"dump-fail"`
+        /// (eviction after a failed dump), `"node-fail"` (the host
+        /// died), and `"am-escalate"` (YarnSim: the application master
+        /// ignored the graceful-preemption deadline and the RM forced
+        /// the kill). Analyzers treat every reason except `"dump"` as a
+        /// hard kill for lost-work accounting.
         reason: &'static str,
     },
     /// The scheduler chose what to do with a preemption victim.

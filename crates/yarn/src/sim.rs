@@ -602,6 +602,20 @@ impl YarnSim {
 
     /// Kills a running container: at-risk progress is lost; the AM re-asks.
     fn kill(&mut self, app: u32, task: u32, now: SimTime, q: &mut EventQueue<YarnEvent>) {
+        self.kill_with_reason(app, task, now, q, "kill");
+    }
+
+    /// [`Self::kill`] with an explicit trace eviction reason, so
+    /// AM-escalation kills stay distinguishable from scheduler-initiated
+    /// kills in the trace (`"am-escalate"` vs `"kill"`).
+    fn kill_with_reason(
+        &mut self,
+        app: u32,
+        task: u32,
+        now: SimTime,
+        q: &mut EventQueue<YarnEvent>,
+        reason: &'static str,
+    ) {
         let am_task = &mut self.apps[app as usize].tasks[task as usize];
         am_task.sync_progress(now);
         let lost = am_task.progress_at_risk();
@@ -620,7 +634,7 @@ impl YarnSim {
                 &TraceRecord::TaskEvict {
                     task: task_key(app, task),
                     node,
-                    reason: "kill",
+                    reason,
                 },
             );
         }
@@ -1043,7 +1057,7 @@ impl Simulation for YarnSim {
                         },
                     );
                 }
-                self.kill(app, task, now, q);
+                self.kill_with_reason(app, task, now, q, "am-escalate");
             }
             YarnEvent::DumpDone {
                 app,

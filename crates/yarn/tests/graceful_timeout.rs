@@ -175,15 +175,37 @@ fn unresponsive_am_is_escalated_to_kill() {
         .filter(|(_, r)| matches!(r, TraceRecord::AmEscalate { .. }))
         .count();
     assert!(escalations > 0, "escalations must be traced");
-    // Each traced escalation is chased (same instant) by the kill evict.
+    // Each traced escalation is chased (same instant) by an eviction
+    // carrying the dedicated "am-escalate" reason — not a plain "kill",
+    // so analyzers can attribute the lost work to AM unresponsiveness.
     for (t, rec) in &records {
         let TraceRecord::AmEscalate { task, .. } = rec else {
             continue;
         };
         let killed = records.iter().any(|(ts, r)| {
             ts == t
-                && matches!(r, TraceRecord::TaskEvict { task: k, reason: "kill", .. } if k == task)
+                && matches!(
+                    r,
+                    TraceRecord::TaskEvict { task: k, reason: "am-escalate", .. } if k == task
+                )
         });
         assert!(killed, "escalation of {task} must kill at the same instant");
     }
+    // And the distinct reason is used *only* for escalations.
+    let escalate_evicts = records
+        .iter()
+        .filter(|(_, r)| {
+            matches!(
+                r,
+                TraceRecord::TaskEvict {
+                    reason: "am-escalate",
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(
+        escalate_evicts, escalations,
+        "one am-escalate eviction per traced escalation"
+    );
 }
