@@ -99,7 +99,8 @@ pub fn tiny_matrix() -> Vec<BenchScenario> {
 }
 
 /// The full matrix for tracking the perf trajectory: both simulators,
-/// two sizes, with and without a light fault plan.
+/// two sizes, with and without a light fault plan, plus one correlated
+/// crash/partition chaos scenario.
 pub fn standard_matrix() -> Vec<BenchScenario> {
     vec![
         BenchScenario {
@@ -143,6 +144,13 @@ pub fn standard_matrix() -> Vec<BenchScenario> {
             scale: Scale::SMOKE,
             seed: 42,
             faults: Some("light"),
+        },
+        BenchScenario {
+            name: "fig3_small_chaos",
+            kind: SimKind::Trace,
+            scale: Scale::SMOKE,
+            seed: 42,
+            faults: Some("chaos"),
         },
     ]
 }

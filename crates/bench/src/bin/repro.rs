@@ -13,9 +13,12 @@
 //! fig8 fig9 fig10 fig11 fig12 ablate mapreduce qos faults.
 //!
 //! `--faults SPEC` attaches a deterministic fault plan (a chaos profile
-//! `off`/`light`/`heavy`, optionally tuned: `heavy,seed=7,dump=0.3`) to
-//! the instrumented run, so chaos runs can be traced, analyzed, and
-//! replayed byte-identically.
+//! `off`/`light`/`heavy`/`chaos`, optionally tuned: `heavy,seed=7,dump=0.3`
+//! or `chaos,crash=0.2,rack=0.1,partition=0.3,breaker=0.5`) to the
+//! instrumented run, so chaos runs can be traced, analyzed, and
+//! replayed byte-identically. The `chaos` profile layers failure-domain
+//! chaos (correlated node/rack crash-recover cycles, rack partitions)
+//! and the checkpoint-path circuit breaker on top of `heavy`.
 //!
 //! The telemetry flags add **one instrumented run** of the requested
 //! experiment's simulation (see `cbp_bench::telemetry_run`); without them
@@ -161,7 +164,7 @@ fn main() {
             "--faults" => {
                 i += 1;
                 let spec = args.get(i).unwrap_or_else(|| {
-                    die("missing --faults spec (off|light|heavy|key=value,...)")
+                    die("missing --faults spec (off|light|heavy|chaos|key=value,...)")
                 });
                 telemetry.faults =
                     Some(cbp_faults::FaultSpec::parse(spec).unwrap_or_else(|e| die(&e)));
@@ -507,7 +510,11 @@ fn usage() {
          \x20 --what-if SCENARIO   predict per-band p95 responses under a counterfactual\n\
          \x20                      (dump0|iobw-inf|faults-off; repeatable; implies --critical-path)\n\
          \x20 --faults SPEC        attach a deterministic fault plan to the instrumented run\n\
-         \x20                      (off|light|heavy, tunable: heavy,seed=7,dump=0.3,stall=0.2)\n\
+         \x20                      (off|light|heavy|chaos, tunable: heavy,seed=7,dump=0.3,stall=0.2)\n\
+         \x20                      chaos adds failure domains + the checkpoint-path breaker; keys:\n\
+         \x20                      crash, rack, downtime, crash-window, partition, penalty,\n\
+         \x20                      partition-window, rack-size, breaker, breaker-min,\n\
+         \x20                      breaker-cooldown, breaker-decay\n\
          \n\
          offline analysis (replays a --trace-out file; byte-identical to --analyze,\n\
          also accepts --critical-path / --flamegraph-out / --what-if):\n\

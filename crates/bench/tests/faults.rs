@@ -16,7 +16,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use cbp_core::{ClusterSim, PreemptionPolicy, RunReport, SimConfig};
-use cbp_faults::{FaultSpec, StallSpec};
+use cbp_faults::{BreakerSpec, CrashSpec, FaultSpec, PartitionSpec, StallSpec};
 use cbp_simkit::SimDuration;
 use cbp_storage::MediaKind;
 use cbp_workload::facebook::FacebookConfig;
@@ -42,9 +42,11 @@ impl std::io::Write for SharedBuf {
 /// Builds the randomized fault plan for a proptest case. `class` selects
 /// the regime: 0 = no plan, 1 = light chaos, 2 = heavy chaos, 3 = a
 /// custom plan skewed toward restore failures + corruption (the regime
-/// where checkpoint value inverts).
+/// where checkpoint value inverts), 4 = the failure-domain chaos profile
+/// (heavy faults plus correlated node/rack crashes, rack partitions and
+/// the checkpoint-path circuit breaker).
 fn plan_for(class: u8, plan_seed: u64) -> Option<FaultSpec> {
-    match class % 4 {
+    match class % 5 {
         0 => None,
         1 => Some(FaultSpec {
             seed: plan_seed,
@@ -53,6 +55,10 @@ fn plan_for(class: u8, plan_seed: u64) -> Option<FaultSpec> {
         2 => Some(FaultSpec {
             seed: plan_seed,
             ..FaultSpec::heavy()
+        }),
+        4 => Some(FaultSpec {
+            seed: plan_seed,
+            ..FaultSpec::chaos()
         }),
         _ => Some(FaultSpec {
             seed: plan_seed,
@@ -120,7 +126,7 @@ proptest! {
     fn cluster_sim_faults_liveness_and_determinism(
         seed in 0u64..1_000_000,
         plan_seed in 0u64..1_000_000,
-        class in 0u8..4,
+        class in 0u8..5,
         policy_idx in 0usize..PreemptionPolicy::ALL.len(),
         media_idx in 0usize..MediaKind::ALL.len(),
         nodes in 4usize..8,
@@ -155,7 +161,7 @@ proptest! {
     fn yarn_sim_faults_liveness_and_determinism(
         seed in 0u64..1_000_000,
         plan_seed in 0u64..1_000_000,
-        class in 0u8..4,
+        class in 0u8..5,
         policy_idx in 0usize..PreemptionPolicy::ALL.len(),
         media_idx in 0usize..MediaKind::ALL.len(),
     ) {
@@ -190,6 +196,72 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Capstone: liveness under *heavy correlated chaos* — node and rack
+    /// crashes, rack partitions and the circuit breaker all active at
+    /// once — on BOTH simulators, with byte-identical replay. This is
+    /// the strongest liveness statement in the suite: whole failure
+    /// domains go dark (taking containers, datanode replicas and image
+    /// chains with them) and every submitted task must still finish.
+    #[test]
+    fn heavy_correlated_chaos_keeps_both_sims_live(
+        seed in 0u64..1_000_000,
+        plan_seed in 0u64..1_000_000,
+    ) {
+        let spec = FaultSpec {
+            seed: plan_seed,
+            crash: Some(CrashSpec {
+                node_prob: 0.25,
+                rack_prob: 0.20,
+                downtime: SimDuration::from_secs(240),
+                window: SimDuration::from_secs(1_200),
+            }),
+            partition: Some(PartitionSpec {
+                prob: 0.35,
+                penalty: 8.0,
+                window: SimDuration::from_secs(900),
+            }),
+            rack_size: 2,
+            breaker: Some(BreakerSpec::default()),
+            ..FaultSpec::heavy()
+        };
+
+        let w = GoogleTraceConfig::small(80.0).generate(seed);
+        let ccfg = || cluster_cfg(
+            PreemptionPolicy::Adaptive,
+            MediaKind::Ssd,
+            6,
+            seed % 2 == 0,
+            Some(spec.clone()),
+        );
+        let (report, bytes_a) = traced_cluster(ccfg(), &w);
+        prop_assert_eq!(report.metrics.jobs_finished, w.job_count() as u64);
+        prop_assert_eq!(report.metrics.tasks_finished, w.task_count() as u64);
+        let (_, bytes_b) = traced_cluster(ccfg(), &w);
+        prop_assert_eq!(bytes_a, bytes_b, "cluster: chaos replay must be byte-identical");
+
+        let fw = FacebookConfig {
+            jobs: 8,
+            total_tasks: 180,
+            giant_job_tasks: 60,
+            ..Default::default()
+        }
+        .generate(seed);
+        let ycfg = || {
+            let mut cfg = YarnConfig::paper_cluster(PreemptionPolicy::Adaptive, MediaKind::Ssd);
+            cfg.nodes = 4;
+            cfg.with_faults(spec.clone())
+        };
+        let (report, bytes_a) = traced_yarn(ycfg(), &fw);
+        prop_assert_eq!(report.jobs_finished, fw.job_count() as u64);
+        prop_assert_eq!(report.tasks_finished, fw.task_count() as u64);
+        let (_, bytes_b) = traced_yarn(ycfg(), &fw);
+        prop_assert_eq!(bytes_a, bytes_b, "yarn: chaos replay must be byte-identical");
+    }
+}
+
 /// An inert plan (all probabilities zero) must be observationally
 /// identical to running with no plan at all — on both simulators, down
 /// to the trace bytes. This pins the "fault decisions never touch the
@@ -221,6 +293,108 @@ fn inert_plan_is_byte_identical_to_no_plan() {
     let (_, plain) = traced_yarn(ycfg(), &fw);
     let (_, inert) = traced_yarn(ycfg().with_faults(FaultSpec::default()), &fw);
     assert_eq!(plain, inert, "yarn: inert plan perturbed the run");
+}
+
+/// A plan that enables ONLY the circuit breaker (every failure
+/// probability zero) must also be behavior-neutral: with nothing
+/// feeding the health monitor a failure, the breaker stays closed and
+/// never alters a preemption decision — byte-identical traces on both
+/// simulators.
+#[test]
+fn breaker_without_failures_is_byte_identical_to_no_plan() {
+    let spec = || FaultSpec {
+        breaker: Some(BreakerSpec::default()),
+        ..FaultSpec::default()
+    };
+
+    let w = GoogleTraceConfig::small(80.0).generate(11);
+    let base = || {
+        SimConfig::trace_sim(PreemptionPolicy::Adaptive, MediaKind::Ssd)
+            .with_nodes(5)
+            .with_failures(SimDuration::from_secs(1_500), SimDuration::from_secs(120))
+    };
+    let (_, plain) = traced_cluster(base(), &w);
+    let (_, armed) = traced_cluster(base().with_faults(spec()), &w);
+    assert_eq!(plain, armed, "cluster: idle breaker perturbed the run");
+
+    let fw = FacebookConfig {
+        jobs: 10,
+        total_tasks: 240,
+        giant_job_tasks: 60,
+        ..Default::default()
+    }
+    .generate(11);
+    let ycfg = || {
+        let mut cfg = YarnConfig::paper_cluster(PreemptionPolicy::Adaptive, MediaKind::Ssd);
+        cfg.nodes = 2;
+        cfg
+    };
+    let (_, plain) = traced_yarn(ycfg(), &fw);
+    let (_, armed) = traced_yarn(ycfg().with_faults(spec()), &fw);
+    assert_eq!(plain, armed, "yarn: idle breaker perturbed the run");
+}
+
+/// Extracts the breaker transition lines from a JSONL trace, in order.
+fn breaker_lines(bytes: &[u8]) -> Vec<String> {
+    String::from_utf8(bytes.to_vec())
+        .expect("trace is UTF-8")
+        .lines()
+        .filter(|l| l.contains("\"breaker_open\"") || l.contains("\"breaker_close\""))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// With a fixed plan the breaker's open/close transition times replay
+/// exactly: same (seed, plan) ⇒ the breaker_open / breaker_close trace
+/// lines — timestamps, node ids and the global flag — are identical
+/// across runs, and a plan hostile enough to trip the breaker degrades
+/// checkpoint decisions to kills while it is open.
+#[test]
+fn breaker_transitions_replay_exactly() {
+    // A checkpoint path this broken (almost every dump fails, no
+    // retries) pushes the sliding-window failure rate past the default
+    // 0.5 threshold as soon as a node has seen min_samples of traffic.
+    // Probe draws deterministically for one with enough checkpoint
+    // pressure to actually trip a breaker.
+    let spec = FaultSpec {
+        seed: 7,
+        dump_fail_prob: 0.9,
+        max_dump_retries: 0,
+        breaker: Some(BreakerSpec::default()),
+        ..FaultSpec::default()
+    };
+    let cfg = |spec: FaultSpec| {
+        SimConfig::trace_sim(PreemptionPolicy::Checkpoint, MediaKind::Ssd)
+            .with_nodes(5)
+            .with_faults(spec)
+    };
+    let (w, report, bytes_a) = (5..25)
+        .map(|seed| GoogleTraceConfig::small(120.0).generate(seed))
+        .find_map(|w| {
+            let (report, bytes) = traced_cluster(cfg(spec.clone()), &w);
+            (report.metrics.breaker_open_kills > 0).then_some((w, report, bytes))
+        })
+        .expect("a draw that trips the breaker within 20 seeds");
+
+    let opens = breaker_lines(&bytes_a);
+    assert!(
+        opens.iter().any(|l| l.contains("\"breaker_open\"")),
+        "tripped breaker must emit a breaker_open record"
+    );
+    assert!(
+        report.metrics.breaker_open_secs > 0.0,
+        "time-in-open must be accounted"
+    );
+    // Liveness holds even with the checkpoint path this degraded: the
+    // breaker's whole point is falling back to plain kills.
+    assert_eq!(report.metrics.jobs_finished, w.job_count() as u64);
+
+    let (_, bytes_b) = traced_cluster(cfg(spec.clone()), &w);
+    assert_eq!(
+        breaker_lines(&bytes_b),
+        opens,
+        "breaker transitions must replay at identical times"
+    );
 }
 
 /// Heavy chaos visibly engages the recovery machinery on the cluster

@@ -78,6 +78,15 @@ pub struct RunMetrics {
     pub capacity_fallbacks: u64,
     /// Containers evicted by node failures (not preemption).
     pub failure_evictions: u64,
+    /// Containers evicted by chaos-plan node/rack crashes (failure-domain
+    /// injection, counted separately from organic MTBF failures).
+    pub crash_evictions: u64,
+    /// Preemption victims killed because the checkpoint-path circuit
+    /// breaker was open (`DumpFallback("breaker-open")`).
+    pub breaker_open_kills: u64,
+    /// Total breaker-open seconds summed over every per-node breaker and
+    /// the global one (time the checkpoint path was considered down).
+    pub breaker_open_secs: f64,
     /// Checkpoint chains destroyed by node failures (local-FS images on the
     /// failed node; HDFS chains that lost a block past replication's reach).
     pub images_lost_to_failures: u64,
@@ -235,6 +244,9 @@ pub(crate) struct MetricsCollector {
     pub remote_restores: u64,
     pub capacity_fallbacks: u64,
     pub failure_evictions: u64,
+    pub crash_evictions: u64,
+    pub breaker_open_kills: u64,
+    pub breaker_open_secs: f64,
     pub images_lost_to_failures: u64,
     pub dump_fail_retries: u64,
     pub dump_fail_kills: u64,
@@ -337,6 +349,9 @@ impl MetricsCollector {
             remote_restores: self.remote_restores,
             capacity_fallbacks: self.capacity_fallbacks,
             failure_evictions: self.failure_evictions,
+            crash_evictions: self.crash_evictions,
+            breaker_open_kills: self.breaker_open_kills,
+            breaker_open_secs: self.breaker_open_secs,
             images_lost_to_failures: self.images_lost_to_failures,
             dump_fail_retries: self.dump_fail_retries,
             dump_fail_kills: self.dump_fail_kills,
@@ -371,6 +386,9 @@ mod tests {
         c.charge_dump(SimDuration::from_secs(1800), 1.0, &mut inc, true);
         c.charge_restore(SimDuration::from_secs(1800), 1.0, true);
         c.useful_cpu_secs = 3600.0 * 6.0;
+        c.crash_evictions = 2;
+        c.breaker_open_kills = 1;
+        c.breaker_open_secs = 42.0;
         c.record_response(
             PriorityBand::Free,
             LatencyClass::new(0),
@@ -397,6 +415,9 @@ mod tests {
         assert_eq!(m.restores, 1);
         assert_eq!(m.remote_restores, 1);
         assert_eq!(m.preemptions, 2);
+        assert_eq!(m.crash_evictions, 2);
+        assert_eq!(m.breaker_open_kills, 1);
+        assert_eq!(m.breaker_open_secs, 42.0);
         assert!((m.kill_lost_cpu_hours - 2.0).abs() < 1e-12);
         assert!((m.dump_overhead_cpu_hours - 0.5).abs() < 1e-12);
         assert!((m.restore_overhead_cpu_hours - 0.5).abs() < 1e-12);

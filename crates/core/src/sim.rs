@@ -12,7 +12,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use cbp_checkpoint::{Criu, NvramCheckpointer};
 use cbp_cluster::{Container, ContainerId, EnergyMeter, Node, NodeId, Resources};
 use cbp_dfs::{DfsCluster, DnId};
-use cbp_faults::FaultPlan;
+use cbp_faults::{BreakerTransition, FaultPlan, HealthMonitor};
 use cbp_simkit::{
     run_until_observed, EventQueue, RunStats, SimDuration, SimRng, SimTime, Simulation,
 };
@@ -70,6 +70,15 @@ pub enum Event {
     NodeFail(u32),
     /// A failed node comes back into service.
     NodeRecover(u32),
+    /// Window boundary of the chaos plan's crash schedule: evaluate the
+    /// stateless crash oracle for every node (and rack) once per window.
+    ChaosCrashTick,
+    /// Window boundary of the chaos plan's partition schedule: start or
+    /// heal the rack partition the stateless oracle dictates.
+    ChaosPartitionTick,
+    /// A chaos-crashed node comes back into service (separate from
+    /// [`Event::NodeRecover`] so the MTBF chain stays untouched).
+    ChaosRecover(u32),
 }
 
 /// Pending-queue key: highest priority first, then the discipline key
@@ -134,6 +143,12 @@ pub struct ClusterSim {
     /// Tasks whose *current* image chain was corrupted at dump time
     /// (decided once per image: restore retries never help).
     corrupt_images: HashSet<u32>,
+    /// Checkpoint-path circuit breakers (present iff the plan configures
+    /// a breaker). Fed by dump/restore outcomes, capacity fallbacks and
+    /// stall observations; consulted before every checkpoint preemption.
+    health: Option<HealthMonitor>,
+    /// Rack currently isolated by a chaos-plan network partition.
+    active_partition: Option<u32>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -186,7 +201,12 @@ impl ClusterSim {
             .clone()
             .filter(|spec| !spec.is_inert())
             .map(FaultPlan::new);
+        let health = faults
+            .as_ref()
+            .and_then(|p| p.breaker())
+            .map(|spec| HealthMonitor::new(*spec, n_nodes));
         ClusterSim {
+            health,
             criu,
             faults,
             cfg,
@@ -213,6 +233,7 @@ impl ClusterSim {
             dump_attempts: HashMap::new(),
             restore_attempts: HashMap::new(),
             corrupt_images: HashSet::new(),
+            active_partition: None,
         }
     }
 
@@ -274,8 +295,19 @@ impl ClusterSim {
                 self.schedule_next_failure(node, SimTime::ZERO, &mut queue);
             }
         }
+        if let Some(plan) = &self.faults {
+            if plan.crash().is_some() {
+                queue.push(SimTime::ZERO, Event::ChaosCrashTick);
+            }
+            if plan.partition().is_some() {
+                queue.push(SimTime::ZERO, Event::ChaosPartitionTick);
+            }
+        }
         let stats = run_until_observed(&mut self, &mut queue, SimTime::MAX, &mut |_| {});
         let makespan = stats.now;
+        if let Some(h) = &self.health {
+            self.metrics.breaker_open_secs = h.open_secs_total(makespan);
+        }
         self.tracer.finish();
 
         let label = format!("{}-{}", self.cfg.policy, self.cfg.media.kind());
@@ -334,6 +366,9 @@ impl ClusterSim {
         );
         reg.set_counter("scheduler.tasks_finished", "ops", m.tasks_finished);
         reg.set_counter("scheduler.jobs_finished", "ops", m.jobs_finished);
+        reg.set_counter("faults.crash_evictions", "ops", m.crash_evictions);
+        reg.set_counter("faults.breaker_open_kills", "ops", m.breaker_open_kills);
+        reg.set_gauge("faults.breaker_open_secs", "s", m.breaker_open_secs);
         reg.set_counter("faults.dump_fail_retries", "ops", m.dump_fail_retries);
         reg.set_counter("faults.dump_fail_kills", "ops", m.dump_fail_kills);
         reg.set_counter("faults.restore_fail_retries", "ops", m.restore_fail_retries);
@@ -633,12 +668,73 @@ impl ClusterSim {
     }
 
     /// Stall-window degradation multiplier for node `i` at `now` (1.0
-    /// whenever fault injection is off or the node is healthy).
+    /// whenever fault injection is off or the node is healthy). While a
+    /// rack partition isolates `i`'s rack, checkpoint I/O touching the
+    /// node pays the partition penalty on top: the DFS write pipeline and
+    /// remote reads cross the partition boundary. Cost estimators share
+    /// this helper, so placement and victim ranking see the same penalty
+    /// the actual transfers pay.
     fn device_factor(&self, i: usize, now: SimTime) -> f64 {
-        self.faults
-            .as_ref()
-            .map(|p| p.device_factor(i as u32, now))
-            .unwrap_or(1.0)
+        let Some(plan) = self.faults.as_ref() else {
+            return 1.0;
+        };
+        let mut factor = plan.device_factor(i as u32, now);
+        if let (Some(rack), Some(p)) = (self.active_partition, plan.partition()) {
+            if plan.rack_of(i as u32) == rack {
+                factor *= p.penalty;
+            }
+        }
+        factor
+    }
+
+    /// Feeds one checkpoint-path outcome on `node` into the breakers and
+    /// traces any state transitions.
+    fn observe_health(&mut self, node: usize, now: SimTime, ok: bool) {
+        let Some(h) = self.health.as_mut() else {
+            return;
+        };
+        let events = h.observe(node as u32, now, ok);
+        if self.trace_on {
+            for e in events {
+                let rec = match e.transition {
+                    BreakerTransition::Opened => TraceRecord::BreakerOpen {
+                        node: e.node.unwrap_or(0),
+                        global: e.node.is_none(),
+                    },
+                    BreakerTransition::Closed => TraceRecord::BreakerClose {
+                        node: e.node.unwrap_or(0),
+                        global: e.node.is_none(),
+                    },
+                };
+                self.tracer.record(now.as_micros(), &rec);
+            }
+        }
+    }
+
+    /// Breaker gate for a checkpoint decision: when the checkpoint path
+    /// on `node` is considered down, the victim is killed instead
+    /// (graceful degradation) and `true` is returned.
+    fn breaker_denies(&mut self, v: u32, node: usize, now: SimTime, policy: &'static str) -> bool {
+        let Some(h) = self.health.as_mut() else {
+            return false;
+        };
+        if h.allow(node as u32, now) {
+            return false;
+        }
+        self.trace_preempt_decision(now, v, node, PreemptAction::Kill, policy, "breaker-open");
+        if self.trace_on {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::DumpFallback {
+                    task: v as u64,
+                    node: node as u32,
+                    reason: "breaker-open",
+                },
+            );
+        }
+        self.metrics.breaker_open_kills += 1;
+        self.kill_task(v, node, now);
+        true
     }
 
     /// Algorithm 2's overhead estimate for restoring `t` on node `i`.
@@ -973,6 +1069,7 @@ impl ClusterSim {
                 // The node's NVRAM is full; mirrors are node-local so there
                 // is nowhere to spill.
                 self.metrics.capacity_fallbacks += 1;
+                self.observe_health(node, now, false);
                 if self.trace_on {
                     self.tracer.record(
                         now.as_micros(),
@@ -1008,6 +1105,7 @@ impl ClusterSim {
         let Some(origin) = self.dump_origin_for(node, size) else {
             // No node can hold the image: fall back to killing.
             self.metrics.capacity_fallbacks += 1;
+            self.observe_health(node, now, false);
             if self.trace_on {
                 self.tracer.record(
                     now.as_micros(),
@@ -1034,6 +1132,11 @@ impl ClusterSim {
         // A stall window on the origin device degrades the dump's service
         // time (HDFS pipeline and local writes alike).
         let factor = self.device_factor(origin, now);
+        if factor > 1.0 {
+            // A degraded checkpoint path (stall window or rack partition)
+            // is a health signal even when the dump eventually completes.
+            self.observe_health(origin, now, false);
+        }
         let service = match &mut self.dfs {
             Some(dfs) => {
                 let path = format!(
@@ -1153,6 +1256,7 @@ impl ClusterSim {
             Err(_) => {
                 // Checkpoint storage is full: fall back to killing.
                 self.metrics.capacity_fallbacks += 1;
+                self.observe_health(node, now, false);
                 if self.trace_on {
                     self.tracer.record(
                         now.as_micros(),
@@ -1188,6 +1292,9 @@ impl ClusterSim {
                 true
             }
             PreemptionPolicy::Checkpoint => {
+                if self.breaker_denies(v, node, now, "checkpoint") {
+                    return true;
+                }
                 self.trace_preempt_decision(
                     now,
                     v,
@@ -1215,6 +1322,9 @@ impl ClusterSim {
                     }
                 };
                 if self.tasks[v as usize].progress_at_risk() > est_total {
+                    if self.breaker_denies(v, node, now, "adaptive") {
+                        return true;
+                    }
                     self.trace_preempt_decision(
                         now,
                         v,
@@ -1442,6 +1552,7 @@ impl ClusterSim {
         now: SimTime,
         q: &mut EventQueue<Event>,
     ) {
+        self.observe_health(node, now, false);
         let plan = self.faults.as_ref().expect("caller checked plan presence");
         let will_retry = attempt < plan.max_dump_retries();
         let backoff = plan.dump_retry_backoff(attempt + 1);
@@ -1595,6 +1706,7 @@ impl ClusterSim {
         } else {
             "transient"
         };
+        self.observe_health(node, now, false);
         // The failed read occupied CPU for its whole service window.
         let cores = self.tasks[t as usize].spec.resources.cores_f64();
         self.metrics.retry_cpu_secs += now.since(started).as_secs_f64() * cores;
@@ -1730,13 +1842,19 @@ impl ClusterSim {
         }
     }
 
-    /// Evicts `t` because its node failed. Unlike a kill, the eviction is
-    /// not the scheduler's choice; unlike a checkpoint, nothing is saved.
-    fn fail_task(&mut self, t: u32, node: usize, now: SimTime) {
+    /// Evicts `t` because its node failed (organically, or through a
+    /// chaos-plan crash). Unlike a kill, the eviction is not the
+    /// scheduler's choice; unlike a checkpoint, nothing is saved.
+    fn fail_task(&mut self, t: u32, node: usize, now: SimTime, chaos: bool) {
+        let reason = if chaos { "node-crash" } else { "node-fail" };
         self.tasks[t as usize].sync_progress(now);
         let lost = self.tasks[t as usize].progress_at_risk();
         let cores = self.tasks[t as usize].spec.resources.cores_f64();
-        self.metrics.failure_evictions += 1;
+        if chaos {
+            self.metrics.crash_evictions += 1;
+        } else {
+            self.metrics.failure_evictions += 1;
+        }
         self.metrics.kill_lost_cpu_secs += lost.as_secs_f64() * cores;
         self.emit(
             now,
@@ -1751,7 +1869,7 @@ impl ClusterSim {
                 &TraceRecord::TaskEvict {
                     task: t as u64,
                     node: node as u32,
-                    reason: "node-fail",
+                    reason,
                 },
             );
         }
@@ -1767,7 +1885,7 @@ impl ClusterSim {
                     &TraceRecord::DumpFallback {
                         task: t as u64,
                         node: node as u32,
-                        reason: "node-fail",
+                        reason,
                     },
                 );
             }
@@ -1839,17 +1957,22 @@ impl ClusterSim {
         self.emit(now, t, TraceEventKind::Submit);
     }
 
-    /// Takes a node down, evicting everything on it.
-    fn fail_node(&mut self, node: usize, now: SimTime, q: &mut EventQueue<Event>) {
+    /// Takes a node down, evicting everything on it. `chaos` marks a
+    /// chaos-plan crash: the trace event is `NodeDown` (vs `NodeFail`),
+    /// evictions count as crash evictions, and recovery is the caller's
+    /// `ChaosRecover` (the MTBF chain stays untouched).
+    fn fail_node(&mut self, node: usize, now: SimTime, q: &mut EventQueue<Event>, chaos: bool) {
         if !self.nodes[node].up {
             return; // already down (stale event)
         }
         self.nodes[node].up = false;
         if self.trace_on {
-            self.tracer.record(
-                now.as_micros(),
-                &TraceRecord::NodeFail { node: node as u32 },
-            );
+            let rec = if chaos {
+                TraceRecord::NodeDown { node: node as u32 }
+            } else {
+                TraceRecord::NodeFail { node: node as u32 }
+            };
+            self.tracer.record(now.as_micros(), &rec);
         }
         let victims: Vec<u32> = self.nodes[node]
             .node
@@ -1859,7 +1982,7 @@ impl ClusterSim {
         let mut victims = victims;
         victims.sort_unstable();
         for v in victims {
-            self.fail_task(v, node, now);
+            self.fail_task(v, node, now, chaos);
         }
         // The node's datanode died with it: the NameNode re-replicates
         // every block that lost a replica onto the surviving datanodes
@@ -1911,10 +2034,12 @@ impl ClusterSim {
             self.cancel_reservation(t);
         }
         self.update_meter(node, now);
-        q.push(
-            now + self.cfg.failure_downtime,
-            Event::NodeRecover(node as u32),
-        );
+        if !chaos {
+            q.push(
+                now + self.cfg.failure_downtime,
+                Event::NodeRecover(node as u32),
+            );
+        }
     }
 
     /// One scheduling pass: serve the pending queue in priority order.
@@ -2027,6 +2152,9 @@ impl Simulation for ClusterSim {
             Event::RestoreDone { .. } => "restore_done",
             Event::NodeFail(_) => "node_fail",
             Event::NodeRecover(_) => "node_recover",
+            Event::ChaosCrashTick => "chaos_crash_tick",
+            Event::ChaosPartitionTick => "chaos_partition_tick",
+            Event::ChaosRecover(_) => "chaos_recover",
         }
     }
 }
@@ -2133,6 +2261,7 @@ impl ClusterSim {
                         }
                     }
                 }
+                self.observe_health(node as usize, now, true);
                 self.release_container(task, now);
                 // Overhead was charged at dump submission; `started` only
                 // feeds the trace record.
@@ -2171,7 +2300,83 @@ impl ClusterSim {
                 self.schedule_pass(now, q);
             }
             Event::NodeFail(node) => {
-                self.fail_node(node as usize, now, q);
+                self.fail_node(node as usize, now, q, false);
+                self.schedule_pass(now, q);
+            }
+            Event::ChaosCrashTick => {
+                // One stateless oracle evaluation per window: which nodes
+                // crash in the window starting now?
+                let (window, downtime, crashed) = {
+                    let Some(plan) = &self.faults else { return };
+                    let Some(c) = plan.crash() else { return };
+                    let widx = now.as_micros() / c.window.as_micros().max(1);
+                    let crashed: Vec<usize> = (0..self.nodes.len())
+                        .filter(|&i| self.nodes[i].up && plan.node_crashes(i as u32, widx))
+                        .collect();
+                    (c.window, c.downtime, crashed)
+                };
+                for node in crashed {
+                    self.fail_node(node, now, q, true);
+                    // Parse-time validation guarantees downtime < window,
+                    // so the node is back before its next crash draw.
+                    q.push(now + downtime, Event::ChaosRecover(node as u32));
+                }
+                // Stop ticking once the workload drained, else the tick
+                // chain keeps the run alive forever.
+                if !self.job_remaining.iter().all(|&r| r == 0) {
+                    q.push(now + window, Event::ChaosCrashTick);
+                }
+                self.schedule_pass(now, q);
+            }
+            Event::ChaosPartitionTick => {
+                let (window, next) = {
+                    let Some(plan) = &self.faults else { return };
+                    let Some(p) = plan.partition() else { return };
+                    let widx = now.as_micros() / p.window.as_micros().max(1);
+                    let racks = match self.nodes.len() {
+                        0 => 0,
+                        n => plan.rack_of(n as u32 - 1) + 1,
+                    };
+                    (p.window, plan.partition_isolates(widx, racks))
+                };
+                if next != self.active_partition {
+                    if self.trace_on {
+                        if let Some(rack) = self.active_partition {
+                            self.tracer
+                                .record(now.as_micros(), &TraceRecord::PartitionEnd { rack });
+                        }
+                        if let Some(rack) = next {
+                            self.tracer
+                                .record(now.as_micros(), &TraceRecord::PartitionStart { rack });
+                        }
+                    }
+                    self.active_partition = next;
+                }
+                if !self.job_remaining.iter().all(|&r| r == 0) {
+                    q.push(now + window, Event::ChaosPartitionTick);
+                } else if let Some(rack) = self.active_partition.take() {
+                    // Heal the partition when the schedule winds down so
+                    // the trace's start/end events tile.
+                    if self.trace_on {
+                        self.tracer
+                            .record(now.as_micros(), &TraceRecord::PartitionEnd { rack });
+                    }
+                }
+            }
+            Event::ChaosRecover(node) => {
+                if self.nodes[node as usize].up {
+                    return; // stale (never expected, but harmless)
+                }
+                self.nodes[node as usize].up = true;
+                if let Some(dfs) = &mut self.dfs {
+                    // Re-registration: the datanode rejoins empty (its
+                    // blocks were re-replicated or lost at crash time).
+                    let _ = dfs.recover_datanode(DnId(node));
+                }
+                if self.trace_on {
+                    self.tracer
+                        .record(now.as_micros(), &TraceRecord::NodeUp { node });
+                }
                 self.schedule_pass(now, q);
             }
             Event::NodeRecover(node) => {
@@ -2225,6 +2430,7 @@ impl ClusterSim {
                 if self.faults.is_some() {
                     self.restore_attempts.remove(&task);
                 }
+                self.observe_health(node as usize, now, true);
                 if self.trace_on {
                     self.tracer.record(
                         now.as_micros(),

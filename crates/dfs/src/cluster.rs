@@ -234,6 +234,18 @@ impl DfsCluster {
     /// [`DfsError::UnknownDataNode`] if `dn` is out of range.
     pub fn fail_datanode(&mut self, dn: DnId) -> Result<ReplicationRepair, DfsError> {
         self.node(dn)?;
+        if !self.nodes[dn.0 as usize].alive {
+            // Already dead (overlapping failure reports for the same
+            // datanode): every replica it held was re-replicated or
+            // declared lost by the first report. Re-scanning would not
+            // find anything but would advance the repair RNG, making the
+            // outcome depend on how many times the failure was reported.
+            return Ok(ReplicationRepair {
+                blocks_repaired: 0,
+                bytes_copied: ByteSize::ZERO,
+                blocks_lost: 0,
+            });
+        }
         self.nodes[dn.0 as usize].alive = false;
         self.nodes[dn.0 as usize].used = ByteSize::ZERO;
 
@@ -539,6 +551,60 @@ mod tests {
         assert_eq!(repair.blocks_lost, 1);
         let file = dfs.namespace().file("/f").unwrap();
         assert!(file.blocks[0].replicas.is_empty());
+    }
+
+    /// Regression: overlapping failure reports for the same block chain
+    /// must not double-count repairs, perturb the repair RNG, or leave a
+    /// block unreplicated while a healthy node could hold it.
+    #[test]
+    fn overlapping_failures_never_double_repair() {
+        let mut dfs = cluster(4, 2);
+        dfs.create("/f", ByteSize::from_mb(256), DnId(0)).unwrap();
+        let first = dfs.fail_datanode(DnId(0)).unwrap();
+        assert_eq!(first.blocks_repaired, 2);
+        // A duplicate report for the dead node is a no-op.
+        let dup = dfs.fail_datanode(DnId(0)).unwrap();
+        assert_eq!(dup.blocks_repaired, 0);
+        assert_eq!(dup.blocks_lost, 0);
+        assert_eq!(dup.bytes_copied, ByteSize::ZERO);
+        // A second, overlapping failure hits the same chain: with two
+        // healthy nodes left, every block must still end up replicated.
+        let second = dfs.fail_datanode(DnId(1)).unwrap();
+        assert_eq!(second.blocks_lost, 0);
+        assert!(dfs.is_readable("/f").unwrap());
+        let file = dfs.namespace().file("/f").unwrap();
+        for b in &file.blocks {
+            assert!(
+                !b.replicas.is_empty(),
+                "block lost replicas while healthy nodes exist"
+            );
+            for &r in &b.replicas {
+                assert!(dfs.is_alive(r), "dead replica {r:?} survives in map");
+            }
+        }
+        // Total repair work across the two reports covers each block at
+        // most once per failure, never twice for the duplicate.
+        assert_eq!(first.blocks_repaired + dup.blocks_repaired, 2);
+    }
+
+    /// The duplicate report must also leave the repair RNG untouched so
+    /// later placements do not depend on how often a failure was seen.
+    #[test]
+    fn duplicate_failure_report_is_rng_neutral() {
+        let mut a = cluster(6, 2);
+        let mut b = cluster(6, 2);
+        a.create("/f", ByteSize::from_mb(128), DnId(0)).unwrap();
+        b.create("/f", ByteSize::from_mb(128), DnId(0)).unwrap();
+        a.fail_datanode(DnId(0)).unwrap();
+        b.fail_datanode(DnId(0)).unwrap();
+        // Only `b` sees the duplicate report.
+        b.fail_datanode(DnId(0)).unwrap();
+        a.create("/g", ByteSize::from_mb(128), DnId(1)).unwrap();
+        b.create("/g", ByteSize::from_mb(128), DnId(1)).unwrap();
+        assert_eq!(
+            a.namespace().file("/g").unwrap().blocks,
+            b.namespace().file("/g").unwrap().blocks
+        );
     }
 
     #[test]

@@ -1,0 +1,431 @@
+//! Checkpoint-path health monitoring: per-node and global circuit
+//! breakers with graceful degradation to kill.
+//!
+//! The paper's adaptive checkpoint-vs-kill rule (Algorithm 1) is a
+//! static cost comparison: it assumes the dump/restore path works. A
+//! real cluster's checkpoint path is a *time-varying* property of the
+//! environment — a wedged device, a partitioned rack or a corrupted
+//! CRIU install makes every dump fail, and a scheduler that keeps
+//! checkpointing into a broken path burns its retry budget on every
+//! victim. The [`Breaker`] here is the classic remedy: a sliding
+//! failure-rate monitor with **closed → open → half-open** transitions.
+//!
+//! * **Closed** — checkpointing allowed; dump/restore outcomes and
+//!   stall observations feed a decayed failure rate.
+//! * **Open** — the failure rate crossed the threshold: the scheduler
+//!   degrades to kill-based preemption (`DumpFallback("breaker-open")`)
+//!   until a cooldown elapses.
+//! * **Half-open** — after the cooldown one *probe* checkpoint is let
+//!   through; success closes the breaker, failure re-opens it.
+//!
+//! Determinism: breakers are fed exclusively by simulation events and
+//! consulted at deterministic points, so (seed, plan) replays reproduce
+//! every transition exactly. With no [`BreakerSpec`] configured the
+//! monitor is absent and the simulators take byte-identical paths.
+
+use cbp_simkit::{SimDuration, SimTime};
+
+use crate::BreakerSpec;
+
+/// Circuit-breaker state (see the module docs for the transitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: checkpointing allowed, outcomes observed.
+    Closed,
+    /// Tripped: checkpoint requests degrade to kill until the cooldown.
+    Open,
+    /// Probing: one checkpoint is in flight to test the path.
+    HalfOpen,
+}
+
+/// A state-transition notification (traced as `breaker_open` /
+/// `breaker_close`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerTransition {
+    /// Closed/half-open → open.
+    Opened,
+    /// Half-open probe succeeded → closed.
+    Closed,
+}
+
+/// One circuit breaker: a decayed failure-rate window plus the state
+/// machine.
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    spec: BreakerSpec,
+    state: BreakerState,
+    /// Decayed count of failed observations.
+    fail_mass: f64,
+    /// Decayed count of all observations.
+    total_mass: f64,
+    /// When the breaker last opened (None unless open).
+    opened_at: Option<SimTime>,
+    /// Cumulative time spent open.
+    open_secs: f64,
+    /// A half-open probe is in flight (deny further checkpoints).
+    probe_inflight: bool,
+}
+
+impl Breaker {
+    /// A closed breaker with an empty window.
+    pub fn new(spec: BreakerSpec) -> Self {
+        Breaker {
+            spec,
+            state: BreakerState::Closed,
+            fail_mass: 0.0,
+            total_mass: 0.0,
+            opened_at: None,
+            open_secs: 0.0,
+            probe_inflight: false,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Decayed failure rate over the sliding window (0 when empty).
+    pub fn failure_rate(&self) -> f64 {
+        if self.total_mass <= 0.0 {
+            0.0
+        } else {
+            self.fail_mass / self.total_mass
+        }
+    }
+
+    fn open(&mut self, now: SimTime) {
+        self.state = BreakerState::Open;
+        self.opened_at = Some(now);
+        self.probe_inflight = false;
+    }
+
+    fn close(&mut self) {
+        self.state = BreakerState::Closed;
+        self.probe_inflight = false;
+        // Fresh window: pre-open history must not immediately re-trip.
+        self.fail_mass = 0.0;
+        self.total_mass = 0.0;
+    }
+
+    /// Feeds one dump/restore outcome (or stall observation, as a
+    /// failure) into the window and runs the state machine. Returns the
+    /// transition, if any.
+    pub fn observe(&mut self, now: SimTime, ok: bool) -> Option<BreakerTransition> {
+        self.fail_mass *= self.spec.decay;
+        self.total_mass *= self.spec.decay;
+        self.total_mass += 1.0;
+        if !ok {
+            self.fail_mass += 1.0;
+        }
+        match self.state {
+            BreakerState::Closed => {
+                if self.total_mass >= self.spec.min_samples
+                    && self.failure_rate() >= self.spec.threshold
+                {
+                    self.open(now);
+                    Some(BreakerTransition::Opened)
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen => {
+                if ok {
+                    self.close();
+                    Some(BreakerTransition::Closed)
+                } else {
+                    self.open(now);
+                    Some(BreakerTransition::Opened)
+                }
+            }
+            // Outcomes of operations started before the trip land here;
+            // they already weighed in via the window.
+            BreakerState::Open => None,
+        }
+    }
+
+    /// Would a checkpoint request at `now` be let through? Pure check —
+    /// call [`Breaker::note_allowed`] only once the request actually
+    /// proceeds (a composite monitor may veto it elsewhere).
+    pub fn would_allow(&self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => self
+                .opened_at
+                .is_some_and(|t| now.saturating_since(t) >= self.spec.cooldown),
+            BreakerState::HalfOpen => !self.probe_inflight,
+        }
+    }
+
+    /// Commits the [`Breaker::would_allow`] decision: an open breaker
+    /// past its cooldown moves to half-open and the probe slot is taken.
+    pub fn note_allowed(&mut self, now: SimTime) {
+        match self.state {
+            BreakerState::Closed => {}
+            BreakerState::Open => {
+                if let Some(t) = self.opened_at.take() {
+                    self.open_secs += now.saturating_since(t).as_secs_f64();
+                }
+                self.state = BreakerState::HalfOpen;
+                self.probe_inflight = true;
+            }
+            BreakerState::HalfOpen => self.probe_inflight = true,
+        }
+    }
+
+    /// Cumulative open time, closing the books at `end` if still open.
+    pub fn open_secs(&self, end: SimTime) -> f64 {
+        match self.opened_at {
+            Some(t) => self.open_secs + end.saturating_since(t).as_secs_f64(),
+            None => self.open_secs,
+        }
+    }
+}
+
+/// A breaker state change surfaced to the simulator for tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthEvent {
+    /// The node whose breaker transitioned; `None` for the global one.
+    pub node: Option<u32>,
+    /// The transition.
+    pub transition: BreakerTransition,
+}
+
+/// The checkpoint-path health monitor: one breaker per node plus a
+/// global breaker fed by every observation (a cluster-wide pathology —
+/// e.g. a partitioned DFS — trips the global breaker even when no
+/// single node accumulates enough samples).
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    nodes: Vec<Breaker>,
+    global: Breaker,
+}
+
+impl HealthMonitor {
+    /// A monitor for `nodes` nodes, all breakers closed.
+    pub fn new(spec: BreakerSpec, nodes: usize) -> Self {
+        HealthMonitor {
+            nodes: vec![Breaker::new(spec); nodes],
+            global: Breaker::new(spec),
+        }
+    }
+
+    /// Feeds one checkpoint-path outcome on `node` into the node's and
+    /// the global breaker. Returns the transitions to trace (at most
+    /// one per breaker).
+    pub fn observe(&mut self, node: u32, now: SimTime, ok: bool) -> Vec<HealthEvent> {
+        let mut events = Vec::new();
+        if let Some(b) = self.nodes.get_mut(node as usize) {
+            if let Some(transition) = b.observe(now, ok) {
+                events.push(HealthEvent {
+                    node: Some(node),
+                    transition,
+                });
+            }
+        }
+        if let Some(transition) = self.global.observe(now, ok) {
+            events.push(HealthEvent {
+                node: None,
+                transition,
+            });
+        }
+        events
+    }
+
+    /// Is a checkpoint on `node` allowed at `now`? Both the node's and
+    /// the global breaker must agree; the (half-open) probe slot is
+    /// consumed only when both do.
+    pub fn allow(&mut self, node: u32, now: SimTime) -> bool {
+        let node_ok = self
+            .nodes
+            .get(node as usize)
+            .is_none_or(|b| b.would_allow(now));
+        if node_ok && self.global.would_allow(now) {
+            if let Some(b) = self.nodes.get_mut(node as usize) {
+                b.note_allowed(now);
+            }
+            self.global.note_allowed(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The state of `node`'s breaker (for tests).
+    pub fn node_state(&self, node: u32) -> BreakerState {
+        self.nodes
+            .get(node as usize)
+            .map(|b| b.state())
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// The global breaker's state.
+    pub fn global_state(&self) -> BreakerState {
+        self.global.state()
+    }
+
+    /// Total breaker-open seconds across every node breaker and the
+    /// global one, closing the books at `end`.
+    pub fn open_secs_total(&self, end: SimTime) -> f64 {
+        self.nodes.iter().map(|b| b.open_secs(end)).sum::<f64>() + self.global.open_secs(end)
+    }
+}
+
+/// Convenience: the cooldown a monitor was built with (used by tests).
+impl HealthMonitor {
+    /// The spec's cooldown.
+    pub fn cooldown(&self) -> SimDuration {
+        self.global.spec.cooldown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> BreakerSpec {
+        BreakerSpec {
+            threshold: 0.5,
+            min_samples: 4.0,
+            cooldown: SimDuration::from_secs(600),
+            decay: 1.0,
+        }
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn opens_after_threshold_and_min_samples() {
+        let mut b = Breaker::new(spec());
+        // Three failures: rate 1.0 but below min_samples — still closed.
+        for i in 0..3 {
+            assert_eq!(b.observe(t(i), false), None);
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        // Fourth failure reaches min_samples: opens.
+        assert_eq!(b.observe(t(3), false), Some(BreakerTransition::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.would_allow(t(4)), "open breaker denies inside cooldown");
+    }
+
+    #[test]
+    fn successes_keep_it_closed() {
+        let mut b = Breaker::new(spec());
+        for i in 0..100 {
+            let r = b.observe(t(i), i % 4 != 0); // 25% failures < 50%
+            assert_eq!(r, None);
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let mut b = Breaker::new(spec());
+        for i in 0..4 {
+            b.observe(t(i), false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown not yet elapsed.
+        assert!(!b.would_allow(t(300)));
+        // Cooldown elapsed: one probe allowed, a second denied.
+        assert!(b.would_allow(t(700)));
+        b.note_allowed(t(700));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.would_allow(t(701)), "only one probe in flight");
+        // Probe succeeds: closed with a fresh window.
+        assert_eq!(b.observe(t(720), true), Some(BreakerTransition::Closed));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = Breaker::new(spec());
+        for i in 0..4 {
+            b.observe(t(i), false);
+        }
+        assert!(b.would_allow(t(700)));
+        b.note_allowed(t(700));
+        assert_eq!(b.observe(t(720), false), Some(BreakerTransition::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+        // The new open period restarts the cooldown clock.
+        assert!(!b.would_allow(t(900)));
+        assert!(b.would_allow(t(1400)));
+    }
+
+    #[test]
+    fn open_secs_accrues_across_periods() {
+        let mut b = Breaker::new(spec());
+        for i in 0..4 {
+            b.observe(t(i), false);
+        }
+        // Open at t=3; probe at t=700 ends the first open period (697 s).
+        b.note_allowed(t(700));
+        assert!((b.open_secs(t(800)) - 697.0).abs() < 1e-9);
+        // Probe fails at 720: open again; books close at 1000 (+280 s).
+        b.observe(t(720), false);
+        assert!((b.open_secs(t(1000)) - (697.0 + 280.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_forgets_old_failures() {
+        let mut b = Breaker::new(BreakerSpec {
+            decay: 0.5,
+            ..spec()
+        });
+        // Three old failures decay away under a stream of successes.
+        for i in 0..3 {
+            b.observe(t(i), false);
+        }
+        for i in 3..20 {
+            b.observe(t(i), true);
+        }
+        assert!(b.failure_rate() < 0.01);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn monitor_is_per_node_with_a_global_backstop() {
+        let mut m = HealthMonitor::new(spec(), 4);
+        // Node 1 fails repeatedly; node 0 stays healthy.
+        let mut opened = Vec::new();
+        for i in 0..4 {
+            opened.extend(m.observe(1, t(i), false));
+            opened.extend(m.observe(0, t(i), true));
+        }
+        assert_eq!(m.node_state(1), BreakerState::Open);
+        assert_eq!(m.node_state(0), BreakerState::Closed);
+        // Global saw 4 failures / 8 observations = 0.5: also open.
+        assert_eq!(m.global_state(), BreakerState::Open);
+        assert!(opened
+            .iter()
+            .any(|e| e.node == Some(1) && e.transition == BreakerTransition::Opened));
+        assert!(opened
+            .iter()
+            .any(|e| e.node.is_none() && e.transition == BreakerTransition::Opened));
+        // With the global breaker open, even the healthy node is denied.
+        assert!(!m.allow(0, t(10)));
+    }
+
+    #[test]
+    fn allow_consumes_probe_only_when_both_agree() {
+        let mut m = HealthMonitor::new(spec(), 2);
+        for i in 0..4 {
+            m.observe(0, t(i), false);
+        }
+        // Node 0 and global both open. Past the cooldown, node 1 is
+        // closed and global probes: allowed.
+        assert!(m.allow(1, t(700)));
+        // Global probe in flight: node 0 (also past cooldown) is denied
+        // and must NOT have consumed its own probe slot.
+        assert!(!m.allow(0, t(701)));
+        assert_eq!(m.node_state(0), BreakerState::Open);
+        // Global probe succeeds: global closes, node 0 may now probe.
+        m.observe(1, t(710), true);
+        assert_eq!(m.global_state(), BreakerState::Closed);
+        assert!(m.allow(0, t(711)));
+        assert_eq!(m.node_state(0), BreakerState::HalfOpen);
+    }
+}

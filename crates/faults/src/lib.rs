@@ -25,6 +25,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod health;
+
+pub use health::{Breaker, BreakerState, BreakerTransition, HealthEvent, HealthMonitor};
+
 use std::fmt;
 
 use cbp_simkit::{SimDuration, SimTime};
@@ -56,6 +60,98 @@ impl Default for StallSpec {
     }
 }
 
+/// Failure-domain chaos: seeded, stateless crash/recover schedules for
+/// nodes and whole racks.
+///
+/// Simulated time is cut into fixed windows of `window` length. Each
+/// `(node, window index)` pair independently crashes with probability
+/// `node_prob`, and each `(rack, window index)` pair crashes *every*
+/// node of the rack with probability `rack_prob` (correlated failure).
+/// A crashed node goes down at the window start and recovers after
+/// `downtime` (strictly less than `window`, so every node is up for
+/// part of every window — the liveness validity limit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashSpec {
+    /// Probability that a given `(node, window)` starts with a crash.
+    pub node_prob: f64,
+    /// Probability that a given `(rack, window)` crashes the whole rack.
+    pub rack_prob: f64,
+    /// How long a crashed node stays down (must be < `window`).
+    pub downtime: SimDuration,
+    /// Window length.
+    pub window: SimDuration,
+}
+
+impl Default for CrashSpec {
+    fn default() -> Self {
+        CrashSpec {
+            node_prob: 0.0,
+            rack_prob: 0.0,
+            downtime: SimDuration::from_secs(300),
+            window: SimDuration::from_secs(3_600),
+        }
+    }
+}
+
+/// Network partitions: during a partitioned window one rack is isolated
+/// from the rest of the cluster, and DFS traffic from nodes inside the
+/// isolated rack pays a `penalty` service-time multiplier (remote
+/// replicas sit across the partition).
+///
+/// Like stalls and crashes, partitions are window-indexed and stateless:
+/// each window is independently partitioned with probability `prob`,
+/// and the isolated rack is a pure hash of `(plan seed, window index)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionSpec {
+    /// Probability that a given window is partitioned.
+    pub prob: f64,
+    /// Service-time multiplier for cross-partition DFS traffic (≥ 1).
+    pub penalty: f64,
+    /// Window length.
+    pub window: SimDuration,
+}
+
+impl Default for PartitionSpec {
+    fn default() -> Self {
+        PartitionSpec {
+            prob: 0.0,
+            penalty: 8.0,
+            window: SimDuration::from_secs(1_800),
+        }
+    }
+}
+
+/// Checkpoint-path circuit-breaker thresholds (see [`health`]).
+///
+/// Off by default ([`FaultSpec::breaker`] is `None`); when configured,
+/// a [`HealthMonitor`] watches dump/restore outcomes per node (plus a
+/// global aggregate) and degrades preemption to kill while a breaker is
+/// open.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerSpec {
+    /// Open when the decayed failure rate reaches this threshold.
+    pub threshold: f64,
+    /// ... and the decayed sample mass reaches this minimum (avoids
+    /// tripping on the first failure of an empty window).
+    pub min_samples: f64,
+    /// Open → half-open (probe) after this cooldown.
+    pub cooldown: SimDuration,
+    /// Decay multiplier applied to the window per observation, in
+    /// (0, 1]; 1 = never forget, smaller = shorter memory.
+    pub decay: f64,
+}
+
+impl Default for BreakerSpec {
+    fn default() -> Self {
+        BreakerSpec {
+            threshold: 0.5,
+            min_samples: 4.0,
+            cooldown: SimDuration::from_secs(600),
+            decay: 0.9,
+        }
+    }
+}
+
 /// Declarative fault plan: per-operation fault probabilities plus the
 /// retry/fallback budgets the recovery policies use.
 ///
@@ -80,6 +176,15 @@ pub struct FaultSpec {
     pub am_unresponsive_prob: f64,
     /// Storage degradation & stall windows (none by default).
     pub stall: Option<StallSpec>,
+    /// Failure-domain chaos: node/rack crash schedules (none by default).
+    pub crash: Option<CrashSpec>,
+    /// Network partitions (none by default).
+    pub partition: Option<PartitionSpec>,
+    /// Nodes per rack — the failure domain crash/partition schedules
+    /// correlate over (rack = node / rack_size).
+    pub rack_size: u32,
+    /// Checkpoint-path circuit-breaker thresholds (off by default).
+    pub breaker: Option<BreakerSpec>,
     /// Dump retries after the first failed attempt before falling back
     /// to a kill (`"dump-fail"`).
     pub max_dump_retries: u32,
@@ -102,6 +207,10 @@ impl Default for FaultSpec {
             corrupt_image_prob: 0.0,
             am_unresponsive_prob: 0.0,
             stall: None,
+            crash: None,
+            partition: None,
+            rack_size: 4,
+            breaker: None,
             max_dump_retries: 2,
             dump_retry_backoff: SimDuration::from_secs(5),
             max_restore_retries: 2,
@@ -143,9 +252,29 @@ impl FaultSpec {
         }
     }
 
+    /// The `chaos` profile: heavy per-operation faults plus correlated
+    /// failure domains (node/rack crashes, rack partitions) and the
+    /// circuit breakers engaged — the regime the cbp-health machinery
+    /// exists for.
+    pub fn chaos() -> Self {
+        FaultSpec {
+            crash: Some(CrashSpec {
+                node_prob: 0.15,
+                rack_prob: 0.10,
+                ..CrashSpec::default()
+            }),
+            partition: Some(PartitionSpec {
+                prob: 0.20,
+                ..PartitionSpec::default()
+            }),
+            breaker: Some(BreakerSpec::default()),
+            ..FaultSpec::heavy()
+        }
+    }
+
     /// Parses a CLI fault spec.
     ///
-    /// Accepts a named profile (`off`, `light`, `heavy`) or a
+    /// Accepts a named profile (`off`, `light`, `heavy`, `chaos`) or a
     /// comma-separated `key=value` list, optionally starting from a
     /// profile (`heavy,seed=7`). Keys:
     ///
@@ -163,6 +292,18 @@ impl FaultSpec {
     /// | `restore-retries` | restore retry budget |
     /// | `backoff` | base dump retry backoff, seconds |
     /// | `escalation` | AM escalation deadline, seconds |
+    /// | `crash` | per-(node, window) crash probability |
+    /// | `rack` | per-(rack, window) whole-rack crash probability |
+    /// | `downtime` | crash downtime, seconds (< crash window) |
+    /// | `crash-window` | crash window length, seconds |
+    /// | `partition` | per-window rack-partition probability |
+    /// | `penalty` | cross-partition service multiplier (>= 1) |
+    /// | `partition-window` | partition window length, seconds |
+    /// | `rack-size` | nodes per rack (failure-domain granularity) |
+    /// | `breaker` | breaker failure-rate threshold (enables breakers) |
+    /// | `breaker-min` | breaker minimum sample mass |
+    /// | `breaker-cooldown` | breaker open -> half-open cooldown, seconds |
+    /// | `breaker-decay` | breaker window decay, in (0, 1] |
     pub fn parse(text: &str) -> Result<FaultSpec, String> {
         let mut spec = FaultSpec::default();
         for (i, part) in text.split(',').enumerate() {
@@ -181,6 +322,10 @@ impl FaultSpec {
                 }
                 "heavy" => {
                     spec = FaultSpec::heavy();
+                    continue;
+                }
+                "chaos" => {
+                    spec = FaultSpec::chaos();
                     continue;
                 }
                 _ => {}
@@ -246,21 +391,125 @@ impl FaultSpec {
                 }
                 "backoff" => spec.dump_retry_backoff = secs(value)?,
                 "escalation" => spec.escalation_timeout = secs(value)?,
+                "crash" => {
+                    spec.crash.get_or_insert_with(CrashSpec::default).node_prob = prob(value)?;
+                }
+                "rack" => {
+                    spec.crash.get_or_insert_with(CrashSpec::default).rack_prob = prob(value)?;
+                }
+                "downtime" => {
+                    spec.crash.get_or_insert_with(CrashSpec::default).downtime = secs(value)?;
+                }
+                "crash-window" => {
+                    let w = secs(value)?;
+                    if w.is_zero() {
+                        return Err("fault spec crash-window=0: window must be positive".into());
+                    }
+                    spec.crash.get_or_insert_with(CrashSpec::default).window = w;
+                }
+                "partition" => {
+                    spec.partition
+                        .get_or_insert_with(PartitionSpec::default)
+                        .prob = prob(value)?;
+                }
+                "penalty" => {
+                    let p = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|p| *p >= 1.0)
+                        .ok_or_else(|| {
+                            format!("fault spec penalty={value}: expected factor >= 1")
+                        })?;
+                    spec.partition
+                        .get_or_insert_with(PartitionSpec::default)
+                        .penalty = p;
+                }
+                "partition-window" => {
+                    let w = secs(value)?;
+                    if w.is_zero() {
+                        return Err("fault spec partition-window=0: window must be positive".into());
+                    }
+                    spec.partition
+                        .get_or_insert_with(PartitionSpec::default)
+                        .window = w;
+                }
+                "rack-size" => {
+                    spec.rack_size =
+                        value
+                            .parse::<u32>()
+                            .ok()
+                            .filter(|r| *r >= 1)
+                            .ok_or_else(|| {
+                                format!("fault spec rack-size={value}: expected integer >= 1")
+                            })?;
+                }
+                "breaker" => {
+                    spec.breaker
+                        .get_or_insert_with(BreakerSpec::default)
+                        .threshold = prob(value)?;
+                }
+                "breaker-min" => {
+                    let m = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|m| *m >= 1.0)
+                        .ok_or_else(|| {
+                            format!("fault spec breaker-min={value}: expected samples >= 1")
+                        })?;
+                    spec.breaker
+                        .get_or_insert_with(BreakerSpec::default)
+                        .min_samples = m;
+                }
+                "breaker-cooldown" => {
+                    spec.breaker
+                        .get_or_insert_with(BreakerSpec::default)
+                        .cooldown = secs(value)?;
+                }
+                "breaker-decay" => {
+                    let d = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|d| *d > 0.0 && *d <= 1.0)
+                        .ok_or_else(|| {
+                            format!("fault spec breaker-decay={value}: expected factor in (0,1]")
+                        })?;
+                    spec.breaker.get_or_insert_with(BreakerSpec::default).decay = d;
+                }
                 other => return Err(format!("fault spec: unknown key {other:?}")),
+            }
+        }
+        if let Some(c) = spec.crash {
+            // Liveness validity limit: a node must be up for part of
+            // every window, or a p=1 schedule never lets work finish.
+            if c.downtime >= c.window {
+                return Err(format!(
+                    "fault spec: crash downtime ({}s) must be below the crash \
+                     window ({}s)",
+                    c.downtime.as_secs_f64(),
+                    c.window.as_secs_f64()
+                ));
             }
         }
         Ok(spec)
     }
 
     /// True if every fault probability is zero (the plan injects
-    /// nothing; stall windows with zero probability also count as
-    /// inert).
+    /// nothing; stall/crash/partition windows with zero probability
+    /// also count as inert). A configured breaker keeps the plan
+    /// non-inert even with all probabilities zero: breakers also react
+    /// to organic failures (capacity fallbacks), so their thresholds
+    /// can change behaviour without any injection.
     pub fn is_inert(&self) -> bool {
         self.dump_fail_prob == 0.0
             && self.restore_fail_prob == 0.0
             && self.corrupt_image_prob == 0.0
             && self.am_unresponsive_prob == 0.0
             && self.stall.is_none_or(|s| s.prob == 0.0)
+            && self
+                .crash
+                .is_none_or(|c| c.node_prob == 0.0 && c.rack_prob == 0.0)
+            && self.partition.is_none_or(|p| p.prob == 0.0)
+            && self.breaker.is_none()
     }
 }
 
@@ -284,6 +533,36 @@ impl fmt::Display for FaultSpec {
                 s.window.as_secs_f64()
             )?;
         }
+        if let Some(c) = self.crash {
+            write!(
+                f,
+                " crash={} rack={} downtime={}s crash-window={}s rack-size={}",
+                c.node_prob,
+                c.rack_prob,
+                c.downtime.as_secs_f64(),
+                c.window.as_secs_f64(),
+                self.rack_size
+            )?;
+        }
+        if let Some(p) = self.partition {
+            write!(
+                f,
+                " partition={} penalty={} partition-window={}s",
+                p.prob,
+                p.penalty,
+                p.window.as_secs_f64()
+            )?;
+        }
+        if let Some(b) = self.breaker {
+            write!(
+                f,
+                " breaker={} min={} cooldown={}s decay={}",
+                b.threshold,
+                b.min_samples,
+                b.cooldown.as_secs_f64(),
+                b.decay
+            )?;
+        }
         Ok(())
     }
 }
@@ -295,6 +574,9 @@ const TAG_RESTORE: u64 = 0x009D_5F02;
 const TAG_CORRUPT: u64 = 0x009D_5F03;
 const TAG_AM: u64 = 0x009D_5F04;
 const TAG_STALL: u64 = 0x009D_5F05;
+const TAG_CRASH: u64 = 0x009D_5F06;
+const TAG_RACK: u64 = 0x009D_5F07;
+const TAG_PARTITION: u64 = 0x009D_5F08;
 
 /// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
 fn mix(x: u64) -> u64 {
@@ -392,6 +674,57 @@ impl FaultPlan {
         } else {
             1.0
         }
+    }
+
+    /// The crash schedule, if one is configured with a non-zero
+    /// probability.
+    pub fn crash(&self) -> Option<&CrashSpec> {
+        self.spec
+            .crash
+            .as_ref()
+            .filter(|c| c.node_prob > 0.0 || c.rack_prob > 0.0)
+    }
+
+    /// The partition schedule, if one is configured with a non-zero
+    /// probability.
+    pub fn partition(&self) -> Option<&PartitionSpec> {
+        self.spec.partition.as_ref().filter(|p| p.prob > 0.0)
+    }
+
+    /// The breaker thresholds, if circuit breakers are enabled.
+    pub fn breaker(&self) -> Option<&BreakerSpec> {
+        self.spec.breaker.as_ref()
+    }
+
+    /// The failure-domain (rack) a node belongs to.
+    pub fn rack_of(&self, node: u32) -> u32 {
+        node / self.spec.rack_size.max(1)
+    }
+
+    /// Does `node` crash at the start of crash window `widx` — either
+    /// on its own or because its whole rack goes down? Pure function of
+    /// the plan, so crash schedules replay exactly and never perturb
+    /// the simulator's RNG stream.
+    pub fn node_crashes(&self, node: u32, widx: u64) -> bool {
+        let Some(c) = self.crash() else {
+            return false;
+        };
+        self.decide(TAG_CRASH, node as u64, widx, c.node_prob)
+            || self.decide(TAG_RACK, self.rack_of(node) as u64, widx, c.rack_prob)
+    }
+
+    /// The rack isolated by a network partition during partition window
+    /// `widx`, if that window is partitioned. `racks` is the cluster's
+    /// rack count (ceil(nodes / rack_size)).
+    pub fn partition_isolates(&self, widx: u64, racks: u32) -> Option<u32> {
+        let p = self.partition()?;
+        if racks == 0 || !self.decide(TAG_PARTITION, widx, 0, p.prob) {
+            return None;
+        }
+        // The victim rack is an independent hash of the window (b=1
+        // domain-separates it from the yes/no draw above).
+        let h = mix(mix(mix(mix(self.spec.seed) ^ TAG_PARTITION) ^ widx) ^ 1);
+        Some((h % racks as u64) as u32)
     }
 
     /// Backoff before dump retry `attempt` (1-based): exponential,
@@ -592,5 +925,159 @@ mod tests {
         let text = format!("{s}");
         assert!(text.contains("dump=0.05"));
         assert!(text.contains("stall=0.05"));
+        let s = FaultSpec::parse("chaos").unwrap();
+        let text = format!("{s}");
+        assert!(text.contains("crash=0.15"));
+        assert!(text.contains("partition=0.2"));
+        assert!(text.contains("breaker=0.5"));
+    }
+
+    #[test]
+    fn parse_chaos_keys() {
+        let s = FaultSpec::parse(
+            "crash=0.2,rack=0.1,downtime=120,crash-window=900,rack-size=8,\
+             partition=0.3,penalty=4,partition-window=600,\
+             breaker=0.4,breaker-min=6,breaker-cooldown=300,breaker-decay=0.8",
+        )
+        .unwrap();
+        let c = s.crash.unwrap();
+        assert_eq!(c.node_prob, 0.2);
+        assert_eq!(c.rack_prob, 0.1);
+        assert_eq!(c.downtime, SimDuration::from_secs(120));
+        assert_eq!(c.window, SimDuration::from_secs(900));
+        assert_eq!(s.rack_size, 8);
+        let p = s.partition.unwrap();
+        assert_eq!(p.prob, 0.3);
+        assert_eq!(p.penalty, 4.0);
+        assert_eq!(p.window, SimDuration::from_secs(600));
+        let b = s.breaker.unwrap();
+        assert_eq!(b.threshold, 0.4);
+        assert_eq!(b.min_samples, 6.0);
+        assert_eq!(b.cooldown, SimDuration::from_secs(300));
+        assert_eq!(b.decay, 0.8);
+        assert_eq!(FaultSpec::parse("chaos").unwrap(), FaultSpec::chaos());
+    }
+
+    #[test]
+    fn parse_rejects_bad_chaos_input() {
+        assert!(FaultSpec::parse("crash=2").is_err());
+        assert!(FaultSpec::parse("penalty=0.5").is_err());
+        assert!(FaultSpec::parse("rack-size=0").is_err());
+        assert!(FaultSpec::parse("breaker-decay=0").is_err());
+        assert!(FaultSpec::parse("breaker-decay=1.5").is_err());
+        assert!(FaultSpec::parse("breaker-min=0").is_err());
+        assert!(FaultSpec::parse("partition-window=0").is_err());
+        assert!(FaultSpec::parse("crash-window=0").is_err());
+        // Liveness validity limit: downtime must stay below the window.
+        assert!(FaultSpec::parse("crash=0.1,downtime=900,crash-window=900").is_err());
+        assert!(FaultSpec::parse("crash=0.1,downtime=899,crash-window=900").is_ok());
+    }
+
+    #[test]
+    fn chaos_inertness() {
+        // Zero-probability chaos windows stay inert...
+        let s = FaultSpec {
+            crash: Some(CrashSpec::default()),
+            partition: Some(PartitionSpec::default()),
+            ..FaultSpec::default()
+        };
+        assert!(s.is_inert());
+        let plan = FaultPlan::new(s);
+        assert!(plan.crash().is_none());
+        assert!(plan.partition().is_none());
+        for n in 0..100 {
+            assert!(!plan.node_crashes(n, 3));
+        }
+        assert_eq!(plan.partition_isolates(3, 8), None);
+        // ...but a configured breaker does not (it reacts to organic
+        // failures too).
+        let s = FaultSpec {
+            breaker: Some(BreakerSpec::default()),
+            ..FaultSpec::default()
+        };
+        assert!(!s.is_inert());
+    }
+
+    #[test]
+    fn rack_crashes_are_correlated() {
+        let plan = FaultPlan::new(FaultSpec {
+            crash: Some(CrashSpec {
+                rack_prob: 0.5,
+                ..CrashSpec::default()
+            }),
+            rack_size: 4,
+            ..FaultSpec::default()
+        });
+        let mut crashed_windows = 0;
+        for w in 0..200u64 {
+            // All four nodes of rack 0 agree within a window.
+            let first = plan.node_crashes(0, w);
+            for n in 1..4 {
+                assert_eq!(
+                    plan.node_crashes(n, w),
+                    first,
+                    "rack crash is all-or-nothing"
+                );
+            }
+            if first {
+                crashed_windows += 1;
+            }
+        }
+        assert!(
+            crashed_windows > 50 && crashed_windows < 150,
+            "rack crash rate tracks probability: {crashed_windows}/200"
+        );
+    }
+
+    #[test]
+    fn node_and_rack_draws_are_independent() {
+        let plan = FaultPlan::new(FaultSpec {
+            crash: Some(CrashSpec {
+                node_prob: 0.5,
+                ..CrashSpec::default()
+            }),
+            rack_size: 4,
+            ..FaultSpec::default()
+        });
+        // With rack_prob = 0, nodes of the same rack crash independently.
+        let disagree = (0..200u64)
+            .filter(|&w| plan.node_crashes(0, w) != plan.node_crashes(1, w))
+            .count();
+        assert!(disagree > 0, "independent node draws must diverge");
+    }
+
+    #[test]
+    fn partition_pick_is_deterministic_and_in_range() {
+        let plan = FaultPlan::new(FaultSpec {
+            partition: Some(PartitionSpec {
+                prob: 0.5,
+                ..PartitionSpec::default()
+            }),
+            ..FaultSpec::default()
+        });
+        let mut hit = 0;
+        for w in 0..200u64 {
+            let a = plan.partition_isolates(w, 8);
+            let b = plan.partition_isolates(w, 8);
+            assert_eq!(a, b, "same window, same verdict");
+            if let Some(rack) = a {
+                assert!(rack < 8);
+                hit += 1;
+            }
+        }
+        assert!(hit > 50 && hit < 150, "partition rate tracks probability");
+        assert_eq!(plan.partition_isolates(0, 0), None, "no racks, no victim");
+    }
+
+    #[test]
+    fn rack_of_uses_rack_size() {
+        let plan = FaultPlan::new(FaultSpec {
+            rack_size: 4,
+            ..FaultSpec::default()
+        });
+        assert_eq!(plan.rack_of(0), 0);
+        assert_eq!(plan.rack_of(3), 0);
+        assert_eq!(plan.rack_of(4), 1);
+        assert_eq!(plan.rack_of(11), 2);
     }
 }

@@ -796,12 +796,21 @@ impl SpanCollector {
             }
             // Bookkeeping-only records: the span machine does not need
             // them (dump/restore spans close on the *_done records, and
-            // node-failure evictions arrive as task_evict).
+            // node-failure/crash evictions arrive as task_evict — a
+            // "node-crash" reason classifies as a hard kill like any
+            // other non-dump eviction, so chaos and breaker events keep
+            // the 8-way tiling exact without extra state here).
             TraceRecord::DumpStart { .. }
             | TraceRecord::RestoreStart { .. }
             | TraceRecord::PreemptDecision { .. }
             | TraceRecord::NodeFail { .. }
             | TraceRecord::NodeRecover { .. }
+            | TraceRecord::NodeDown { .. }
+            | TraceRecord::NodeUp { .. }
+            | TraceRecord::PartitionStart { .. }
+            | TraceRecord::PartitionEnd { .. }
+            | TraceRecord::BreakerOpen { .. }
+            | TraceRecord::BreakerClose { .. }
             | TraceRecord::QueueDepth { .. } => {}
         }
     }

@@ -1,7 +1,7 @@
 //! Reading a [`crate::JsonlTracer`] stream back into [`TraceRecord`]s.
 //!
 //! The JSONL sink opens with a schema header line
-//! (`{"schema":"cbp-trace","version":1}`) so consumers can reject traces
+//! (`{"schema":"cbp-trace","version":3}`) so consumers can reject traces
 //! written by an incompatible emitter before mis-parsing thousands of
 //! lines. [`JsonlReader`] checks the header, then yields one
 //! `(t_us, TraceRecord)` per line; the round trip
@@ -21,12 +21,14 @@ pub const TRACE_SCHEMA: &str = "cbp-trace";
 /// `dump_done.start_us` field moved from submission time to service start
 /// when version 1 was introduced; version 2 added the fault-injection
 /// vocabulary: `dump_fail`, `restore_fail`, `am_escalate`,
-/// `replication_repair`).
-pub const TRACE_SCHEMA_VERSION: u64 = 2;
+/// `replication_repair`; version 3 added the failure-domain and
+/// circuit-breaker vocabulary: `node_down`, `node_up`, `partition_start`,
+/// `partition_end`, `breaker_open`, `breaker_close`).
+pub const TRACE_SCHEMA_VERSION: u64 = 3;
 
-/// Oldest schema version [`JsonlReader`] still accepts. Version 2 only
-/// *added* vocabulary — every v1 line parses identically under the v2
-/// reader — so v1 traces remain readable.
+/// Oldest schema version [`JsonlReader`] still accepts. Versions 2 and 3
+/// only *added* vocabulary — every v1 line parses identically under the
+/// v3 reader — so v1 and v2 traces remain readable.
 pub const TRACE_SCHEMA_MIN_VERSION: u64 = 1;
 
 /// The exact header line (without trailing newline) the JSONL sink emits.
@@ -101,6 +103,7 @@ fn intern(s: &str) -> &'static str {
         // eviction reasons
         "dump",
         "node-fail",
+        "node-crash",
         // eviction reason for AM-escalation kills (YarnSim)
         "am-escalate",
         // fallback reasons
@@ -110,6 +113,7 @@ fn intern(s: &str) -> &'static str {
         "grace-expired",
         "dump-fail",
         "am-unresponsive",
+        "breaker-open",
         // restore failure classes
         "transient",
         "corrupt-image",
@@ -296,6 +300,26 @@ impl<R: BufRead> JsonlReader<R> {
             "node_recover" => TraceRecord::NodeRecover {
                 node: node32("node")?,
             },
+            "node_down" => TraceRecord::NodeDown {
+                node: node32("node")?,
+            },
+            "node_up" => TraceRecord::NodeUp {
+                node: node32("node")?,
+            },
+            "partition_start" => TraceRecord::PartitionStart {
+                rack: node32("rack")?,
+            },
+            "partition_end" => TraceRecord::PartitionEnd {
+                rack: node32("rack")?,
+            },
+            "breaker_open" => TraceRecord::BreakerOpen {
+                node: node32("node")?,
+                global: b("global")?,
+            },
+            "breaker_close" => TraceRecord::BreakerClose {
+                node: node32("node")?,
+                global: b("global")?,
+            },
             "queue_depth" => TraceRecord::QueueDepth {
                 pending: u("pending")?,
             },
@@ -447,6 +471,40 @@ mod tests {
             (42, TraceRecord::NodeFail { node: 1 }),
             (43, TraceRecord::NodeRecover { node: 1 }),
             (44, TraceRecord::QueueDepth { pending: 12 }),
+            (45, TraceRecord::NodeDown { node: 3 }),
+            (
+                45,
+                TraceRecord::TaskEvict {
+                    task: 7,
+                    node: 3,
+                    reason: "node-crash",
+                },
+            ),
+            (46, TraceRecord::PartitionStart { rack: 2 }),
+            (
+                46,
+                TraceRecord::BreakerOpen {
+                    node: 3,
+                    global: false,
+                },
+            ),
+            (
+                46,
+                TraceRecord::DumpFallback {
+                    task: 7,
+                    node: 3,
+                    reason: "breaker-open",
+                },
+            ),
+            (
+                47,
+                TraceRecord::BreakerClose {
+                    node: 0,
+                    global: true,
+                },
+            ),
+            (48, TraceRecord::PartitionEnd { rack: 2 }),
+            (49, TraceRecord::NodeUp { node: 3 }),
             (
                 50,
                 TraceRecord::TaskFinish {
@@ -530,20 +588,32 @@ mod tests {
     }
 
     #[test]
+    fn accepts_v2_traces() {
+        let trace = "{\"schema\":\"cbp-trace\",\"version\":2}\n\
+                     {\"t_us\":9,\"event\":\"dump_fail\",\"task\":1,\"node\":2,\
+                      \"attempt\":0,\"will_retry\":true}\n";
+        let mut r = JsonlReader::new(trace.as_bytes()).expect("v2 must be accepted");
+        let (t, rec) = r.next().unwrap().unwrap();
+        assert_eq!(t, 9);
+        assert!(matches!(rec, TraceRecord::DumpFail { attempt: 0, .. }));
+        assert!(r.next().is_none());
+    }
+
+    #[test]
     fn rejects_future_version_naming_supported_range() {
-        let trace = "{\"schema\":\"cbp-trace\",\"version\":3}\n";
-        let err = JsonlReader::new(trace.as_bytes()).expect_err("v3 must be rejected");
+        let trace = "{\"schema\":\"cbp-trace\",\"version\":4}\n";
+        let err = JsonlReader::new(trace.as_bytes()).expect_err("v4 must be rejected");
         assert_eq!(
             err,
             TraceReadError::IncompatibleSchema {
                 schema: "cbp-trace".to_string(),
-                version: 3,
+                version: 4,
             }
         );
         let msg = err.to_string();
-        assert!(msg.contains("v3"), "must name the found version: {msg}");
+        assert!(msg.contains("v4"), "must name the found version: {msg}");
         assert!(
-            msg.contains("v1") && msg.contains("v2"),
+            msg.contains("v1") && msg.contains("v3"),
             "must name the supported range: {msg}"
         );
         // Version 0 (or a missing version field) is below the floor.

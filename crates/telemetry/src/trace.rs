@@ -79,10 +79,11 @@ pub enum TraceRecord {
         /// Why the eviction happened. Vocabulary: `"kill"` (scheduler
         /// kill), `"dump"` (checkpoint-then-evict), `"dump-fail"`
         /// (eviction after a failed dump), `"node-fail"` (the host
-        /// died), and `"am-escalate"` (YarnSim: the application master
-        /// ignored the graceful-preemption deadline and the RM forced
-        /// the kill). Analyzers treat every reason except `"dump"` as a
-        /// hard kill for lost-work accounting.
+        /// died organically, MTBF model), `"node-crash"` (a chaos-plan
+        /// crash took the host down), and `"am-escalate"` (YarnSim: the
+        /// application master ignored the graceful-preemption deadline
+        /// and the RM forced the kill). Analyzers treat every reason
+        /// except `"dump"` as a hard kill for lost-work accounting.
         reason: &'static str,
     },
     /// The scheduler chose what to do with a preemption victim.
@@ -128,7 +129,11 @@ pub enum TraceRecord {
         task: u64,
         /// Node involved.
         node: u32,
-        /// Why the fallback happened (e.g. `"no-capacity"`).
+        /// Why the fallback happened. Vocabulary: `"no-capacity"` (no
+        /// device could absorb the image), `"storage-full"` (target
+        /// device out of space), `"node-fail"` / `"node-crash"` (the
+        /// host died mid-dump), and `"breaker-open"` (the checkpoint
+        /// path's circuit breaker degraded the preemption to a kill).
         reason: &'static str,
     },
     /// A checkpoint dump attempt failed (fault injection); the victim
@@ -214,6 +219,47 @@ pub enum TraceRecord {
         /// The recovered node.
         node: u32,
     },
+    /// A chaos-plan crash took the node down (correlated failure-domain
+    /// injection, distinct from [`TraceRecord::NodeFail`]'s organic MTBF
+    /// failure). Running tasks are lost and the node's DFS replicas are
+    /// unreadable until [`TraceRecord::NodeUp`].
+    NodeDown {
+        /// The crashed node.
+        node: u32,
+    },
+    /// A chaos-crashed node came back up and re-registered with the DFS.
+    NodeUp {
+        /// The recovered node.
+        node: u32,
+    },
+    /// A network partition isolated a rack: remote reads/writes across
+    /// the partition pay the plan's penalty until
+    /// [`TraceRecord::PartitionEnd`].
+    PartitionStart {
+        /// The isolated rack.
+        rack: u32,
+    },
+    /// The network partition healed.
+    PartitionEnd {
+        /// The rack that was isolated.
+        rack: u32,
+    },
+    /// A checkpoint-path circuit breaker tripped open: preemption on the
+    /// affected node(s) degrades to kill (`DumpFallback("breaker-open")`)
+    /// until a half-open probe succeeds.
+    BreakerOpen {
+        /// The node whose breaker opened (0 when `global`).
+        node: u32,
+        /// True for the cluster-wide breaker.
+        global: bool,
+    },
+    /// A circuit breaker closed after a successful half-open probe.
+    BreakerClose {
+        /// The node whose breaker closed (0 when `global`).
+        node: u32,
+        /// True for the cluster-wide breaker.
+        global: bool,
+    },
     /// The pending-queue depth changed.
     QueueDepth {
         /// New total number of pending tasks.
@@ -242,6 +288,12 @@ impl TraceRecord {
             TraceRecord::RestoreDone { .. } => "restore_done",
             TraceRecord::NodeFail { .. } => "node_fail",
             TraceRecord::NodeRecover { .. } => "node_recover",
+            TraceRecord::NodeDown { .. } => "node_down",
+            TraceRecord::NodeUp { .. } => "node_up",
+            TraceRecord::PartitionStart { .. } => "partition_start",
+            TraceRecord::PartitionEnd { .. } => "partition_end",
+            TraceRecord::BreakerOpen { .. } => "breaker_open",
+            TraceRecord::BreakerClose { .. } => "breaker_close",
             TraceRecord::QueueDepth { .. } => "queue_depth",
         }
     }
@@ -249,7 +301,12 @@ impl TraceRecord {
     /// Node the record is about, if any (used for Chrome trace tids).
     fn node(&self) -> Option<u32> {
         match *self {
-            TraceRecord::TaskSubmit { .. } | TraceRecord::QueueDepth { .. } => None,
+            TraceRecord::TaskSubmit { .. }
+            | TraceRecord::QueueDepth { .. }
+            | TraceRecord::PartitionStart { .. }
+            | TraceRecord::PartitionEnd { .. }
+            | TraceRecord::BreakerOpen { .. }
+            | TraceRecord::BreakerClose { .. } => None,
             TraceRecord::TaskSchedule { node, .. }
             | TraceRecord::TaskFinish { node, .. }
             | TraceRecord::TaskEvict { node, .. }
@@ -264,7 +321,9 @@ impl TraceRecord {
             | TraceRecord::RestoreStart { node, .. }
             | TraceRecord::RestoreDone { node, .. }
             | TraceRecord::NodeFail { node }
-            | TraceRecord::NodeRecover { node } => Some(node),
+            | TraceRecord::NodeRecover { node }
+            | TraceRecord::NodeDown { node }
+            | TraceRecord::NodeUp { node } => Some(node),
         }
     }
 
@@ -421,8 +480,19 @@ impl TraceRecord {
                 kv_u64(out, "node", node as u64);
                 kv_u64(out, "start_us", start_us);
             }
-            TraceRecord::NodeFail { node } | TraceRecord::NodeRecover { node } => {
+            TraceRecord::NodeFail { node }
+            | TraceRecord::NodeRecover { node }
+            | TraceRecord::NodeDown { node }
+            | TraceRecord::NodeUp { node } => {
                 kv_u64(out, "node", node as u64);
+            }
+            TraceRecord::PartitionStart { rack } | TraceRecord::PartitionEnd { rack } => {
+                kv_u64(out, "rack", rack as u64);
+            }
+            TraceRecord::BreakerOpen { node, global }
+            | TraceRecord::BreakerClose { node, global } => {
+                kv_u64(out, "node", node as u64);
+                kv_bool(out, "global", global);
             }
             TraceRecord::QueueDepth { pending } => {
                 kv_u64(out, "pending", pending);
@@ -467,7 +537,7 @@ impl Tracer for NullTracer {
 /// Writes one JSON object per line: `{"t_us":N,"event":"...",...}`.
 ///
 /// The first line is a schema header
-/// (`{"schema":"cbp-trace","version":2}`, see
+/// (`{"schema":"cbp-trace","version":3}`, see
 /// [`crate::reader::schema_header`]) so consumers can reject traces
 /// written by an incompatible emitter. Field order is fixed (`t_us`,
 /// `event`, then per-variant payload), so the same record stream
@@ -811,6 +881,24 @@ mod tests {
             ),
             (60, TraceRecord::NodeFail { node: 2 }),
             (70, TraceRecord::NodeRecover { node: 2 }),
+            (72, TraceRecord::NodeDown { node: 2 }),
+            (74, TraceRecord::NodeUp { node: 2 }),
+            (76, TraceRecord::PartitionStart { rack: 1 }),
+            (78, TraceRecord::PartitionEnd { rack: 1 }),
+            (
+                79,
+                TraceRecord::BreakerOpen {
+                    node: 2,
+                    global: false,
+                },
+            ),
+            (
+                79,
+                TraceRecord::BreakerClose {
+                    node: 0,
+                    global: true,
+                },
+            ),
             (
                 80,
                 TraceRecord::DumpFallback {

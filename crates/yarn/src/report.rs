@@ -33,6 +33,15 @@ pub struct YarnReport {
     /// Preemption requests the RM escalated to kills because the AM
     /// stayed unresponsive (fault injection).
     pub am_escalations: u64,
+    /// Containers lost to chaos-plan node/rack crashes (not scheduler
+    /// kills).
+    pub crash_evictions: u64,
+    /// Checkpoint decisions degraded to kills because the node's (or
+    /// the cluster's) checkpoint-path circuit breaker was open.
+    pub breaker_open_kills: u64,
+    /// Total breaker time-in-open, seconds, summed over the per-node
+    /// breakers and the global backstop.
+    pub breaker_open_secs: f64,
     /// CPU-hours of re-executed (killed) work.
     pub kill_lost_cpu_hours: f64,
     /// CPU-hours of containers held during dumps.
@@ -122,6 +131,9 @@ mod tests {
             force_kills: 0,
             dump_fail_kills: 0,
             am_escalations: 0,
+            crash_evictions: 0,
+            breaker_open_kills: 0,
+            breaker_open_secs: 0.0,
             kill_lost_cpu_hours: 1.0,
             dump_overhead_cpu_hours: 0.5,
             restore_overhead_cpu_hours: 0.5,

@@ -5,7 +5,7 @@ use cbp_cluster::{Container, ContainerId, EnergyMeter, Node, NodeId};
 use cbp_core::PreemptionPolicy;
 use cbp_core::TelemetryReport;
 use cbp_dfs::{DfsCluster, DnId};
-use cbp_faults::FaultPlan;
+use cbp_faults::{BreakerTransition, FaultPlan, HealthMonitor};
 use cbp_simkit::stats::Samples;
 use cbp_simkit::{run_until_observed, EventQueue, RunStats, SimRng, SimTime, Simulation};
 use cbp_storage::{Device, MediaKind, OpKind};
@@ -92,12 +92,22 @@ pub enum YarnEvent {
         /// Staleness guard (the epoch when the request was ignored).
         epoch: u32,
     },
+    /// Chaos-plan window boundary: evaluate the stateless crash oracle
+    /// for every node (and rack) in the window starting now.
+    ChaosCrashTick,
+    /// Chaos-plan window boundary: evaluate which rack (if any) the
+    /// partition oracle isolates for the window starting now.
+    ChaosPartitionTick,
+    /// A chaos-crashed node comes back and its datanode re-registers.
+    ChaosRecover(u32),
 }
 
 struct NodeManager {
     node: Node,
     device: Device,
     meter: EnergyMeter,
+    /// False while a chaos-plan crash holds the node (and its NM) down.
+    up: bool,
 }
 
 /// Short stable device name for trace records.
@@ -132,6 +142,8 @@ pub struct YarnSim {
     force_kills: u64,
     am_escalations: u64,
     dump_fail_kills: u64,
+    crash_evictions: u64,
+    breaker_open_kills: u64,
     kill_lost_cpu_secs: f64,
     dump_overhead_cpu_secs: f64,
     restore_overhead_cpu_secs: f64,
@@ -147,6 +159,15 @@ pub struct YarnSim {
     /// decision is a pure hash of (plan seed, identity), so an inert
     /// plan perturbs nothing and the same plan replays identically.
     faults: Option<FaultPlan>,
+    /// Checkpoint-path circuit breakers (absent unless the plan
+    /// configures a [`cbp_faults::BreakerSpec`]).
+    health: Option<HealthMonitor>,
+    /// The rack currently isolated by the chaos partition oracle.
+    active_partition: Option<u32>,
+    /// Total container count of the workload — the chaos tick chains
+    /// stop once `tasks_finished` reaches it so they cannot keep an
+    /// otherwise-drained run alive.
+    total_tasks: u64,
 }
 
 fn task_key(app: u32, task: u32) -> u64 {
@@ -162,6 +183,7 @@ impl YarnSim {
                 node: Node::new(NodeId(i as u32), cfg.node_resources),
                 device: Device::new(cfg.media),
                 meter: EnergyMeter::new(cfg.energy),
+                up: true,
             })
             .collect();
         let dfs = DfsCluster::homogeneous(cfg.dfs, cfg.media, cfg.nodes, {
@@ -185,9 +207,17 @@ impl YarnSim {
             .clone()
             .filter(|spec| !spec.is_inert())
             .map(FaultPlan::new);
+        let health = faults
+            .as_ref()
+            .and_then(|p| p.breaker())
+            .map(|spec| HealthMonitor::new(*spec, cfg.nodes));
+        let total_tasks = workload.jobs().iter().map(|j| j.tasks.len() as u64).sum();
 
         YarnSim {
             faults,
+            health,
+            active_partition: None,
+            total_tasks,
             rm: ResourceManager::new(),
             apps: Vec::with_capacity(workload.job_count()),
             criu: Criu::new(cfg.incremental),
@@ -206,6 +236,8 @@ impl YarnSim {
             force_kills: 0,
             am_escalations: 0,
             dump_fail_kills: 0,
+            crash_evictions: 0,
+            breaker_open_kills: 0,
             kill_lost_cpu_secs: 0.0,
             dump_overhead_cpu_secs: 0.0,
             restore_overhead_cpu_secs: 0.0,
@@ -248,15 +280,29 @@ impl YarnSim {
         for (i, job) in self.workload.jobs().iter().enumerate() {
             queue.push(job.submit, YarnEvent::JobSubmit(i as u32));
         }
+        if let Some(plan) = &self.faults {
+            if plan.crash().is_some() {
+                queue.push(SimTime::ZERO, YarnEvent::ChaosCrashTick);
+            }
+            if plan.partition().is_some() {
+                queue.push(SimTime::ZERO, YarnEvent::ChaosPartitionTick);
+            }
+        }
         let stats = run_until_observed(&mut self, &mut queue, SimTime::MAX, &mut |_| {});
         let makespan = stats.now;
+        let breaker_open_secs = self
+            .health
+            .as_ref()
+            .map(|h| h.open_secs_total(makespan))
+            .unwrap_or(0.0);
         self.tracer.finish();
 
         let horizon = makespan.since(SimTime::ZERO);
         let energy_kwh = self.nms.iter().map(|n| n.meter.kwh(makespan)).sum();
         let io = mean(self.nms.iter().map(|n| n.device.busy_fraction(horizon)));
         let peak = mean(self.nms.iter().map(|n| n.device.peak_used_fraction()));
-        let registry = self.build_registry(makespan, energy_kwh, io, peak, &stats);
+        let registry =
+            self.build_registry(makespan, energy_kwh, io, peak, breaker_open_secs, &stats);
         let telemetry = TelemetryReport {
             registry,
             timeseries: None,
@@ -277,6 +323,9 @@ impl YarnSim {
             force_kills: self.force_kills,
             dump_fail_kills: self.dump_fail_kills,
             am_escalations: self.am_escalations,
+            crash_evictions: self.crash_evictions,
+            breaker_open_kills: self.breaker_open_kills,
+            breaker_open_secs,
             kill_lost_cpu_hours: self.kill_lost_cpu_secs / 3600.0,
             dump_overhead_cpu_hours: self.dump_overhead_cpu_secs / 3600.0,
             restore_overhead_cpu_hours: self.restore_overhead_cpu_secs / 3600.0,
@@ -299,6 +348,7 @@ impl YarnSim {
         energy_kwh: f64,
         io_overhead: f64,
         storage_peak: f64,
+        breaker_open_secs: f64,
         stats: &RunStats,
     ) -> MetricsRegistry {
         let mut reg = MetricsRegistry::new();
@@ -315,6 +365,9 @@ impl YarnSim {
         reg.set_counter("scheduler.force_kills", "ops", self.force_kills);
         reg.set_counter("faults.am_escalations", "ops", self.am_escalations);
         reg.set_counter("faults.dump_fail_kills", "ops", self.dump_fail_kills);
+        reg.set_counter("faults.crash_evictions", "ops", self.crash_evictions);
+        reg.set_counter("faults.breaker_open_kills", "ops", self.breaker_open_kills);
+        reg.set_gauge("faults.breaker_open_secs", "s", breaker_open_secs);
         reg.set_counter("scheduler.tasks_finished", "ops", self.tasks_finished);
         reg.set_counter(
             "scheduler.jobs_finished",
@@ -411,7 +464,8 @@ impl YarnSim {
                 continue;
             };
             let demand = self.apps[app as usize].tasks[task as usize].spec.resources;
-            let Some(node) = (0..self.nms.len()).find(|&i| self.nms[i].node.can_fit(&demand))
+            let Some(node) =
+                (0..self.nms.len()).find(|&i| self.nms[i].up && self.nms[i].node.can_fit(&demand))
             else {
                 break; // head-of-line blocking: preemption may clear it
             };
@@ -483,8 +537,52 @@ impl YarnSim {
             mem
         };
         let spec = self.nms[node].device.spec();
-        (spec.write_time(size) + spec.read_time(size) + self.nms[node].device.queue_wait(now))
-            .as_secs_f64()
+        let cost =
+            (spec.write_time(size) + spec.read_time(size) + self.nms[node].device.queue_wait(now))
+                .as_secs_f64();
+        // Victim ranking sees the same partition penalty the actual
+        // dump/restore transfers would pay, steering preemption away
+        // from the isolated rack.
+        cost * self.net_factor(node, now).max(1.0)
+    }
+
+    /// Partition degradation multiplier for checkpoint I/O touching
+    /// `node` (1.0 whenever no chaos partition isolates its rack). The
+    /// DFS write pipeline and remote restore reads cross the partition
+    /// boundary, so dumps, restores and the cost estimator all share
+    /// this helper.
+    fn net_factor(&self, node: usize, _now: SimTime) -> f64 {
+        let Some(plan) = self.faults.as_ref() else {
+            return 1.0;
+        };
+        match (self.active_partition, plan.partition()) {
+            (Some(rack), Some(p)) if plan.rack_of(node as u32) == rack => p.penalty,
+            _ => 1.0,
+        }
+    }
+
+    /// Feeds one checkpoint-path outcome on `node` into the breakers and
+    /// traces any state transitions.
+    fn observe_health(&mut self, node: usize, now: SimTime, ok: bool) {
+        let Some(h) = self.health.as_mut() else {
+            return;
+        };
+        let events = h.observe(node as u32, now, ok);
+        if self.trace_on {
+            for e in events {
+                let rec = match e.transition {
+                    BreakerTransition::Opened => TraceRecord::BreakerOpen {
+                        node: e.node.unwrap_or(0),
+                        global: e.node.is_none(),
+                    },
+                    BreakerTransition::Closed => TraceRecord::BreakerClose {
+                        node: e.node.unwrap_or(0),
+                        global: e.node.is_none(),
+                    },
+                };
+                self.tracer.record(now.as_micros(), &rec);
+            }
+        }
     }
 
     fn count_running(&self, queue: QueueKind) -> u32 {
@@ -534,7 +632,8 @@ impl YarnSim {
                 AmTaskStatus::Suspended { origin } => origin,
                 _ => unreachable!("image implies suspended"),
             };
-            // Restore: read every image in the chain from HDFS.
+            // Restore: read every image in the chain from HDFS. Blocks
+            // hosted outside an isolated rack pay the partition penalty.
             let service: cbp_simkit::SimDuration = self.apps[app as usize].tasks[task as usize]
                 .dfs_paths
                 .iter()
@@ -545,6 +644,12 @@ impl YarnSim {
                         .unwrap_or(cbp_simkit::SimDuration::ZERO)
                 })
                 .sum();
+            let factor = self.net_factor(node, now);
+            let service = if factor > 1.0 {
+                service.mul_f64(factor)
+            } else {
+                service
+            };
             let size = self.criu.image_size(key);
             let op = self.nms[node]
                 .device
@@ -616,11 +721,28 @@ impl YarnSim {
         q: &mut EventQueue<YarnEvent>,
         reason: &'static str,
     ) {
+        self.kills += 1;
+        self.evict_container(app, task, now, q, reason);
+    }
+
+    /// Tears a container down and re-queues its task: progress since the
+    /// last valid checkpoint is lost, the AM re-asks and the RM
+    /// reschedules. Shared by scheduler kills and chaos crashes — the
+    /// caller accounts the eviction (`kills` vs `crash_evictions`)
+    /// before calling so node crashes don't inflate the scheduler's
+    /// kill counter.
+    fn evict_container(
+        &mut self,
+        app: u32,
+        task: u32,
+        now: SimTime,
+        q: &mut EventQueue<YarnEvent>,
+        reason: &'static str,
+    ) {
         let am_task = &mut self.apps[app as usize].tasks[task as usize];
         am_task.sync_progress(now);
         let lost = am_task.progress_at_risk();
         let cores = am_task.spec.resources.cores_f64();
-        self.kills += 1;
         self.kill_lost_cpu_secs += lost.as_secs_f64() * cores;
         if self.trace_on {
             let node = match self.apps[app as usize].tasks[task as usize].status {
@@ -678,6 +800,7 @@ impl YarnSim {
             return Some(node);
         }
         (0..self.nms.len())
+            .filter(|&i| self.nms[i].up)
             .max_by_key(|&i| (self.nms[i].device.free_capacity(), std::cmp::Reverse(i)))
             .filter(|&i| self.nms[i].device.free_capacity() >= size)
     }
@@ -700,6 +823,7 @@ impl YarnSim {
 
         let Some(origin) = self.dump_origin_for(node, size) else {
             self.capacity_fallbacks += 1;
+            self.observe_health(node, now, false);
             if self.trace_on {
                 self.tracer.record(
                     now.as_micros(),
@@ -731,11 +855,24 @@ impl YarnSim {
             am_task.epoch,
             am_task.dfs_paths.len()
         );
+        // A rack partition degrades the DFS write pipeline out of the
+        // isolated rack; the slowdown is also a health signal even when
+        // the dump eventually completes.
+        let factor = self.net_factor(node, now);
+        if factor > 1.0 {
+            self.observe_health(node, now, false);
+        }
         let service = self
             .dfs
             .create(&path, size, DnId(node as u32))
             .ok()
-            .map(|r| r.duration);
+            .map(|r| {
+                if factor > 1.0 {
+                    r.duration.mul_f64(factor)
+                } else {
+                    r.duration
+                }
+            });
         if service.is_some() {
             self.apps[app as usize].tasks[task as usize]
                 .dfs_paths
@@ -816,6 +953,7 @@ impl YarnSim {
             }
             Err(_) => {
                 self.capacity_fallbacks += 1;
+                self.observe_health(node, now, false);
                 if self.trace_on {
                     self.tracer.record(
                         now.as_micros(),
@@ -846,6 +984,7 @@ impl YarnSim {
     ) {
         let key = task_key(app, task);
         self.dump_fail_kills += 1;
+        self.observe_health(node as usize, now, false);
         if let Some((origin, bytes)) = self.criu.abort_tip(key) {
             self.nms[origin as usize].device.release(bytes);
         }
@@ -878,6 +1017,176 @@ impl YarnSim {
         };
         am_task.status = AmTaskStatus::Running { node, container };
         self.kill(app, task, now, q);
+    }
+
+    /// A chaos-plan crash takes `node` (NM + datanode) down: every
+    /// container on it is lost, in-flight dumps are aborted, and the
+    /// NameNode re-replicates the blocks that lost a replica. Recovery
+    /// is scheduled by the caller ([`YarnEvent::ChaosRecover`]).
+    fn crash_node(&mut self, node: usize, now: SimTime, q: &mut EventQueue<YarnEvent>) {
+        if !self.nms[node].up {
+            return; // already down (stale event)
+        }
+        self.nms[node].up = false;
+        if self.trace_on {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::NodeDown { node: node as u32 },
+            );
+        }
+        let mut victims: Vec<u64> = self.nms[node].node.containers().map(|c| c.task()).collect();
+        victims.sort_unstable();
+        for key in victims {
+            let (app, task) = ((key >> 32) as u32, key as u32);
+            self.crash_victim(app, task, now, q);
+        }
+        // The node's datanode died with it: re-replicate every block that
+        // lost a replica onto the survivors; blocks whose only replica
+        // lived here are gone, breaking the image chains stacked on them.
+        let mut lost_chains: Vec<(u32, u32)> = Vec::new();
+        if let Ok(repair) = self.dfs.fail_datanode(DnId(node as u32)) {
+            if self.trace_on && (repair.blocks_repaired > 0 || repair.blocks_lost > 0) {
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::ReplicationRepair {
+                        node: node as u32,
+                        blocks: repair.blocks_repaired as u64,
+                        bytes: repair.bytes_copied.as_u64(),
+                    },
+                );
+            }
+            if repair.blocks_lost > 0 {
+                for (ai, am) in self.apps.iter().enumerate() {
+                    for (ti, t) in am.tasks.iter().enumerate() {
+                        if t.dfs_paths.is_empty() {
+                            continue;
+                        }
+                        let broken = t
+                            .dfs_paths
+                            .iter()
+                            .any(|p| !self.dfs.is_readable(p).unwrap_or(true));
+                        if broken {
+                            lost_chains.push((ai as u32, ti as u32));
+                        }
+                    }
+                }
+            }
+        }
+        for (app, task) in lost_chains {
+            self.drop_lost_chain(app, task, now, q);
+        }
+        self.update_meter(node, now);
+        q.push(now + self.cfg.rpc_delay, YarnEvent::RmSchedule);
+    }
+
+    /// Evicts one container lost to a node crash. Unlike a kill the
+    /// eviction is not the scheduler's choice, so it counts as a
+    /// `crash_eviction`; an in-flight dump dies with the node.
+    fn crash_victim(&mut self, app: u32, task: u32, now: SimTime, q: &mut EventQueue<YarnEvent>) {
+        let key = task_key(app, task);
+        if let AmTaskStatus::Dumping { node, container } =
+            self.apps[app as usize].tasks[task as usize].status
+        {
+            // Abort the half-written tip; the epoch bump below stales the
+            // queued DumpDone, so close the dangling dump span here.
+            if let Some((origin, bytes)) = self.criu.abort_tip(key) {
+                self.nms[origin as usize].device.release(bytes);
+            }
+            if let Some(path) = self.apps[app as usize].tasks[task as usize].dfs_paths.pop() {
+                let _ = self.dfs.delete(&path);
+            }
+            if self.trace_on {
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::DumpFallback {
+                        task: key,
+                        node,
+                        reason: "node-crash",
+                    },
+                );
+            }
+            self.apps[app as usize].tasks[task as usize].status =
+                AmTaskStatus::Running { node, container };
+        }
+        self.crash_evictions += 1;
+        self.evict_container(app, task, now, q, "node-crash");
+    }
+
+    /// A replication repair could not save `task`'s image chain: discard
+    /// it for good. The checkpointed progress becomes re-execution waste
+    /// and the task degrades to a fresh start; an in-flight dump or
+    /// restore stacked on the lost ancestors is aborted.
+    fn drop_lost_chain(
+        &mut self,
+        app: u32,
+        task: u32,
+        now: SimTime,
+        q: &mut EventQueue<YarnEvent>,
+    ) {
+        let key = task_key(app, task);
+        match self.apps[app as usize].tasks[task as usize].status {
+            AmTaskStatus::Dumping { node, container } => {
+                // The tip being written sat below lost ancestor blocks.
+                if let Some((origin, bytes)) = self.criu.abort_tip(key) {
+                    self.nms[origin as usize].device.release(bytes);
+                }
+                if let Some(path) = self.apps[app as usize].tasks[task as usize].dfs_paths.pop() {
+                    let _ = self.dfs.delete(&path);
+                }
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::DumpFallback {
+                            task: key,
+                            node,
+                            reason: "node-crash",
+                        },
+                    );
+                }
+                self.discard_chain(app, task);
+                self.apps[app as usize].tasks[task as usize].status =
+                    AmTaskStatus::Running { node, container };
+                self.crash_evictions += 1;
+                self.evict_container(app, task, now, q, "node-crash");
+            }
+            AmTaskStatus::Restoring { .. } => {
+                // The in-flight read can no longer complete; the epoch
+                // bump in the eviction stales the queued RestoreDone.
+                self.discard_chain(app, task);
+                self.crash_evictions += 1;
+                self.evict_container(app, task, now, q, "node-crash");
+            }
+            AmTaskStatus::Running { .. } | AmTaskStatus::Done => {
+                // A live task keeps its in-memory progress; only the
+                // safety net is gone (the next dump must be full).
+                self.discard_chain(app, task);
+            }
+            AmTaskStatus::Waiting | AmTaskStatus::Suspended { .. } => {
+                // Queued on the lost image: degrade to a fresh start in
+                // place (the task already sits in the launch queue).
+                self.discard_chain(app, task);
+                let am_task = &mut self.apps[app as usize].tasks[task as usize];
+                am_task.progress = cbp_simkit::SimDuration::ZERO;
+                am_task.status = AmTaskStatus::Waiting;
+            }
+        }
+    }
+
+    /// Forgets `task`'s checkpoint chain: storage is released, the DFS
+    /// paths are deleted and the checkpointed progress is zeroed.
+    fn discard_chain(&mut self, app: u32, task: u32) {
+        let key = task_key(app, task);
+        for (origin, bytes) in self.criu.discard(key) {
+            self.nms[origin as usize].device.release(bytes);
+        }
+        for path in std::mem::take(&mut self.apps[app as usize].tasks[task as usize].dfs_paths) {
+            let _ = self.dfs.delete(&path);
+        }
+        let am_task = &mut self.apps[app as usize].tasks[task as usize];
+        am_task.checkpointed_progress = cbp_simkit::SimDuration::ZERO;
+        if let Some(mem) = am_task.memory.as_mut() {
+            mem.mark_all_dirty();
+        }
     }
 }
 
@@ -960,7 +1269,7 @@ impl Simulation for YarnSim {
                 // Algorithm 1 needs the current dirty estimate.
                 self.apps[app as usize].tasks[task as usize].sync_progress(now);
                 self.apps[app as usize].tasks[task as usize].sync_memory(now);
-                let decision = {
+                let mut decision = {
                     let am_task = &self.apps[app as usize].tasks[task as usize];
                     let est = self.criu.estimate(
                         task_key(app, task),
@@ -970,16 +1279,34 @@ impl Simulation for YarnSim {
                     );
                     preemption_decision(self.cfg.policy, am_task.progress_at_risk(), &est)
                 };
+                // Circuit breaker: while the checkpoint path on `node` is
+                // considered down, the Preemption Manager degrades to the
+                // stock-YARN kill instead of risking another dump.
+                let mut breaker_kill = false;
+                if decision == PreemptDecision::Checkpoint {
+                    if let Some(h) = self.health.as_mut() {
+                        if !h.allow(node as u32, now) {
+                            decision = PreemptDecision::Kill;
+                            breaker_kill = true;
+                        }
+                    }
+                }
                 if self.trace_on {
-                    let (action, reason) = match (self.cfg.policy, decision) {
-                        (PreemptionPolicy::Adaptive, PreemptDecision::Checkpoint) => {
-                            (PreemptAction::Checkpoint, "progress-at-risk")
+                    let (action, reason) = if breaker_kill {
+                        (PreemptAction::Kill, "breaker-open")
+                    } else {
+                        match (self.cfg.policy, decision) {
+                            (PreemptionPolicy::Adaptive, PreemptDecision::Checkpoint) => {
+                                (PreemptAction::Checkpoint, "progress-at-risk")
+                            }
+                            (PreemptionPolicy::Adaptive, PreemptDecision::Kill) => {
+                                (PreemptAction::Kill, "overhead-exceeds-risk")
+                            }
+                            (_, PreemptDecision::Checkpoint) => {
+                                (PreemptAction::Checkpoint, "policy")
+                            }
+                            (_, PreemptDecision::Kill) => (PreemptAction::Kill, "policy"),
                         }
-                        (PreemptionPolicy::Adaptive, PreemptDecision::Kill) => {
-                            (PreemptAction::Kill, "overhead-exceeds-risk")
-                        }
-                        (_, PreemptDecision::Checkpoint) => (PreemptAction::Checkpoint, "policy"),
-                        (_, PreemptDecision::Kill) => (PreemptAction::Kill, "policy"),
                     };
                     self.tracer.record(
                         now.as_micros(),
@@ -991,6 +1318,19 @@ impl Simulation for YarnSim {
                             reason,
                         },
                     );
+                }
+                if breaker_kill {
+                    self.breaker_open_kills += 1;
+                    if self.trace_on {
+                        self.tracer.record(
+                            now.as_micros(),
+                            &TraceRecord::DumpFallback {
+                                task: task_key(app, task),
+                                node: node as u32,
+                                reason: "breaker-open",
+                            },
+                        );
+                    }
                 }
                 match decision {
                     PreemptDecision::Kill => self.kill(app, task, now, q),
@@ -1083,6 +1423,7 @@ impl Simulation for YarnSim {
                         return;
                     }
                 }
+                self.observe_health(node as usize, now, true);
                 self.release_container(app, task, now);
                 if self.trace_on {
                     self.tracer.record(
@@ -1117,6 +1458,7 @@ impl Simulation for YarnSim {
                 };
                 self.nms[node as usize].device.on_advance(now);
                 self.restores += 1;
+                self.observe_health(node as usize, now, true);
                 if self.trace_on {
                     self.tracer.record(
                         now.as_micros(),
@@ -1127,9 +1469,9 @@ impl Simulation for YarnSim {
                         },
                     );
                 }
+                let am_task = &mut self.apps[app as usize].tasks[task as usize];
                 let cores = am_task.spec.resources.cores_f64();
                 self.restore_overhead_cpu_secs += now.since(started).as_secs_f64() * cores;
-                let am_task = &mut self.apps[app as usize].tasks[task as usize];
                 am_task.status = AmTaskStatus::Running { node, container };
                 am_task.run_started = now;
                 am_task.mem_synced = now;
@@ -1196,6 +1538,79 @@ impl Simulation for YarnSim {
                 }
                 q.push(now + self.cfg.rpc_delay, YarnEvent::RmSchedule);
             }
+            YarnEvent::ChaosCrashTick => {
+                // One stateless oracle evaluation per window: which nodes
+                // crash in the window starting now?
+                let (window, downtime, crashed) = {
+                    let Some(plan) = &self.faults else { return };
+                    let Some(c) = plan.crash() else { return };
+                    let widx = now.as_micros() / c.window.as_micros().max(1);
+                    let crashed: Vec<usize> = (0..self.nms.len())
+                        .filter(|&i| self.nms[i].up && plan.node_crashes(i as u32, widx))
+                        .collect();
+                    (c.window, c.downtime, crashed)
+                };
+                for node in crashed {
+                    self.crash_node(node, now, q);
+                    // Parse-time validation guarantees downtime < window,
+                    // so the node is back before its next crash draw.
+                    q.push(now + downtime, YarnEvent::ChaosRecover(node as u32));
+                }
+                // Stop ticking once the workload drained, else the tick
+                // chain keeps the run alive forever.
+                if self.tasks_finished < self.total_tasks {
+                    q.push(now + window, YarnEvent::ChaosCrashTick);
+                }
+            }
+            YarnEvent::ChaosPartitionTick => {
+                let (window, next) = {
+                    let Some(plan) = &self.faults else { return };
+                    let Some(p) = plan.partition() else { return };
+                    let widx = now.as_micros() / p.window.as_micros().max(1);
+                    let racks = match self.nms.len() {
+                        0 => 0,
+                        n => plan.rack_of(n as u32 - 1) + 1,
+                    };
+                    (p.window, plan.partition_isolates(widx, racks))
+                };
+                if next != self.active_partition {
+                    if self.trace_on {
+                        if let Some(rack) = self.active_partition {
+                            self.tracer
+                                .record(now.as_micros(), &TraceRecord::PartitionEnd { rack });
+                        }
+                        if let Some(rack) = next {
+                            self.tracer
+                                .record(now.as_micros(), &TraceRecord::PartitionStart { rack });
+                        }
+                    }
+                    self.active_partition = next;
+                }
+                if self.tasks_finished < self.total_tasks {
+                    q.push(now + window, YarnEvent::ChaosPartitionTick);
+                } else if let Some(rack) = self.active_partition.take() {
+                    // Heal the partition when the schedule winds down so
+                    // the trace's start/end events tile.
+                    if self.trace_on {
+                        self.tracer
+                            .record(now.as_micros(), &TraceRecord::PartitionEnd { rack });
+                    }
+                }
+            }
+            YarnEvent::ChaosRecover(node) => {
+                if self.nms[node as usize].up {
+                    return; // stale (never expected, but harmless)
+                }
+                self.nms[node as usize].up = true;
+                // Re-registration: the datanode rejoins empty (its blocks
+                // were re-replicated or lost at crash time).
+                let _ = self.dfs.recover_datanode(DnId(node));
+                if self.trace_on {
+                    self.tracer
+                        .record(now.as_micros(), &TraceRecord::NodeUp { node });
+                }
+                q.push(now + self.cfg.rpc_delay, YarnEvent::RmSchedule);
+            }
         }
     }
 
@@ -1209,6 +1624,9 @@ impl Simulation for YarnSim {
             YarnEvent::TaskFinish { .. } => "task_finish",
             YarnEvent::ForceKill { .. } => "force_kill",
             YarnEvent::AmEscalate { .. } => "am_escalate",
+            YarnEvent::ChaosCrashTick => "chaos_crash_tick",
+            YarnEvent::ChaosPartitionTick => "chaos_partition_tick",
+            YarnEvent::ChaosRecover(_) => "chaos_recover",
         }
     }
 }
