@@ -4,7 +4,7 @@
 //! repro <experiment-id|all> [--scale full|small|smoke|<0..1>] [--seed N] [--md PATH] [--json PATH]
 //!       [--trace-out PATH] [--chrome-trace PATH] [--timeseries PATH] [--telemetry]
 //!       [--analyze PATH] [--critical-path] [--flamegraph-out PATH] [--what-if SCENARIO]
-//!       [--faults SPEC]
+//!       [--faults SPEC] [--no-lifecycle]
 //! repro analyze <trace.jsonl> [--report PATH] [--baseline PATH] [--tol-rel F] [--tol-abs-us F]
 //!       [--critical-path] [--flamegraph-out PATH] [--what-if SCENARIO]
 //! ```
@@ -18,7 +18,11 @@
 //! instrumented run, so chaos runs can be traced, analyzed, and
 //! replayed byte-identically. The `chaos` profile layers failure-domain
 //! chaos (correlated node/rack crash-recover cycles, rack partitions)
-//! and the checkpoint-path circuit breaker on top of `heavy`.
+//! and the checkpoint-path circuit breaker on top of `heavy`; the
+//! `pressure` profile shrinks every node's checkpoint store and leaks
+//! reservations into it (keys: `cap`, `leak`, `leak-gb`, `leak-window`),
+//! exercising the image-lifecycle GC → evict → spill ladder.
+//! `--no-lifecycle` disables that ladder for ablation.
 //!
 //! The telemetry flags add **one instrumented run** of the requested
 //! experiment's simulation (see `cbp_bench::telemetry_run`); without them
@@ -169,6 +173,9 @@ fn main() {
                 telemetry.faults =
                     Some(cbp_faults::FaultSpec::parse(spec).unwrap_or_else(|e| die(&e)));
             }
+            "--no-lifecycle" => {
+                telemetry.no_lifecycle = true;
+            }
             other => die(&format!("unknown argument: {other}")),
         }
         i += 1;
@@ -180,6 +187,12 @@ fn main() {
     if telemetry.faults.is_some() && !telemetry.any() {
         die(
             "--faults applies to the instrumented run; add a telemetry sink \
+             (--trace-out/--chrome-trace/--timeseries/--telemetry/--analyze)",
+        );
+    }
+    if telemetry.no_lifecycle && !telemetry.any() {
+        die(
+            "--no-lifecycle applies to the instrumented run; add a telemetry sink \
              (--trace-out/--chrome-trace/--timeseries/--telemetry/--analyze)",
         );
     }
@@ -483,7 +496,7 @@ fn usage() {
         "usage: repro <experiment-id|all> [--scale full|small|smoke|<0..1>] [--seed N] \
          [--md PATH] [--json PATH]\n\
          \x20            [--trace-out PATH] [--chrome-trace PATH] [--timeseries PATH] [--telemetry]\n\
-         \x20            [--analyze PATH] [--faults SPEC]\n\
+         \x20            [--analyze PATH] [--faults SPEC] [--no-lifecycle]\n\
          \x20      repro analyze <trace.jsonl> [--report PATH] [--baseline PATH] [--tol-rel F] \
          [--tol-abs-us F]\n\
          \x20      repro bench [--matrix tiny|standard] [--scenario NAME]... [--reps N] \
@@ -510,11 +523,16 @@ fn usage() {
          \x20 --what-if SCENARIO   predict per-band p95 responses under a counterfactual\n\
          \x20                      (dump0|iobw-inf|faults-off; repeatable; implies --critical-path)\n\
          \x20 --faults SPEC        attach a deterministic fault plan to the instrumented run\n\
-         \x20                      (off|light|heavy|chaos, tunable: heavy,seed=7,dump=0.3,stall=0.2)\n\
+         \x20                      (off|light|heavy|chaos|pressure, tunable:\n\
+         \x20                      heavy,seed=7,dump=0.3,stall=0.2)\n\
          \x20                      chaos adds failure domains + the checkpoint-path breaker; keys:\n\
          \x20                      crash, rack, downtime, crash-window, partition, penalty,\n\
          \x20                      partition-window, rack-size, breaker, breaker-min,\n\
          \x20                      breaker-cooldown, breaker-decay\n\
+         \x20                      pressure shrinks checkpoint stores and leaks reservations;\n\
+         \x20                      keys: cap, leak, leak-gb, leak-window\n\
+         \x20 --no-lifecycle       disable the image-lifecycle ladder (GC -> evict -> spill)\n\
+         \x20                      for the instrumented run (ablation baseline)\n\
          \n\
          offline analysis (replays a --trace-out file; byte-identical to --analyze,\n\
          also accepts --critical-path / --flamegraph-out / --what-if):\n\

@@ -61,6 +61,11 @@ pub struct TelemetryOptions {
     /// `--faults SPEC`: attach a deterministic fault plan to the
     /// instrumented run (chaos replay; see [`FaultSpec::parse`]).
     pub faults: Option<FaultSpec>,
+    /// `--no-lifecycle`: disable checkpoint-image lifecycle management
+    /// (the GC → evict → spill degradation ladder) for the instrumented
+    /// run. Ablation baseline for the capacity-pressure experiments;
+    /// lifecycle is on by default.
+    pub no_lifecycle: bool,
 }
 
 impl TelemetryOptions {
@@ -154,7 +159,9 @@ fn run_trace_sim(
     opts: &TelemetryOptions,
 ) -> Result<(TelemetryReport, Option<SharedCollector>), String> {
     let (workload, base) = google_setup(scale, seed);
-    let mut cfg = base.with_policy(PreemptionPolicy::Adaptive);
+    let mut cfg = base
+        .with_policy(PreemptionPolicy::Adaptive)
+        .with_lifecycle(!opts.no_lifecycle);
     if let Some(spec) = &opts.faults {
         cfg = cfg.with_faults(spec.clone());
     }
@@ -184,7 +191,8 @@ fn run_yarn(
         ..Default::default()
     }
     .generate(seed);
-    let mut cfg = YarnConfig::paper_cluster(PreemptionPolicy::Adaptive, MediaKind::Hdd);
+    let mut cfg = YarnConfig::paper_cluster(PreemptionPolicy::Adaptive, MediaKind::Hdd)
+        .with_lifecycle(!opts.no_lifecycle);
     cfg.nodes = nodes;
     if let Some(spec) = &opts.faults {
         cfg = cfg.with_faults(spec.clone());

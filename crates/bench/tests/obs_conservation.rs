@@ -49,19 +49,24 @@ fn check_conservation(collector: &SpanCollector, label: &str) {
     assert!(finished > 0, "{label}: scenario finished no tasks");
 }
 
-/// The fault plan for a conservation case: every third case gets light
-/// chaos, every third heavy — the new retry/recovery segment must tile
-/// exactly like the calm segments do.
+/// The fault plan for a conservation case, rotating through calm, light
+/// chaos, heavy chaos and storage pressure — retry/recovery segments and
+/// the lifecycle ladder's bookkeeping records (gc_pass, image_evict,
+/// image_spill, no_space) must all keep the tiling exact.
 fn conservation_plan(seed: u64) -> Option<FaultSpec> {
-    match seed % 3 {
+    match seed % 4 {
         0 => None,
         1 => Some(FaultSpec {
             seed,
             ..FaultSpec::light()
         }),
-        _ => Some(FaultSpec {
+        2 => Some(FaultSpec {
             seed,
             ..FaultSpec::heavy()
+        }),
+        _ => Some(FaultSpec {
+            seed,
+            ..FaultSpec::pressure()
         }),
     }
 }

@@ -7,6 +7,7 @@ use cbp_simkit::{SimDuration, SimTime};
 use cbp_storage::{CapacityError, Device, OpCompletion};
 
 use crate::image::{CheckpointKind, ImageChain, ImageId, ImageRecord};
+use crate::lifecycle::ImageLedger;
 use crate::memory::TaskMemory;
 
 /// Stream compression applied to checkpoint images (as `criu-image-streamer`
@@ -101,6 +102,7 @@ impl OverheadEstimate {
 #[derive(Debug, Default)]
 pub struct Criu {
     chains: HashMap<u64, ImageChain>,
+    ledger: ImageLedger,
     incremental: bool,
     compression: Option<CompressionSpec>,
     max_chain_len: usize,
@@ -122,6 +124,7 @@ impl Criu {
     pub fn new(incremental: bool) -> Self {
         Criu {
             chains: HashMap::new(),
+            ledger: ImageLedger::new(),
             incremental,
             compression: None,
             max_chain_len: DEFAULT_MAX_CHAIN_LEN,
@@ -283,6 +286,7 @@ impl Criu {
             (None, service) => (raw_size, service),
         };
         device.reserve(size)?;
+        self.ledger.add(origin_node, size);
         // A full re-dump (incremental tracking off, or tracking lost)
         // replaces any older chain; the freed reservations are reported to
         // the caller.
@@ -294,6 +298,9 @@ impl Criu {
         } else {
             Vec::new()
         };
+        for (node, bytes) in &freed {
+            self.ledger.sub(*node, *bytes);
+        }
         let op = match service {
             Some(service) => device.submit_custom(now, cbp_storage::OpKind::Write, size, service),
             None => device.submit_write(now, size),
@@ -354,11 +361,20 @@ impl Criu {
 
     /// Drops `task`'s images, returning `(origin_node, bytes)` reservations
     /// for the caller to release on the owning devices.
+    ///
+    /// Discard is idempotent: a second call for the same task finds no
+    /// chain and returns the empty list, so fault paths that race (e.g. a
+    /// node crash landing on a task already being torn down) cannot
+    /// double-free device reservations.
     pub fn discard(&mut self, task: u64) -> Vec<(u32, ByteSize)> {
-        match self.chains.remove(&task) {
+        let freed = match self.chains.remove(&task) {
             Some(mut chain) => chain.clear(),
             None => Vec::new(),
+        };
+        for (node, bytes) in &freed {
+            self.ledger.sub(*node, *bytes);
         }
+        freed
     }
 
     /// Aborts the most recent image of `task` (e.g. a dump that was in
@@ -370,7 +386,20 @@ impl Criu {
         if chain.is_empty() {
             self.chains.remove(&task);
         }
+        self.ledger.sub(popped.origin_node, popped.size);
         Some((popped.origin_node, popped.size))
+    }
+
+    /// Live catalog bytes whose images reside on `node` — the ledger side
+    /// of the conservation invariant *device reserved bytes == live catalog
+    /// bytes*, maintained incrementally so per-event asserts are O(1).
+    pub fn live_bytes_on(&self, node: u32) -> ByteSize {
+        self.ledger.bytes_on(node)
+    }
+
+    /// Live catalog bytes across all nodes.
+    pub fn live_bytes_total(&self) -> ByteSize {
+        self.ledger.total()
     }
 
     /// True if any of `task`'s images lives on `node` (a node failure
@@ -548,6 +577,79 @@ mod tests {
         assert_eq!(d.size, ByteSize::from_gb(5));
         assert!(!d.freed.is_empty());
         assert_eq!(criu.chain(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn double_discard_is_idempotent() {
+        // Regression: fault paths can race teardown (a node crash landing
+        // on a task already being torn down). The second discard must find
+        // nothing — returning freed bytes twice would double-free the
+        // device reservation.
+        let mut criu = Criu::new(true);
+        let mut dev = Device::new(MediaSpec::nvm());
+        let mut mem = five_gb_task();
+        criu.dump(1, &mut mem, 0, &mut dev, SimTime::ZERO).unwrap();
+        mem.touch_fraction(0.10);
+        criu.dump(1, &mut mem, 0, &mut dev, SimTime::from_secs(100))
+            .unwrap();
+        let first = criu.discard(1);
+        assert_eq!(first.len(), 2, "both chain images freed once");
+        assert!(criu.discard(1).is_empty(), "second discard must be empty");
+        assert!(criu.discard(1).is_empty(), "and stay empty");
+        // abort_tip after discard is likewise a no-op.
+        assert!(criu.abort_tip(1).is_none());
+    }
+
+    #[test]
+    fn ledger_matches_catalog_through_dump_discard_abort() {
+        let mut criu = Criu::new(true);
+        let mut dev_a = Device::new(MediaSpec::nvm());
+        let mut dev_b = Device::new(MediaSpec::nvm());
+        let mut mem = five_gb_task();
+        let mut mem2 = TaskMemory::new(ByteSize::from_gb(2));
+
+        // Full dump of task 1 on node 0, incremental on node 1 (spilled).
+        criu.dump(1, &mut mem, 0, &mut dev_a, SimTime::ZERO)
+            .unwrap();
+        mem.touch_fraction(0.10);
+        criu.dump(1, &mut mem, 1, &mut dev_b, SimTime::from_secs(10))
+            .unwrap();
+        criu.dump(2, &mut mem2, 0, &mut dev_a, SimTime::from_secs(20))
+            .unwrap();
+
+        let recompute = |criu: &Criu, node: u32| {
+            let mut total = 0u64;
+            for task in [1u64, 2] {
+                if let Some(chain) = criu.chain(task) {
+                    total += chain
+                        .images()
+                        .iter()
+                        .filter(|i| i.origin_node == node)
+                        .map(|i| i.size.as_u64())
+                        .sum::<u64>();
+                }
+            }
+            ByteSize::from_bytes(total)
+        };
+        for node in [0, 1] {
+            assert_eq!(criu.live_bytes_on(node), recompute(&criu, node));
+        }
+        assert_eq!(
+            criu.live_bytes_total(),
+            criu.live_bytes_on(0) + criu.live_bytes_on(1)
+        );
+
+        // Abort the incremental tip on node 1, then discard task 2.
+        criu.abort_tip(1).unwrap();
+        assert_eq!(criu.live_bytes_on(1), ByteSize::ZERO);
+        criu.discard(2);
+        for node in [0, 1] {
+            assert_eq!(criu.live_bytes_on(node), recompute(&criu, node));
+        }
+        // A full re-dump replaces the chain: ledger follows the freed set.
+        mem.touch_fraction(1.0);
+        criu.discard(1);
+        assert_eq!(criu.live_bytes_total(), ByteSize::ZERO);
     }
 
     #[test]

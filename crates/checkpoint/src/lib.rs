@@ -44,6 +44,7 @@
 
 mod criu;
 mod image;
+mod lifecycle;
 mod memory;
 mod nvram;
 
@@ -51,6 +52,7 @@ pub use criu::{
     CompressionSpec, Criu, DumpResult, OverheadEstimate, RestoreResult, DEFAULT_MAX_CHAIN_LEN,
 };
 pub use image::{CheckpointKind, ImageChain, ImageId, ImageRecord};
+pub use lifecycle::{admit, plan_evictions, Admission, EvictionCandidate, ImageLedger};
 pub use memory::{DirtyBitmap, TaskMemory, DEFAULT_PAGE_SIZE};
 pub use nvram::{
     NvmPathComparison, NvramCheckpointer, NvramError, NvramResume, NvramSpec, NvramSuspend,

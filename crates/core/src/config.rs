@@ -147,6 +147,12 @@ pub struct SimConfig {
     /// Deterministic fault-injection plan (None, or an inert spec, disables
     /// injection entirely — the simulator takes the exact same paths).
     pub faults: Option<FaultSpec>,
+    /// Image-lifecycle management: when a dump does not fit, run the
+    /// GC → evict → spill degradation ladder before giving up with a
+    /// no-space kill. Disabling it reverts to the bare retry-then-kill
+    /// capacity handling (the ablation baseline for the lifecycle
+    /// machinery).
+    pub lifecycle: bool,
 }
 
 impl SimConfig {
@@ -174,6 +180,7 @@ impl SimConfig {
             max_schedule_scan: 3_000,
             preempt_budget_per_pass: 64,
             faults: None,
+            lifecycle: true,
         }
     }
 
@@ -200,6 +207,7 @@ impl SimConfig {
             max_schedule_scan: 100,
             preempt_budget_per_pass: 8,
             faults: None,
+            lifecycle: true,
         }
     }
 
@@ -290,6 +298,13 @@ impl SimConfig {
     /// Returns a copy with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with image-lifecycle management toggled (ablation:
+    /// `false` reverts full devices to bare retry-then-kill handling).
+    pub fn with_lifecycle(mut self, on: bool) -> Self {
+        self.lifecycle = on;
         self
     }
 

@@ -76,6 +76,21 @@ pub struct RunMetrics {
     pub remote_restores: u64,
     /// Dumps that fell back to kill because checkpoint storage was full.
     pub capacity_fallbacks: u64,
+    /// Bytes reclaimed by lifecycle GC passes (leaked reservations and
+    /// dead chains collected under capacity pressure).
+    pub gc_reclaimed_bytes: u64,
+    /// Live checkpoint chains evicted by the lifecycle manager to make
+    /// room for a higher-value dump (the evicted task restarts from
+    /// scratch on its next placement).
+    pub evicted_chains: u64,
+    /// Dumps redirected to a remote node's device because the local
+    /// device had no headroom (lifecycle spill step).
+    pub spill_dumps: u64,
+    /// Victims killed because the full degradation ladder (GC → evict →
+    /// spill) still could not find space (`DumpFallback("no-space")`).
+    /// With lifecycle disabled this counts the bare capacity kills, so
+    /// the two modes are directly comparable.
+    pub no_space_kills: u64,
     /// Containers evicted by node failures (not preemption).
     pub failure_evictions: u64,
     /// Containers evicted by chaos-plan node/rack crashes (failure-domain
@@ -243,6 +258,10 @@ pub(crate) struct MetricsCollector {
     pub restores: u64,
     pub remote_restores: u64,
     pub capacity_fallbacks: u64,
+    pub gc_reclaimed_bytes: u64,
+    pub evicted_chains: u64,
+    pub spill_dumps: u64,
+    pub no_space_kills: u64,
     pub failure_evictions: u64,
     pub crash_evictions: u64,
     pub breaker_open_kills: u64,
@@ -348,6 +367,10 @@ impl MetricsCollector {
             restores: self.restores,
             remote_restores: self.remote_restores,
             capacity_fallbacks: self.capacity_fallbacks,
+            gc_reclaimed_bytes: self.gc_reclaimed_bytes,
+            evicted_chains: self.evicted_chains,
+            spill_dumps: self.spill_dumps,
+            no_space_kills: self.no_space_kills,
             failure_evictions: self.failure_evictions,
             crash_evictions: self.crash_evictions,
             breaker_open_kills: self.breaker_open_kills,
@@ -389,6 +412,10 @@ mod tests {
         c.crash_evictions = 2;
         c.breaker_open_kills = 1;
         c.breaker_open_secs = 42.0;
+        c.gc_reclaimed_bytes = 1_000_000;
+        c.evicted_chains = 3;
+        c.spill_dumps = 4;
+        c.no_space_kills = 1;
         c.record_response(
             PriorityBand::Free,
             LatencyClass::new(0),
@@ -418,6 +445,10 @@ mod tests {
         assert_eq!(m.crash_evictions, 2);
         assert_eq!(m.breaker_open_kills, 1);
         assert_eq!(m.breaker_open_secs, 42.0);
+        assert_eq!(m.gc_reclaimed_bytes, 1_000_000);
+        assert_eq!(m.evicted_chains, 3);
+        assert_eq!(m.spill_dumps, 4);
+        assert_eq!(m.no_space_kills, 1);
         assert!((m.kill_lost_cpu_hours - 2.0).abs() < 1e-12);
         assert!((m.dump_overhead_cpu_hours - 0.5).abs() < 1e-12);
         assert!((m.restore_overhead_cpu_hours - 0.5).abs() < 1e-12);

@@ -9,10 +9,11 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use cbp_checkpoint::{Criu, NvramCheckpointer};
+use cbp_checkpoint::{plan_evictions, Criu, EvictionCandidate, NvramCheckpointer};
 use cbp_cluster::{Container, ContainerId, EnergyMeter, Node, NodeId, Resources};
 use cbp_dfs::{DfsCluster, DnId};
 use cbp_faults::{BreakerTransition, FaultPlan, HealthMonitor};
+use cbp_simkit::units::ByteSize;
 use cbp_simkit::{
     run_until_observed, EventQueue, RunStats, SimDuration, SimRng, SimTime, Simulation,
 };
@@ -79,6 +80,11 @@ pub enum Event {
     /// A chaos-crashed node comes back into service (separate from
     /// [`Event::NodeRecover`] so the MTBF chain stays untouched).
     ChaosRecover(u32),
+    /// Window boundary of the pressure plan's leak schedule: evaluate the
+    /// stateless leak oracle for every node once per window, reserving
+    /// checkpoint-device bytes that no live image owns (simulating
+    /// orphaned dump directories a real NM forgets to clean up).
+    PressureTick,
 }
 
 /// Pending-queue key: highest priority first, then the discipline key
@@ -149,6 +155,11 @@ pub struct ClusterSim {
     health: Option<HealthMonitor>,
     /// Rack currently isolated by a chaos-plan network partition.
     active_partition: Option<u32>,
+    /// Per-node checkpoint-device bytes reserved by injected leaks
+    /// (pressure plan) that no live image owns. The conservation
+    /// invariant is `device.used == ledger live bytes + leaked`; a GC
+    /// pass reclaims these.
+    leaked: Vec<u64>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -163,10 +174,24 @@ impl ClusterSim {
     pub fn new(cfg: SimConfig, workload: Workload) -> Self {
         let n_nodes = cfg.nodes;
         let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let faults = cfg
+            .faults
+            .clone()
+            .filter(|spec| !spec.is_inert())
+            .map(FaultPlan::new);
+        // A pressure plan shrinks every node's checkpoint device before the
+        // run starts (the fleet was provisioned smaller than the workload
+        // needs); leak injection on top happens via `PressureTick`.
+        let frac = faults.as_ref().map_or(1.0, |p| p.capacity_frac());
+        let media = if frac < 1.0 {
+            cfg.media.with_capacity(cfg.media.capacity().mul_f64(frac))
+        } else {
+            cfg.media
+        };
         let nodes = (0..cfg.nodes)
             .map(|i| NodeSlot {
                 node: Node::new(NodeId(i as u32), cfg.node_resources),
-                device: Device::new(cfg.media),
+                device: Device::new(media),
                 meter: EnergyMeter::new(cfg.energy),
                 nvram: cfg.nvram.map(NvramCheckpointer::new),
                 up: true,
@@ -196,11 +221,6 @@ impl ClusterSim {
         if let Some(compression) = cfg.compression {
             criu = criu.with_compression(compression);
         }
-        let faults = cfg
-            .faults
-            .clone()
-            .filter(|spec| !spec.is_inert())
-            .map(FaultPlan::new);
         let health = faults
             .as_ref()
             .and_then(|p| p.breaker())
@@ -234,6 +254,7 @@ impl ClusterSim {
             restore_attempts: HashMap::new(),
             corrupt_images: HashSet::new(),
             active_partition: None,
+            leaked: vec![0; n_nodes],
         }
     }
 
@@ -302,6 +323,9 @@ impl ClusterSim {
             if plan.partition().is_some() {
                 queue.push(SimTime::ZERO, Event::ChaosPartitionTick);
             }
+            if plan.pressure().is_some_and(|p| p.leak_prob > 0.0) {
+                queue.push(SimTime::ZERO, Event::PressureTick);
+            }
         }
         let stats = run_until_observed(&mut self, &mut queue, SimTime::MAX, &mut |_| {});
         let makespan = stats.now;
@@ -358,6 +382,14 @@ impl ClusterSim {
         reg.set_counter("scheduler.restores", "ops", m.restores);
         reg.set_counter("scheduler.remote_restores", "ops", m.remote_restores);
         reg.set_counter("scheduler.capacity_fallbacks", "ops", m.capacity_fallbacks);
+        reg.set_counter(
+            "lifecycle.gc_reclaimed_bytes",
+            "bytes",
+            m.gc_reclaimed_bytes,
+        );
+        reg.set_counter("lifecycle.evicted_chains", "ops", m.evicted_chains);
+        reg.set_counter("lifecycle.spill_dumps", "ops", m.spill_dumps);
+        reg.set_counter("lifecycle.no_space_kills", "ops", m.no_space_kills);
         reg.set_counter("scheduler.failure_evictions", "ops", m.failure_evictions);
         reg.set_counter(
             "scheduler.images_lost_to_failures",
@@ -418,6 +450,12 @@ impl ClusterSim {
             reg.set_counter("storage.bytes_written", "bytes", written);
             reg.set_counter("storage.bytes_read", "bytes", read);
         }
+        let underflows: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.device.accounting_underflows())
+            .sum();
+        reg.set_counter("storage.accounting_underflows", "ops", underflows);
         let mut responses = StreamingQuantiles::new();
         for samples in m.responses.values() {
             for &v in samples.values() {
@@ -992,6 +1030,185 @@ impl ClusterSim {
             .filter(|&i| self.nodes[i].device.free_capacity() >= size)
     }
 
+    // ---- image lifecycle (capacity backpressure ladder) -----------------
+
+    /// Image bytes task `v`'s chain holds on node `node`'s device.
+    fn chain_bytes_on(&self, v: u32, node: usize) -> ByteSize {
+        let Some(chain) = self.criu.chain(handle_u64(v)) else {
+            return ByteSize::ZERO;
+        };
+        chain
+            .images()
+            .iter()
+            .filter(|r| r.origin_node == node as u32)
+            .map(|r| r.size)
+            .fold(ByteSize::ZERO, |a, b| a + b)
+    }
+
+    /// The degradation ladder, entered when no device can hold a dump of
+    /// `size` from `node`: a GC pass (reclaiming leaked reservations and
+    /// dead chains), then eviction of the cheapest-to-lose live chains on
+    /// the local device, re-running the origin search after each rung —
+    /// which also re-offers the remote spill. Returns the origin to dump
+    /// to, or `None` when the ladder is exhausted.
+    fn reclaim_for_dump(
+        &mut self,
+        t: u32,
+        node: usize,
+        size: ByteSize,
+        now: SimTime,
+    ) -> Option<usize> {
+        self.gc_pass(now);
+        if let Some(origin) = self.dump_origin_for(node, size) {
+            return Some(origin);
+        }
+        self.evict_for(t, node, size, now);
+        self.dump_origin_for(node, size)
+    }
+
+    /// GC pass: releases every injected leaked reservation and discards
+    /// dead chains (corrupt images can never be restored, so their bytes
+    /// are pure waste). Chains with an in-flight dump or restore are left
+    /// alone — the episode owns them.
+    fn gc_pass(&mut self, now: SimTime) {
+        let n = self.nodes.len();
+        let mut reclaimed = vec![0u64; n];
+        let mut chains = vec![0u64; n];
+        for (i, bytes) in self.leaked.iter_mut().enumerate() {
+            if *bytes > 0 {
+                self.nodes[i].device.release(ByteSize::from_bytes(*bytes));
+                reclaimed[i] += *bytes;
+                *bytes = 0;
+            }
+        }
+        let mut corrupt: Vec<u32> = self.corrupt_images.iter().copied().collect();
+        corrupt.sort_unstable();
+        for v in corrupt {
+            if matches!(
+                self.tasks[v as usize].status,
+                TaskStatus::Dumping { .. } | TaskStatus::Restoring { .. }
+            ) {
+                continue;
+            }
+            let tip_origin = self
+                .criu
+                .chain(handle_u64(v))
+                .and_then(|c| c.tip())
+                .map(|r| r.origin_node);
+            let mut freed_any = false;
+            if let Some(chain) = self.criu.chain(handle_u64(v)) {
+                for r in chain.images() {
+                    reclaimed[r.origin_node as usize] += r.size.as_u64();
+                    freed_any = true;
+                }
+            }
+            self.discard_chain(v);
+            if freed_any {
+                if let Some(o) = tip_origin {
+                    chains[o as usize] += 1;
+                }
+                // Same degradation as losing the chain to a failure: the
+                // checkpointed progress was never restorable anyway.
+                let task = &mut self.tasks[v as usize];
+                task.checkpointed_progress = SimDuration::ZERO;
+                if let Some(mem) = task.memory.as_mut() {
+                    mem.mark_all_dirty();
+                }
+                if matches!(task.status, TaskStatus::Checkpointed { .. }) {
+                    task.status = TaskStatus::Pending;
+                }
+            }
+        }
+        for i in 0..n {
+            if reclaimed[i] == 0 && chains[i] == 0 {
+                continue;
+            }
+            self.metrics.gc_reclaimed_bytes += reclaimed[i];
+            if self.trace_on {
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::GcPass {
+                        node: i as u32,
+                        reclaimed: reclaimed[i],
+                        chains: chains[i],
+                    },
+                );
+            }
+        }
+    }
+
+    /// Evicts the cheapest-to-lose live chains holding bytes on `node`'s
+    /// device until a dump of `size` fits (or no plan covers the
+    /// shortfall; partial eviction would destroy progress for nothing).
+    /// Evicted tasks degrade exactly like tasks whose chain was lost: the
+    /// next dump is full, a queued restore becomes a fresh start.
+    fn evict_for(&mut self, t: u32, node: usize, size: ByteSize, now: SimTime) {
+        let shortfall = size.saturating_sub(self.nodes[node].device.free_capacity());
+        if shortfall.is_zero() {
+            return;
+        }
+        let mut candidates: Vec<EvictionCandidate> = Vec::new();
+        for v in 0..self.tasks.len() as u32 {
+            if v == t
+                || matches!(
+                    self.tasks[v as usize].status,
+                    TaskStatus::Dumping { .. } | TaskStatus::Restoring { .. }
+                )
+            {
+                continue;
+            }
+            let bytes_on_node = self.chain_bytes_on(v, node);
+            if bytes_on_node.is_zero() {
+                continue;
+            }
+            let task = &self.tasks[v as usize];
+            candidates.push(EvictionCandidate {
+                task: handle_u64(v),
+                cost_core_secs: task.checkpointed_progress.as_secs_f64()
+                    * task.spec.resources.cores_f64(),
+                bytes_on_node,
+            });
+        }
+        for victim in plan_evictions(candidates, shortfall) {
+            let v = victim.task as u32;
+            self.metrics.evicted_chains += 1;
+            if self.trace_on {
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::ImageEvict {
+                        task: victim.task,
+                        node: node as u32,
+                        bytes: victim.bytes_on_node.as_u64(),
+                    },
+                );
+            }
+            self.discard_chain(v);
+            let task = &mut self.tasks[v as usize];
+            task.checkpointed_progress = SimDuration::ZERO;
+            if let Some(mem) = task.memory.as_mut() {
+                mem.mark_all_dirty();
+            }
+            if matches!(task.status, TaskStatus::Checkpointed { .. }) {
+                task.status = TaskStatus::Pending;
+            }
+        }
+    }
+
+    /// Hard conservation invariant (checked after every event in debug
+    /// builds): every byte reserved on a node's checkpoint device is owned
+    /// by a live catalog image or an injected leak.
+    #[cfg(debug_assertions)]
+    fn assert_image_conservation(&self, now: SimTime) {
+        for (i, slot) in self.nodes.iter().enumerate() {
+            let expected = self.criu.live_bytes_on(i as u32).as_u64() + self.leaked[i];
+            assert_eq!(
+                slot.device.used().as_u64(),
+                expected,
+                "image-ledger conservation violated on node {i} at {now:?}"
+            );
+        }
+    }
+
     /// Suspends `t` into the node's NVRAM (the §3.2.3 backend): a shadowed
     /// DRAM→NVM copy with no file system, no serialization and no device
     /// queueing. Returns `false` (a drain is in flight) on success.
@@ -1102,23 +1319,65 @@ impl ClusterSim {
             )
         };
 
-        let Some(origin) = self.dump_origin_for(node, size) else {
-            // No node can hold the image: fall back to killing.
+        let origin = match self.dump_origin_for(node, size) {
+            Some(origin) => Some(origin),
+            // Degradation ladder: GC leaked/dead reservations, then evict
+            // the cheapest live chains, then retry the origin search
+            // (which spills to a remote device when the DFS allows it).
+            None if self.cfg.lifecycle => self.reclaim_for_dump(t, node, size, now),
+            None => None,
+        };
+        let Some(origin) = origin else {
+            // No node can hold the image, even after the ladder (or with
+            // lifecycle disabled, after the bare search): fall back to
+            // killing.
             self.metrics.capacity_fallbacks += 1;
+            self.metrics.no_space_kills += 1;
             self.observe_health(node, now, false);
             if self.trace_on {
+                if self.cfg.lifecycle {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::NoSpace {
+                            task: t as u64,
+                            node: node as u32,
+                            wanted: size.as_u64(),
+                        },
+                    );
+                }
+                let reason = if self.cfg.lifecycle {
+                    "no-space"
+                } else {
+                    "no-capacity"
+                };
                 self.tracer.record(
                     now.as_micros(),
                     &TraceRecord::DumpFallback {
                         task: t as u64,
                         node: node as u32,
-                        reason: "no-capacity",
+                        reason,
                     },
                 );
             }
             self.kill_task(t, node, now);
             return false;
         };
+        if origin != node && self.cfg.lifecycle {
+            // The dump is being written to a remote node's device (spill):
+            // the write pays the DFS pipeline and the restore is remote.
+            self.metrics.spill_dumps += 1;
+            if self.trace_on {
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::ImageSpill {
+                        task: t as u64,
+                        node: node as u32,
+                        origin: origin as u32,
+                        bytes: size.as_u64(),
+                    },
+                );
+            }
+        }
 
         // Through HDFS the pipelined write is the service time; locally the
         // device's own write speed applies. With compression enabled, only
@@ -1256,6 +1515,7 @@ impl ClusterSim {
             Err(_) => {
                 // Checkpoint storage is full: fall back to killing.
                 self.metrics.capacity_fallbacks += 1;
+                self.metrics.no_space_kills += 1;
                 self.observe_health(node, now, false);
                 if self.trace_on {
                     self.tracer.record(
@@ -2132,6 +2392,8 @@ impl Simulation for ClusterSim {
             self.sample_up_to(now);
         }
         self.dispatch(now, event, q);
+        #[cfg(debug_assertions)]
+        self.assert_image_conservation(now);
         let depth = self.pending.len();
         if self.trace_on && depth != self.last_queue_depth {
             self.tracer.record(
@@ -2155,6 +2417,7 @@ impl Simulation for ClusterSim {
             Event::ChaosCrashTick => "chaos_crash_tick",
             Event::ChaosPartitionTick => "chaos_partition_tick",
             Event::ChaosRecover(_) => "chaos_recover",
+            Event::PressureTick => "pressure_tick",
         }
     }
 }
@@ -2361,6 +2624,37 @@ impl ClusterSim {
                         self.tracer
                             .record(now.as_micros(), &TraceRecord::PartitionEnd { rack });
                     }
+                }
+            }
+            Event::PressureTick => {
+                let Some((window, leak_bytes, leaking)) = self.faults.as_ref().and_then(|plan| {
+                    plan.pressure().map(|p| {
+                        let widx = now.as_micros() / p.window.as_micros().max(1);
+                        let leaking: Vec<usize> = (0..self.nodes.len())
+                            .filter(|&i| self.nodes[i].up && plan.leaks(i as u32, widx))
+                            .collect();
+                        (p.window, p.leak_bytes, leaking)
+                    })
+                }) else {
+                    return;
+                };
+                for i in leaking {
+                    // A leak can only orphan bytes the device actually has;
+                    // a full device leaks nothing this window.
+                    let amount = leak_bytes.min(self.nodes[i].device.free_capacity());
+                    if amount.is_zero() {
+                        continue;
+                    }
+                    self.nodes[i]
+                        .device
+                        .reserve(amount)
+                        .expect("leak amount clamped to free capacity");
+                    self.leaked[i] += amount.as_u64();
+                }
+                // Stop ticking once the workload drained, else the tick
+                // chain keeps the run alive forever.
+                if !self.job_remaining.iter().all(|&r| r == 0) {
+                    q.push(now + window, Event::PressureTick);
                 }
             }
             Event::ChaosRecover(node) => {

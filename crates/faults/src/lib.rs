@@ -31,6 +31,7 @@ pub use health::{Breaker, BreakerState, BreakerTransition, HealthEvent, HealthMo
 
 use std::fmt;
 
+use cbp_simkit::units::ByteSize;
 use cbp_simkit::{SimDuration, SimTime};
 
 /// Storage-device degradation: during a stalled window the device's
@@ -152,6 +153,40 @@ impl Default for BreakerSpec {
     }
 }
 
+/// Checkpoint-storage pressure: shrunken device capacity plus leaked
+/// reservations, so the image-lifecycle degradation ladder (GC pass →
+/// chain eviction → spill-to-remote → no-space kill) is exercised
+/// deterministically instead of waiting for an organically full device.
+///
+/// `capacity_frac` scales every checkpoint device's capacity at
+/// simulator construction. Leaks are window-indexed and stateless like
+/// every other schedule: each `(node, window index)` pair independently
+/// leaks `leak_bytes` of dead reservation with probability `leak_prob`;
+/// leaked bytes are reclaimable only by a lifecycle GC pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PressureSpec {
+    /// Device capacity multiplier in `(0, 1]` (1 = unshrunk).
+    pub capacity_frac: f64,
+    /// Probability that a given `(node, window)` leaks a reservation.
+    pub leak_prob: f64,
+    /// Size of one leaked reservation (clamped to the device's free
+    /// capacity at injection time).
+    pub leak_bytes: ByteSize,
+    /// Leak window length.
+    pub window: SimDuration,
+}
+
+impl Default for PressureSpec {
+    fn default() -> Self {
+        PressureSpec {
+            capacity_frac: 1.0,
+            leak_prob: 0.0,
+            leak_bytes: ByteSize::from_gb(2),
+            window: SimDuration::from_secs(900),
+        }
+    }
+}
+
 /// Declarative fault plan: per-operation fault probabilities plus the
 /// retry/fallback budgets the recovery policies use.
 ///
@@ -180,6 +215,9 @@ pub struct FaultSpec {
     pub crash: Option<CrashSpec>,
     /// Network partitions (none by default).
     pub partition: Option<PartitionSpec>,
+    /// Checkpoint-storage pressure: capacity shrink and leaked
+    /// reservations (none by default).
+    pub pressure: Option<PressureSpec>,
     /// Nodes per rack — the failure domain crash/partition schedules
     /// correlate over (rack = node / rack_size).
     pub rack_size: u32,
@@ -209,6 +247,7 @@ impl Default for FaultSpec {
             stall: None,
             crash: None,
             partition: None,
+            pressure: None,
             rack_size: 4,
             breaker: None,
             max_dump_retries: 2,
@@ -272,11 +311,26 @@ impl FaultSpec {
         }
     }
 
+    /// The `pressure` profile: healthy dump/restore paths but scarce
+    /// checkpoint storage — capacity cut to 5% and regular reservation
+    /// leaks — so the image-lifecycle ladder (GC → evict → spill →
+    /// no-space kill) carries the run instead of the retry machinery.
+    pub fn pressure() -> Self {
+        FaultSpec {
+            pressure: Some(PressureSpec {
+                capacity_frac: 0.05,
+                leak_prob: 0.25,
+                ..PressureSpec::default()
+            }),
+            ..FaultSpec::default()
+        }
+    }
+
     /// Parses a CLI fault spec.
     ///
-    /// Accepts a named profile (`off`, `light`, `heavy`, `chaos`) or a
-    /// comma-separated `key=value` list, optionally starting from a
-    /// profile (`heavy,seed=7`). Keys:
+    /// Accepts a named profile (`off`, `light`, `heavy`, `chaos`,
+    /// `pressure`) or a comma-separated `key=value` list, optionally
+    /// starting from a profile (`heavy,seed=7`). Keys:
     ///
     /// | key | meaning |
     /// |---|---|
@@ -304,6 +358,10 @@ impl FaultSpec {
     /// | `breaker-min` | breaker minimum sample mass |
     /// | `breaker-cooldown` | breaker open -> half-open cooldown, seconds |
     /// | `breaker-decay` | breaker window decay, in (0, 1] |
+    /// | `cap` | checkpoint-capacity multiplier, in (0, 1] |
+    /// | `leak` | per-(node, window) leaked-reservation probability |
+    /// | `leak-gb` | leaked reservation size, GB |
+    /// | `leak-window` | leak window length, seconds |
     pub fn parse(text: &str) -> Result<FaultSpec, String> {
         let mut spec = FaultSpec::default();
         for (i, part) in text.split(',').enumerate() {
@@ -326,6 +384,10 @@ impl FaultSpec {
                 }
                 "chaos" => {
                     spec = FaultSpec::chaos();
+                    continue;
+                }
+                "pressure" => {
+                    spec = FaultSpec::pressure();
                     continue;
                 }
                 _ => {}
@@ -475,6 +537,42 @@ impl FaultSpec {
                         })?;
                     spec.breaker.get_or_insert_with(BreakerSpec::default).decay = d;
                 }
+                "cap" => {
+                    let c = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|c| *c > 0.0 && *c <= 1.0)
+                        .ok_or_else(|| {
+                            format!("fault spec cap={value}: expected fraction in (0,1]")
+                        })?;
+                    spec.pressure
+                        .get_or_insert_with(PressureSpec::default)
+                        .capacity_frac = c;
+                }
+                "leak" => {
+                    spec.pressure
+                        .get_or_insert_with(PressureSpec::default)
+                        .leak_prob = prob(value)?;
+                }
+                "leak-gb" => {
+                    let g = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|g| *g > 0.0)
+                        .ok_or_else(|| format!("fault spec leak-gb={value}: expected GB > 0"))?;
+                    spec.pressure
+                        .get_or_insert_with(PressureSpec::default)
+                        .leak_bytes = ByteSize::from_gb_f64(g);
+                }
+                "leak-window" => {
+                    let w = secs(value)?;
+                    if w.is_zero() {
+                        return Err("fault spec leak-window=0: window must be positive".into());
+                    }
+                    spec.pressure
+                        .get_or_insert_with(PressureSpec::default)
+                        .window = w;
+                }
                 other => return Err(format!("fault spec: unknown key {other:?}")),
             }
         }
@@ -509,6 +607,9 @@ impl FaultSpec {
                 .crash
                 .is_none_or(|c| c.node_prob == 0.0 && c.rack_prob == 0.0)
             && self.partition.is_none_or(|p| p.prob == 0.0)
+            && self
+                .pressure
+                .is_none_or(|p| p.capacity_frac >= 1.0 && p.leak_prob == 0.0)
             && self.breaker.is_none()
     }
 }
@@ -553,6 +654,16 @@ impl fmt::Display for FaultSpec {
                 p.window.as_secs_f64()
             )?;
         }
+        if let Some(p) = self.pressure {
+            write!(
+                f,
+                " cap={} leak={} leak-gb={} leak-window={}s",
+                p.capacity_frac,
+                p.leak_prob,
+                p.leak_bytes.as_gb_f64(),
+                p.window.as_secs_f64()
+            )?;
+        }
         if let Some(b) = self.breaker {
             write!(
                 f,
@@ -577,6 +688,7 @@ const TAG_STALL: u64 = 0x009D_5F05;
 const TAG_CRASH: u64 = 0x009D_5F06;
 const TAG_RACK: u64 = 0x009D_5F07;
 const TAG_PARTITION: u64 = 0x009D_5F08;
+const TAG_LEAK: u64 = 0x009D_5F09;
 
 /// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
 fn mix(x: u64) -> u64 {
@@ -694,6 +806,31 @@ impl FaultPlan {
     /// The breaker thresholds, if circuit breakers are enabled.
     pub fn breaker(&self) -> Option<&BreakerSpec> {
         self.spec.breaker.as_ref()
+    }
+
+    /// The storage-pressure schedule, if one is configured that actually
+    /// perturbs anything (shrunk capacity or a non-zero leak rate).
+    pub fn pressure(&self) -> Option<&PressureSpec> {
+        self.spec
+            .pressure
+            .as_ref()
+            .filter(|p| p.capacity_frac < 1.0 || p.leak_prob > 0.0)
+    }
+
+    /// Checkpoint-capacity multiplier applied at simulator construction
+    /// (1.0 when no pressure is configured).
+    pub fn capacity_frac(&self) -> f64 {
+        self.pressure()
+            .map_or(1.0, |p| p.capacity_frac.clamp(f64::MIN_POSITIVE, 1.0))
+    }
+
+    /// Does `node` leak a reservation at the start of leak window
+    /// `widx`? Pure function of the plan, like every other schedule.
+    pub fn leaks(&self, node: u32, widx: u64) -> bool {
+        let Some(p) = self.pressure() else {
+            return false;
+        };
+        self.decide(TAG_LEAK, node as u64, widx, p.leak_prob)
     }
 
     /// The failure-domain (rack) a node belongs to.
@@ -1067,6 +1204,86 @@ mod tests {
         }
         assert!(hit > 50 && hit < 150, "partition rate tracks probability");
         assert_eq!(plan.partition_isolates(0, 0), None, "no racks, no victim");
+    }
+
+    #[test]
+    fn parse_pressure_profile_and_keys() {
+        assert_eq!(FaultSpec::parse("pressure").unwrap(), FaultSpec::pressure());
+        let s = FaultSpec::parse("cap=0.1,leak=0.3,leak-gb=1.5,leak-window=600").unwrap();
+        let p = s.pressure.unwrap();
+        assert_eq!(p.capacity_frac, 0.1);
+        assert_eq!(p.leak_prob, 0.3);
+        assert_eq!(p.leak_bytes, ByteSize::from_gb_f64(1.5));
+        assert_eq!(p.window, SimDuration::from_secs(600));
+        // Overrides on top of the profile.
+        let s = FaultSpec::parse("pressure,seed=7,cap=0.02").unwrap();
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.pressure.unwrap().capacity_frac, 0.02);
+        assert_eq!(
+            s.pressure.unwrap().leak_prob,
+            FaultSpec::pressure().pressure.unwrap().leak_prob
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_pressure_input() {
+        assert!(FaultSpec::parse("cap=0").is_err());
+        assert!(FaultSpec::parse("cap=1.5").is_err());
+        assert!(FaultSpec::parse("leak=2").is_err());
+        assert!(FaultSpec::parse("leak-gb=0").is_err());
+        assert!(FaultSpec::parse("leak-window=0").is_err());
+    }
+
+    #[test]
+    fn pressure_inertness() {
+        // An unshrunk, leak-free pressure block is inert...
+        let s = FaultSpec {
+            pressure: Some(PressureSpec::default()),
+            ..FaultSpec::default()
+        };
+        assert!(s.is_inert());
+        let plan = FaultPlan::new(s);
+        assert!(plan.pressure().is_none());
+        assert_eq!(plan.capacity_frac(), 1.0);
+        for n in 0..100 {
+            assert!(!plan.leaks(n, 3));
+        }
+        // ...but either knob makes it live.
+        assert!(!FaultSpec::parse("cap=0.5").unwrap().is_inert());
+        assert!(!FaultSpec::parse("leak=0.1").unwrap().is_inert());
+        assert!(!FaultSpec::pressure().is_inert());
+    }
+
+    #[test]
+    fn leak_schedule_is_deterministic_and_tracks_probability() {
+        let plan = FaultPlan::new(FaultSpec {
+            pressure: Some(PressureSpec {
+                leak_prob: 0.5,
+                ..PressureSpec::default()
+            }),
+            ..FaultSpec::default()
+        });
+        let a: Vec<bool> = (0..200u64).map(|w| plan.leaks(3, w)).collect();
+        let b: Vec<bool> = (0..200u64).map(|w| plan.leaks(3, w)).collect();
+        assert_eq!(a, b);
+        let hits = a.iter().filter(|&&x| x).count();
+        assert!(
+            hits > 50 && hits < 150,
+            "leak rate tracks p=0.5: {hits}/200"
+        );
+        // Leaks are independent of the crash family under the same seed.
+        let disagree = (0..200u64)
+            .filter(|&w| plan.leaks(0, w) != plan.leaks(1, w))
+            .count();
+        assert!(disagree > 0, "per-node leak draws must diverge");
+    }
+
+    #[test]
+    fn pressure_display_is_compact() {
+        let s = FaultSpec::parse("pressure").unwrap();
+        let text = format!("{s}");
+        assert!(text.contains("cap=0.05"), "{text}");
+        assert!(text.contains("leak=0.25"), "{text}");
     }
 
     #[test]

@@ -799,7 +799,13 @@ impl SpanCollector {
             // node-failure/crash evictions arrive as task_evict — a
             // "node-crash" reason classifies as a hard kill like any
             // other non-dump eviction, so chaos and breaker events keep
-            // the 8-way tiling exact without extra state here).
+            // the 8-way tiling exact without extra state here). The
+            // image-lifecycle records (gc_pass/image_evict/image_spill/
+            // no_space) are bookkeeping too: an evicted chain costs
+            // nothing until the task is re-placed (its scratch restart
+            // arrives as a plain schedule without restore), a spill's
+            // cost is inside the dump span it annotates, and a no-space
+            // kill's waste lands with the matching task_evict.
             TraceRecord::DumpStart { .. }
             | TraceRecord::RestoreStart { .. }
             | TraceRecord::PreemptDecision { .. }
@@ -811,6 +817,10 @@ impl SpanCollector {
             | TraceRecord::PartitionEnd { .. }
             | TraceRecord::BreakerOpen { .. }
             | TraceRecord::BreakerClose { .. }
+            | TraceRecord::GcPass { .. }
+            | TraceRecord::ImageEvict { .. }
+            | TraceRecord::ImageSpill { .. }
+            | TraceRecord::NoSpace { .. }
             | TraceRecord::QueueDepth { .. } => {}
         }
     }

@@ -52,6 +52,7 @@ pub struct Device {
     queue_len: usize,
     used: ByteSize,
     peak_used: ByteSize,
+    underflows: u64,
     busy_time: SimDuration,
     bytes_written: ByteSize,
     bytes_read: ByteSize,
@@ -78,6 +79,7 @@ impl Device {
             queue_len: 0,
             used: ByteSize::ZERO,
             peak_used: ByteSize::ZERO,
+            underflows: 0,
             busy_time: SimDuration::ZERO,
             bytes_written: ByteSize::ZERO,
             bytes_read: ByteSize::ZERO,
@@ -216,12 +218,31 @@ impl Device {
     /// Releases `size` bytes of checkpoint storage (e.g. after the image is
     /// deleted on restore).
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if more is released than is in use.
+    /// Over-releasing never wraps: the usage saturates at zero and the
+    /// mismatch is recorded in [`Device::accounting_underflows`] so the
+    /// metrics registry can surface the accounting bug instead of a
+    /// release-build `used` counter silently wrapping to ~2^64 bytes.
     pub fn release(&mut self, size: ByteSize) {
-        debug_assert!(size <= self.used, "releasing more than reserved");
+        if size > self.used {
+            self.underflows += 1;
+        }
         self.used = self.used.saturating_sub(size);
+    }
+
+    /// How many [`Device::release`] calls tried to release more than was
+    /// reserved. Non-zero means a double-free in chain accounting.
+    pub fn accounting_underflows(&self) -> u64 {
+        self.underflows
+    }
+
+    /// Bytes a new dump reservation may still claim.
+    ///
+    /// Reservations are taken at dump *submission* (not completion), so
+    /// `used` — and therefore this headroom — already accounts for every
+    /// queued-but-unfinished dump on the device. Admission control compares
+    /// an estimated image size against this value.
+    pub fn headroom(&self) -> ByteSize {
+        self.free_capacity()
     }
 
     /// Bytes currently holding checkpoint images.
@@ -437,6 +458,44 @@ mod tests {
         assert_eq!(dev.read_latency().count(), 1);
         assert!((dev.write_latency().sum() - 1.0).abs() < 1e-9);
         assert!((dev.read_latency().sum() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn over_release_saturates_and_counts_underflow() {
+        // Regression: in release builds the old debug_assert compiled away
+        // and `used` depended on ByteSize::saturating_sub alone with no
+        // visibility. Over-release must clamp at zero and be counted.
+        let mut dev = Device::new(test_spec());
+        dev.reserve(ByteSize::from_mb(100)).unwrap();
+        assert_eq!(dev.accounting_underflows(), 0);
+        dev.release(ByteSize::from_mb(300)); // 200 MB more than reserved
+        assert_eq!(dev.used(), ByteSize::ZERO, "must saturate, never wrap");
+        assert_eq!(dev.accounting_underflows(), 1);
+        dev.release(ByteSize::from_mb(1));
+        assert_eq!(dev.accounting_underflows(), 2);
+        // Exact releases never count.
+        dev.reserve(ByteSize::from_mb(50)).unwrap();
+        dev.release(ByteSize::from_mb(50));
+        assert_eq!(dev.accounting_underflows(), 2);
+        // The device remains fully usable afterwards.
+        assert_eq!(dev.free_capacity(), dev.spec().capacity());
+    }
+
+    #[test]
+    fn headroom_reflects_queued_reservations() {
+        let mut dev = Device::new(test_spec());
+        assert_eq!(dev.headroom(), ByteSize::from_gb(1));
+        // A reservation taken at submission shrinks headroom immediately,
+        // even though the write has not completed yet.
+        dev.reserve(ByteSize::from_mb(600)).unwrap();
+        dev.submit_write(SimTime::ZERO, ByteSize::from_mb(600));
+        assert_eq!(dev.headroom(), ByteSize::from_mb(400));
+        assert!(dev.reserve(ByteSize::from_mb(500)).is_err());
+        assert_eq!(
+            dev.headroom(),
+            ByteSize::from_mb(400),
+            "failed reserve must not change headroom"
+        );
     }
 
     #[test]

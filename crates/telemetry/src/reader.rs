@@ -1,7 +1,7 @@
 //! Reading a [`crate::JsonlTracer`] stream back into [`TraceRecord`]s.
 //!
 //! The JSONL sink opens with a schema header line
-//! (`{"schema":"cbp-trace","version":3}`) so consumers can reject traces
+//! (`{"schema":"cbp-trace","version":4}`) so consumers can reject traces
 //! written by an incompatible emitter before mis-parsing thousands of
 //! lines. [`JsonlReader`] checks the header, then yields one
 //! `(t_us, TraceRecord)` per line; the round trip
@@ -23,12 +23,14 @@ pub const TRACE_SCHEMA: &str = "cbp-trace";
 /// vocabulary: `dump_fail`, `restore_fail`, `am_escalate`,
 /// `replication_repair`; version 3 added the failure-domain and
 /// circuit-breaker vocabulary: `node_down`, `node_up`, `partition_start`,
-/// `partition_end`, `breaker_open`, `breaker_close`).
-pub const TRACE_SCHEMA_VERSION: u64 = 3;
+/// `partition_end`, `breaker_open`, `breaker_close`; version 4 added the
+/// image-lifecycle vocabulary: `gc_pass`, `image_evict`, `image_spill`,
+/// `no_space`).
+pub const TRACE_SCHEMA_VERSION: u64 = 4;
 
-/// Oldest schema version [`JsonlReader`] still accepts. Versions 2 and 3
-/// only *added* vocabulary — every v1 line parses identically under the
-/// v3 reader — so v1 and v2 traces remain readable.
+/// Oldest schema version [`JsonlReader`] still accepts. Versions 2
+/// through 4 only *added* vocabulary — every v1 line parses identically
+/// under the v4 reader — so v1..=v3 traces remain readable.
 pub const TRACE_SCHEMA_MIN_VERSION: u64 = 1;
 
 /// The exact header line (without trailing newline) the JSONL sink emits.
@@ -114,6 +116,7 @@ fn intern(s: &str) -> &'static str {
         "dump-fail",
         "am-unresponsive",
         "breaker-open",
+        "no-space",
         // restore failure classes
         "transient",
         "corrupt-image",
@@ -320,6 +323,27 @@ impl<R: BufRead> JsonlReader<R> {
                 node: node32("node")?,
                 global: b("global")?,
             },
+            "gc_pass" => TraceRecord::GcPass {
+                node: node32("node")?,
+                reclaimed: u("reclaimed")?,
+                chains: u("chains")?,
+            },
+            "image_evict" => TraceRecord::ImageEvict {
+                task: u("task")?,
+                node: node32("node")?,
+                bytes: u("bytes")?,
+            },
+            "image_spill" => TraceRecord::ImageSpill {
+                task: u("task")?,
+                node: node32("node")?,
+                origin: node32("origin")?,
+                bytes: u("bytes")?,
+            },
+            "no_space" => TraceRecord::NoSpace {
+                task: u("task")?,
+                node: node32("node")?,
+                wanted: u("wanted")?,
+            },
             "queue_depth" => TraceRecord::QueueDepth {
                 pending: u("pending")?,
             },
@@ -504,6 +528,47 @@ mod tests {
                 },
             ),
             (48, TraceRecord::PartitionEnd { rack: 2 }),
+            (
+                48,
+                TraceRecord::GcPass {
+                    node: 3,
+                    reclaimed: 2 << 30,
+                    chains: 2,
+                },
+            ),
+            (
+                48,
+                TraceRecord::ImageEvict {
+                    task: 7,
+                    node: 3,
+                    bytes: 1 << 30,
+                },
+            ),
+            (
+                48,
+                TraceRecord::ImageSpill {
+                    task: 7,
+                    node: 3,
+                    origin: 1,
+                    bytes: 1 << 30,
+                },
+            ),
+            (
+                48,
+                TraceRecord::NoSpace {
+                    task: 7,
+                    node: 3,
+                    wanted: 1 << 31,
+                },
+            ),
+            (
+                48,
+                TraceRecord::DumpFallback {
+                    task: 7,
+                    node: 3,
+                    reason: "no-space",
+                },
+            ),
             (49, TraceRecord::NodeUp { node: 3 }),
             (
                 50,
@@ -600,20 +665,70 @@ mod tests {
     }
 
     #[test]
+    fn accepts_v3_traces() {
+        let trace = "{\"schema\":\"cbp-trace\",\"version\":3}\n\
+                     {\"t_us\":11,\"event\":\"breaker_open\",\"node\":2,\
+                      \"global\":false}\n";
+        let mut r = JsonlReader::new(trace.as_bytes()).expect("v3 must be accepted");
+        let (t, rec) = r.next().unwrap().unwrap();
+        assert_eq!(t, 11);
+        assert!(matches!(rec, TraceRecord::BreakerOpen { node: 2, .. }));
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn parses_v4_lifecycle_records() {
+        let trace = format!(
+            "{}\n\
+             {{\"t_us\":1,\"event\":\"gc_pass\",\"node\":2,\"reclaimed\":64,\"chains\":1}}\n\
+             {{\"t_us\":2,\"event\":\"image_evict\",\"task\":5,\"node\":2,\"bytes\":32}}\n\
+             {{\"t_us\":3,\"event\":\"image_spill\",\"task\":5,\"node\":2,\"origin\":7,\"bytes\":32}}\n\
+             {{\"t_us\":4,\"event\":\"no_space\",\"task\":5,\"node\":2,\"wanted\":96}}\n\
+             {{\"t_us\":5,\"event\":\"dump_fallback\",\"task\":5,\"node\":2,\"reason\":\"no-space\"}}\n",
+            schema_header()
+        );
+        let recs: Vec<(u64, TraceRecord)> = JsonlReader::new(trace.as_bytes())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert!(matches!(
+            recs[0].1,
+            TraceRecord::GcPass {
+                node: 2,
+                reclaimed: 64,
+                chains: 1
+            }
+        ));
+        assert!(matches!(recs[1].1, TraceRecord::ImageEvict { task: 5, .. }));
+        assert!(matches!(
+            recs[2].1,
+            TraceRecord::ImageSpill { origin: 7, .. }
+        ));
+        assert!(matches!(recs[3].1, TraceRecord::NoSpace { wanted: 96, .. }));
+        assert!(matches!(
+            recs[4].1,
+            TraceRecord::DumpFallback {
+                reason: "no-space",
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn rejects_future_version_naming_supported_range() {
-        let trace = "{\"schema\":\"cbp-trace\",\"version\":4}\n";
-        let err = JsonlReader::new(trace.as_bytes()).expect_err("v4 must be rejected");
+        let trace = "{\"schema\":\"cbp-trace\",\"version\":5}\n";
+        let err = JsonlReader::new(trace.as_bytes()).expect_err("v5 must be rejected");
         assert_eq!(
             err,
             TraceReadError::IncompatibleSchema {
                 schema: "cbp-trace".to_string(),
-                version: 4,
+                version: 5,
             }
         );
         let msg = err.to_string();
-        assert!(msg.contains("v4"), "must name the found version: {msg}");
+        assert!(msg.contains("v5"), "must name the found version: {msg}");
         assert!(
-            msg.contains("v1") && msg.contains("v3"),
+            msg.contains("v1") && msg.contains("v4"),
             "must name the supported range: {msg}"
         );
         // Version 0 (or a missing version field) is below the floor.

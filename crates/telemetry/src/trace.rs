@@ -132,8 +132,10 @@ pub enum TraceRecord {
         /// Why the fallback happened. Vocabulary: `"no-capacity"` (no
         /// device could absorb the image), `"storage-full"` (target
         /// device out of space), `"node-fail"` / `"node-crash"` (the
-        /// host died mid-dump), and `"breaker-open"` (the checkpoint
-        /// path's circuit breaker degraded the preemption to a kill).
+        /// host died mid-dump), `"breaker-open"` (the checkpoint
+        /// path's circuit breaker degraded the preemption to a kill),
+        /// and `"no-space"` (the image-lifecycle ladder — GC, eviction,
+        /// spill — still could not find room for the image).
         reason: &'static str,
     },
     /// A checkpoint dump attempt failed (fault injection); the victim
@@ -260,6 +262,50 @@ pub enum TraceRecord {
         /// True for the cluster-wide breaker.
         global: bool,
     },
+    /// An image-lifecycle GC pass reclaimed dead reservations (leaked
+    /// bytes, stale chains) on a pressured device.
+    GcPass {
+        /// The node whose device was collected.
+        node: u32,
+        /// Bytes reclaimed by the pass.
+        reclaimed: u64,
+        /// Live chains discarded as dead/stale (0 when only leaked
+        /// reservations were reclaimed).
+        chains: u64,
+    },
+    /// The lifecycle manager evicted a live checkpoint chain to make
+    /// room for a new dump; the owning task falls back to a scratch
+    /// restart on its next placement.
+    ImageEvict {
+        /// Task whose chain was evicted.
+        task: u64,
+        /// Node whose device held (and reclaimed) the chain bytes.
+        node: u32,
+        /// Bytes freed on that device.
+        bytes: u64,
+    },
+    /// A dump that did not fit locally was spilled to a remote node's
+    /// device via the DFS (pipeline cost now, remote restore later).
+    ImageSpill {
+        /// Task being dumped.
+        task: u64,
+        /// Node the task runs on (where the dump originated).
+        node: u32,
+        /// Remote node whose device absorbed the image.
+        origin: u32,
+        /// Bytes written remotely.
+        bytes: u64,
+    },
+    /// The whole degradation ladder (GC → evict → spill) failed to place
+    /// an image; the matching `DumpFallback("no-space")` kill follows.
+    NoSpace {
+        /// Task whose dump was abandoned.
+        task: u64,
+        /// Node the task runs on.
+        node: u32,
+        /// Bytes the dump needed and could not get anywhere.
+        wanted: u64,
+    },
     /// The pending-queue depth changed.
     QueueDepth {
         /// New total number of pending tasks.
@@ -294,6 +340,10 @@ impl TraceRecord {
             TraceRecord::PartitionEnd { .. } => "partition_end",
             TraceRecord::BreakerOpen { .. } => "breaker_open",
             TraceRecord::BreakerClose { .. } => "breaker_close",
+            TraceRecord::GcPass { .. } => "gc_pass",
+            TraceRecord::ImageEvict { .. } => "image_evict",
+            TraceRecord::ImageSpill { .. } => "image_spill",
+            TraceRecord::NoSpace { .. } => "no_space",
             TraceRecord::QueueDepth { .. } => "queue_depth",
         }
     }
@@ -320,6 +370,10 @@ impl TraceRecord {
             | TraceRecord::ReplicationRepair { node, .. }
             | TraceRecord::RestoreStart { node, .. }
             | TraceRecord::RestoreDone { node, .. }
+            | TraceRecord::GcPass { node, .. }
+            | TraceRecord::ImageEvict { node, .. }
+            | TraceRecord::ImageSpill { node, .. }
+            | TraceRecord::NoSpace { node, .. }
             | TraceRecord::NodeFail { node }
             | TraceRecord::NodeRecover { node }
             | TraceRecord::NodeDown { node }
@@ -494,6 +548,36 @@ impl TraceRecord {
                 kv_u64(out, "node", node as u64);
                 kv_bool(out, "global", global);
             }
+            TraceRecord::GcPass {
+                node,
+                reclaimed,
+                chains,
+            } => {
+                kv_u64(out, "node", node as u64);
+                kv_u64(out, "reclaimed", reclaimed);
+                kv_u64(out, "chains", chains);
+            }
+            TraceRecord::ImageEvict { task, node, bytes } => {
+                kv_u64(out, "task", task);
+                kv_u64(out, "node", node as u64);
+                kv_u64(out, "bytes", bytes);
+            }
+            TraceRecord::ImageSpill {
+                task,
+                node,
+                origin,
+                bytes,
+            } => {
+                kv_u64(out, "task", task);
+                kv_u64(out, "node", node as u64);
+                kv_u64(out, "origin", origin as u64);
+                kv_u64(out, "bytes", bytes);
+            }
+            TraceRecord::NoSpace { task, node, wanted } => {
+                kv_u64(out, "task", task);
+                kv_u64(out, "node", node as u64);
+                kv_u64(out, "wanted", wanted);
+            }
             TraceRecord::QueueDepth { pending } => {
                 kv_u64(out, "pending", pending);
             }
@@ -537,7 +621,7 @@ impl Tracer for NullTracer {
 /// Writes one JSON object per line: `{"t_us":N,"event":"...",...}`.
 ///
 /// The first line is a schema header
-/// (`{"schema":"cbp-trace","version":3}`, see
+/// (`{"schema":"cbp-trace","version":4}`, see
 /// [`crate::reader::schema_header`]) so consumers can reject traces
 /// written by an incompatible emitter. Field order is fixed (`t_us`,
 /// `event`, then per-variant payload), so the same record stream
@@ -940,6 +1024,47 @@ mod tests {
                     node: 2,
                     blocks: 3,
                     bytes: 4096,
+                },
+            ),
+            (
+                89,
+                TraceRecord::GcPass {
+                    node: 1,
+                    reclaimed: 1 << 21,
+                    chains: 1,
+                },
+            ),
+            (
+                89,
+                TraceRecord::ImageEvict {
+                    task: 9,
+                    node: 1,
+                    bytes: 1 << 20,
+                },
+            ),
+            (
+                89,
+                TraceRecord::ImageSpill {
+                    task: 9,
+                    node: 1,
+                    origin: 5,
+                    bytes: 1 << 20,
+                },
+            ),
+            (
+                89,
+                TraceRecord::NoSpace {
+                    task: 9,
+                    node: 1,
+                    wanted: 1 << 22,
+                },
+            ),
+            (
+                89,
+                TraceRecord::DumpFallback {
+                    task: 9,
+                    node: 1,
+                    reason: "no-space",
                 },
             ),
             (90, TraceRecord::TaskFinish { task: 7, node: 5 }),

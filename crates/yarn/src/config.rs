@@ -48,6 +48,11 @@ pub struct YarnConfig {
     /// Deterministic fault-injection plan (`None` — and any inert spec —
     /// disables injection entirely; see `cbp-faults`).
     pub faults: Option<FaultSpec>,
+    /// Image-lifecycle management: when a dump does not fit, run the
+    /// GC → evict → spill degradation ladder before giving up. Disabling
+    /// reverts to the bare search-then-kill behaviour (useful as an
+    /// ablation baseline; `no_space_kills` stays comparable either way).
+    pub lifecycle: bool,
 }
 
 impl YarnConfig {
@@ -73,6 +78,7 @@ impl YarnConfig {
             energy: EnergyModel::default(),
             seed: 42,
             faults: None,
+            lifecycle: true,
         }
     }
 
@@ -119,6 +125,12 @@ impl YarnConfig {
     /// faults" is observationally identical to never calling this.
     pub fn with_faults(mut self, spec: FaultSpec) -> Self {
         self.faults = if spec.is_inert() { None } else { Some(spec) };
+        self
+    }
+
+    /// Returns a copy with image-lifecycle management toggled.
+    pub fn with_lifecycle(mut self, on: bool) -> Self {
+        self.lifecycle = on;
         self
     }
 

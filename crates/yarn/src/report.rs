@@ -26,6 +26,19 @@ pub struct YarnReport {
     pub remote_restores: u64,
     /// Dumps aborted (storage full) and converted to kills.
     pub capacity_fallbacks: u64,
+    /// Bytes reclaimed by lifecycle GC passes (leaked reservations and
+    /// dead chains collected under capacity pressure).
+    pub gc_reclaimed_bytes: u64,
+    /// Live checkpoint chains evicted by the lifecycle manager to make
+    /// room for a higher-value dump.
+    pub evicted_chains: u64,
+    /// Dumps redirected to a remote node's device because the local one
+    /// had no headroom (lifecycle spill step).
+    pub spill_dumps: u64,
+    /// Containers killed because even the full GC → evict → spill ladder
+    /// found no space (with lifecycle disabled, the bare capacity kills —
+    /// the counter stays comparable across both modes).
+    pub no_space_kills: u64,
     /// Dumps aborted by the NodeManager's grace-period force-kill.
     pub force_kills: u64,
     /// Fault-injected dump failures the NodeManager converted to kills.
@@ -128,6 +141,10 @@ mod tests {
             restores: 2,
             remote_restores: 1,
             capacity_fallbacks: 0,
+            gc_reclaimed_bytes: 0,
+            evicted_chains: 0,
+            spill_dumps: 0,
+            no_space_kills: 0,
             force_kills: 0,
             dump_fail_kills: 0,
             am_escalations: 0,

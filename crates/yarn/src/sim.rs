@@ -1,12 +1,13 @@
 //! The YARN protocol simulation.
 
-use cbp_checkpoint::Criu;
+use cbp_checkpoint::{plan_evictions, Criu, EvictionCandidate};
 use cbp_cluster::{Container, ContainerId, EnergyMeter, Node, NodeId};
 use cbp_core::PreemptionPolicy;
 use cbp_core::TelemetryReport;
 use cbp_dfs::{DfsCluster, DnId};
 use cbp_faults::{BreakerTransition, FaultPlan, HealthMonitor};
 use cbp_simkit::stats::Samples;
+use cbp_simkit::units::ByteSize;
 use cbp_simkit::{run_until_observed, EventQueue, RunStats, SimRng, SimTime, Simulation};
 use cbp_storage::{Device, MediaKind, OpKind};
 use cbp_telemetry::{
@@ -100,6 +101,10 @@ pub enum YarnEvent {
     ChaosPartitionTick,
     /// A chaos-crashed node comes back and its datanode re-registers.
     ChaosRecover(u32),
+    /// Pressure-plan window boundary: inject leaked checkpoint-store
+    /// reservations (orphaned dump directories the NM forgot to clean)
+    /// on the nodes the leak oracle selects for the window starting now.
+    PressureTick,
 }
 
 struct NodeManager {
@@ -139,6 +144,10 @@ pub struct YarnSim {
     restores: u64,
     remote_restores: u64,
     capacity_fallbacks: u64,
+    gc_reclaimed_bytes: u64,
+    evicted_chains: u64,
+    spill_dumps: u64,
+    no_space_kills: u64,
     force_kills: u64,
     am_escalations: u64,
     dump_fail_kills: u64,
@@ -168,6 +177,10 @@ pub struct YarnSim {
     /// stop once `tasks_finished` reaches it so they cannot keep an
     /// otherwise-drained run alive.
     total_tasks: u64,
+    /// Leaked reservation bytes per node, injected by the pressure plan.
+    /// The image-ledger conservation invariant is
+    /// `device.used == criu live bytes + leaked` on every node.
+    leaked: Vec<u64>,
 }
 
 fn task_key(app: u32, task: u32) -> u64 {
@@ -178,10 +191,25 @@ impl YarnSim {
     /// Builds a YARN cluster for `workload`.
     pub fn new(cfg: YarnConfig, workload: Workload) -> Self {
         let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let faults = cfg
+            .faults
+            .clone()
+            .filter(|spec| !spec.is_inert())
+            .map(FaultPlan::new);
+        // The pressure plan shrinks every NM's checkpoint store. HDFS
+        // datanodes keep the medium's natural capacity: pressure models
+        // NM-local store exhaustion, and shrinking the DFS as well would
+        // perturb block placement in every non-pressure scenario too.
+        let frac = faults.as_ref().map_or(1.0, |p| p.capacity_frac());
+        let media = if frac < 1.0 {
+            cfg.media.with_capacity(cfg.media.capacity().mul_f64(frac))
+        } else {
+            cfg.media
+        };
         let nms = (0..cfg.nodes)
             .map(|i| NodeManager {
                 node: Node::new(NodeId(i as u32), cfg.node_resources),
-                device: Device::new(cfg.media),
+                device: Device::new(media),
                 meter: EnergyMeter::new(cfg.energy),
                 up: true,
             })
@@ -202,11 +230,6 @@ impl YarnSim {
             })
             .unwrap_or(1);
         let total_slots = per_node * cfg.nodes as u32;
-        let faults = cfg
-            .faults
-            .clone()
-            .filter(|spec| !spec.is_inert())
-            .map(FaultPlan::new);
         let health = faults
             .as_ref()
             .and_then(|p| p.breaker())
@@ -224,6 +247,7 @@ impl YarnSim {
             dfs,
             barriers: HashMap::new(),
             nms,
+            leaked: vec![0; cfg.nodes],
             cfg,
             workload,
             next_container: 1,
@@ -233,6 +257,10 @@ impl YarnSim {
             restores: 0,
             remote_restores: 0,
             capacity_fallbacks: 0,
+            gc_reclaimed_bytes: 0,
+            evicted_chains: 0,
+            spill_dumps: 0,
+            no_space_kills: 0,
             force_kills: 0,
             am_escalations: 0,
             dump_fail_kills: 0,
@@ -287,6 +315,9 @@ impl YarnSim {
             if plan.partition().is_some() {
                 queue.push(SimTime::ZERO, YarnEvent::ChaosPartitionTick);
             }
+            if plan.pressure().is_some_and(|p| p.leak_prob > 0.0) {
+                queue.push(SimTime::ZERO, YarnEvent::PressureTick);
+            }
         }
         let stats = run_until_observed(&mut self, &mut queue, SimTime::MAX, &mut |_| {});
         let makespan = stats.now;
@@ -320,6 +351,10 @@ impl YarnSim {
             restores: self.restores,
             remote_restores: self.remote_restores,
             capacity_fallbacks: self.capacity_fallbacks,
+            gc_reclaimed_bytes: self.gc_reclaimed_bytes,
+            evicted_chains: self.evicted_chains,
+            spill_dumps: self.spill_dumps,
+            no_space_kills: self.no_space_kills,
             force_kills: self.force_kills,
             dump_fail_kills: self.dump_fail_kills,
             am_escalations: self.am_escalations,
@@ -363,6 +398,14 @@ impl YarnSim {
             self.capacity_fallbacks,
         );
         reg.set_counter("scheduler.force_kills", "ops", self.force_kills);
+        reg.set_counter(
+            "lifecycle.gc_reclaimed_bytes",
+            "bytes",
+            self.gc_reclaimed_bytes,
+        );
+        reg.set_counter("lifecycle.evicted_chains", "ops", self.evicted_chains);
+        reg.set_counter("lifecycle.spill_dumps", "ops", self.spill_dumps);
+        reg.set_counter("lifecycle.no_space_kills", "ops", self.no_space_kills);
         reg.set_counter("faults.am_escalations", "ops", self.am_escalations);
         reg.set_counter("faults.dump_fail_kills", "ops", self.dump_fail_kills);
         reg.set_counter("faults.crash_evictions", "ops", self.crash_evictions);
@@ -419,6 +462,12 @@ impl YarnSim {
                 .sum();
             reg.set_counter("storage.bytes_written", "bytes", written);
             reg.set_counter("storage.bytes_read", "bytes", read);
+            let underflows: u64 = self
+                .nms
+                .iter()
+                .map(|n| n.device.accounting_underflows())
+                .sum();
+            reg.set_counter("storage.accounting_underflows", "ops", underflows);
         }
         let mut responses = StreamingQuantiles::new();
         for &v in self.low_responses.values() {
@@ -805,6 +854,128 @@ impl YarnSim {
             .filter(|&i| self.nms[i].device.free_capacity() >= size)
     }
 
+    // ---- image lifecycle (capacity backpressure ladder) -----------------
+
+    /// Image bytes `key`'s chain holds on node `node`'s device.
+    fn chain_bytes_on(&self, key: u64, node: usize) -> ByteSize {
+        let Some(chain) = self.criu.chain(key) else {
+            return ByteSize::ZERO;
+        };
+        chain
+            .images()
+            .iter()
+            .filter(|r| r.origin_node == node as u32)
+            .map(|r| r.size)
+            .fold(ByteSize::ZERO, |a, b| a + b)
+    }
+
+    /// The degradation ladder, entered when no NM device can hold a dump
+    /// of `size` from `node`: a GC pass (reclaiming leaked reservations),
+    /// then eviction of the cheapest-to-lose live chains on the local
+    /// device, re-running the origin search after each rung — which also
+    /// re-offers the remote spill. Returns the origin to dump to, or
+    /// `None` when the ladder is exhausted.
+    fn reclaim_for_dump(
+        &mut self,
+        key: u64,
+        node: usize,
+        size: ByteSize,
+        now: SimTime,
+    ) -> Option<usize> {
+        self.gc_pass(now);
+        if let Some(origin) = self.dump_origin_for(node, size) {
+            return Some(origin);
+        }
+        self.evict_for(key, node, size, now);
+        self.dump_origin_for(node, size)
+    }
+
+    /// GC pass: releases every injected leaked reservation (orphaned dump
+    /// directories the NM never cleaned up). The YARN analog tracks no
+    /// dead chains — every catalog chain here is restorable — so leaks
+    /// are all a pass can reclaim.
+    fn gc_pass(&mut self, now: SimTime) {
+        for i in 0..self.nms.len() {
+            let reclaimed = self.leaked[i];
+            if reclaimed == 0 {
+                continue;
+            }
+            self.nms[i].device.release(ByteSize::from_bytes(reclaimed));
+            self.leaked[i] = 0;
+            self.gc_reclaimed_bytes += reclaimed;
+            if self.trace_on {
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::GcPass {
+                        node: i as u32,
+                        reclaimed,
+                        chains: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Evicts the cheapest-to-lose live chains holding bytes on `node`'s
+    /// device until a dump of `size` fits (or no plan covers the
+    /// shortfall; partial eviction would destroy progress for nothing).
+    /// Evicted tasks degrade exactly like tasks whose chain was lost to
+    /// a replication failure: the next dump must be full, and a task
+    /// queued on its image restarts from scratch.
+    fn evict_for(&mut self, key: u64, node: usize, size: ByteSize, now: SimTime) {
+        let shortfall = size.saturating_sub(self.nms[node].device.free_capacity());
+        if shortfall.is_zero() {
+            return;
+        }
+        let mut candidates: Vec<EvictionCandidate> = Vec::new();
+        for (ai, am) in self.apps.iter().enumerate() {
+            for (ti, t) in am.tasks.iter().enumerate() {
+                let k = task_key(ai as u32, ti as u32);
+                if k == key
+                    || matches!(
+                        t.status,
+                        AmTaskStatus::Dumping { .. } | AmTaskStatus::Restoring { .. }
+                    )
+                {
+                    continue;
+                }
+                let bytes_on_node = self.chain_bytes_on(k, node);
+                if bytes_on_node.is_zero() {
+                    continue;
+                }
+                candidates.push(EvictionCandidate {
+                    task: k,
+                    cost_core_secs: t.checkpointed_progress.as_secs_f64()
+                        * t.spec.resources.cores_f64(),
+                    bytes_on_node,
+                });
+            }
+        }
+        for victim in plan_evictions(candidates, shortfall) {
+            let (app, task) = ((victim.task >> 32) as u32, victim.task as u32);
+            self.evicted_chains += 1;
+            if self.trace_on {
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::ImageEvict {
+                        task: victim.task,
+                        node: node as u32,
+                        bytes: victim.bytes_on_node.as_u64(),
+                    },
+                );
+            }
+            self.discard_chain(app, task);
+            let am_task = &mut self.apps[app as usize].tasks[task as usize];
+            if matches!(
+                am_task.status,
+                AmTaskStatus::Waiting | AmTaskStatus::Suspended { .. }
+            ) {
+                am_task.progress = cbp_simkit::SimDuration::ZERO;
+                am_task.status = AmTaskStatus::Waiting;
+            }
+        }
+    }
+
     /// Suspends a running container with a CRIU dump to HDFS.
     fn dump(&mut self, app: u32, task: u32, now: SimTime, q: &mut EventQueue<YarnEvent>) {
         let (node, cid) = match self.apps[app as usize].tasks[task as usize].status {
@@ -821,16 +992,37 @@ impl YarnSim {
                 .0
         };
 
-        let Some(origin) = self.dump_origin_for(node, size) else {
+        let origin = match self.dump_origin_for(node, size) {
+            Some(origin) => Some(origin),
+            None if self.cfg.lifecycle => self.reclaim_for_dump(key, node, size, now),
+            None => None,
+        };
+        let Some(origin) = origin else {
             self.capacity_fallbacks += 1;
+            self.no_space_kills += 1;
             self.observe_health(node, now, false);
             if self.trace_on {
+                if self.cfg.lifecycle {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::NoSpace {
+                            task: key,
+                            node: node as u32,
+                            wanted: size.as_u64(),
+                        },
+                    );
+                }
+                let reason = if self.cfg.lifecycle {
+                    "no-space"
+                } else {
+                    "no-capacity"
+                };
                 self.tracer.record(
                     now.as_micros(),
                     &TraceRecord::DumpFallback {
                         task: key,
                         node: node as u32,
-                        reason: "no-capacity",
+                        reason,
                     },
                 );
             }
@@ -848,6 +1040,20 @@ impl YarnSim {
             self.kill(app, task, now, q);
             return;
         };
+        if origin != node && self.cfg.lifecycle {
+            self.spill_dumps += 1;
+            if self.trace_on {
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::ImageSpill {
+                        task: key,
+                        node: node as u32,
+                        origin: origin as u32,
+                        bytes: size.as_u64(),
+                    },
+                );
+            }
+        }
 
         let am_task = &self.apps[app as usize].tasks[task as usize];
         let path = format!(
@@ -953,6 +1159,7 @@ impl YarnSim {
             }
             Err(_) => {
                 self.capacity_fallbacks += 1;
+                self.no_space_kills += 1;
                 self.observe_health(node, now, false);
                 if self.trace_on {
                     self.tracer.record(
@@ -1200,10 +1407,11 @@ fn policy_name(policy: PreemptionPolicy) -> &'static str {
     }
 }
 
-impl Simulation for YarnSim {
-    type Event = YarnEvent;
-
-    fn handle(&mut self, now: SimTime, event: YarnEvent, q: &mut EventQueue<YarnEvent>) {
+impl YarnSim {
+    /// The event dispatcher proper. [`Simulation::handle`] wraps it so
+    /// the image-ledger conservation invariant runs after every event —
+    /// the early `return`s inside the match cannot skip it.
+    fn dispatch(&mut self, now: SimTime, event: YarnEvent, q: &mut EventQueue<YarnEvent>) {
         match event {
             YarnEvent::JobSubmit(app) => {
                 let job = &self.workload.jobs()[app as usize];
@@ -1611,7 +1819,62 @@ impl Simulation for YarnSim {
                 }
                 q.push(now + self.cfg.rpc_delay, YarnEvent::RmSchedule);
             }
+            YarnEvent::PressureTick => {
+                let Some((window, leak_bytes, leaking)) = self.faults.as_ref().and_then(|plan| {
+                    plan.pressure().map(|p| {
+                        let widx = now.as_micros() / p.window.as_micros().max(1);
+                        let leaking: Vec<usize> = (0..self.nms.len())
+                            .filter(|&i| self.nms[i].up && plan.leaks(i as u32, widx))
+                            .collect();
+                        (p.window, p.leak_bytes, leaking)
+                    })
+                }) else {
+                    return;
+                };
+                for i in leaking {
+                    let amount = leak_bytes.min(self.nms[i].device.free_capacity());
+                    if amount.is_zero() {
+                        continue;
+                    }
+                    self.nms[i]
+                        .device
+                        .reserve(amount)
+                        .expect("leak amount clamped to free capacity");
+                    self.leaked[i] += amount.as_u64();
+                }
+                // Stop ticking once the workload drained, else the tick
+                // chain keeps the run alive forever.
+                if self.tasks_finished < self.total_tasks {
+                    q.push(now + window, YarnEvent::PressureTick);
+                }
+            }
         }
+    }
+
+    /// Debug-build invariant: every byte reserved on an NM's checkpoint
+    /// store is either a live catalog image or an injected leak. Checked
+    /// after every event, so an unpaired reserve/release is caught at
+    /// the exact event that introduced it.
+    #[cfg(debug_assertions)]
+    fn assert_image_conservation(&self, now: SimTime) {
+        for (i, nm) in self.nms.iter().enumerate() {
+            let live = self.criu.live_bytes_on(i as u32).as_u64();
+            assert_eq!(
+                nm.device.used().as_u64(),
+                live + self.leaked[i],
+                "image-ledger conservation violated on node {i} at {now:?}"
+            );
+        }
+    }
+}
+
+impl Simulation for YarnSim {
+    type Event = YarnEvent;
+
+    fn handle(&mut self, now: SimTime, event: YarnEvent, q: &mut EventQueue<YarnEvent>) {
+        self.dispatch(now, event, q);
+        #[cfg(debug_assertions)]
+        self.assert_image_conservation(now);
     }
 
     fn event_kind(&self, event: &YarnEvent) -> &'static str {
@@ -1627,6 +1890,7 @@ impl Simulation for YarnSim {
             YarnEvent::ChaosCrashTick => "chaos_crash_tick",
             YarnEvent::ChaosPartitionTick => "chaos_partition_tick",
             YarnEvent::ChaosRecover(_) => "chaos_recover",
+            YarnEvent::PressureTick => "pressure_tick",
         }
     }
 }
