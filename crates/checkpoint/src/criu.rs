@@ -7,6 +7,7 @@ use cbp_simkit::{SimDuration, SimTime};
 use cbp_storage::{CapacityError, Device, OpCompletion};
 
 use crate::image::{CheckpointKind, ImageChain, ImageId, ImageRecord};
+use crate::integrity::{ChunkManifest, DEFAULT_CHUNK_BYTES};
 use crate::lifecycle::ImageLedger;
 use crate::memory::TaskMemory;
 
@@ -106,6 +107,7 @@ pub struct Criu {
     incremental: bool,
     compression: Option<CompressionSpec>,
     max_chain_len: usize,
+    chunk_bytes: u64,
     next_image: u64,
     full_dumps: u64,
     incremental_dumps: u64,
@@ -128,11 +130,28 @@ impl Criu {
             incremental,
             compression: None,
             max_chain_len: DEFAULT_MAX_CHAIN_LEN,
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
             next_image: 1,
             full_dumps: 0,
             incremental_dumps: 0,
             restores: 0,
         }
+    }
+
+    /// Returns a copy-builder with a different transfer chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn with_chunk_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "chunk size must be positive");
+        self.chunk_bytes = bytes;
+        self
+    }
+
+    /// The transfer chunk size manifests are built at.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunk_bytes
     }
 
     /// Returns a copy-builder with a different chain-length bound (at least
@@ -327,6 +346,8 @@ impl Criu {
             size,
             created: op.end,
             origin_node,
+            manifest: ChunkManifest::build(id, size, self.chunk_bytes),
+            progress: 0,
         });
         mem.clear_dirty();
         Ok(DumpResult {
@@ -388,6 +409,103 @@ impl Criu {
         }
         self.ledger.sub(popped.origin_node, popped.size);
         Some((popped.origin_node, popped.size))
+    }
+
+    /// Stamps the chain tip of `task` with an opaque scheduler-defined
+    /// progress value (see [`ImageRecord::progress`]). Called right after a
+    /// successful dump so a later prefix-truncation knows how much work the
+    /// surviving tip actually captured. No-op if the task has no chain.
+    pub fn set_tip_progress(&mut self, task: u64, progress: u64) {
+        if let Some(tip) = self.chains.get_mut(&task).and_then(ImageChain::tip_mut) {
+            tip.progress = progress;
+        }
+    }
+
+    /// Flags `chunk` of `task`'s chain tip as corrupt (a per-chunk fault
+    /// draw landed on the freshly dumped image). Returns false if the task
+    /// has no chain or the chunk was out of range / already flagged.
+    pub fn mark_tip_chunk_corrupt(&mut self, task: u64, chunk: u64) -> bool {
+        self.chains
+            .get_mut(&task)
+            .and_then(ImageChain::tip_mut)
+            .is_some_and(|tip| tip.manifest.mark_corrupt(chunk))
+    }
+
+    /// Clears the corrupt flag on `chunk` of image `idx` (oldest-first) of
+    /// `task`'s chain after a successful replica re-fetch. Returns false if
+    /// nothing was flagged there.
+    pub fn repair_chunk(&mut self, task: u64, idx: usize, chunk: u64) -> bool {
+        self.chains
+            .get_mut(&task)
+            .and_then(|c| c.image_mut(idx))
+            .is_some_and(|img| img.manifest.repair(chunk))
+    }
+
+    /// Truncates `task`'s chain to its first `keep` images (restore from an
+    /// older image after the suffix failed validation), returning the freed
+    /// `(origin_node, bytes)` reservations for the caller to release.
+    /// `keep == 0` removes the chain entirely, like [`Criu::discard`].
+    pub fn truncate_chain(&mut self, task: u64, keep: usize) -> Vec<(u32, ByteSize)> {
+        let Some(chain) = self.chains.get_mut(&task) else {
+            return Vec::new();
+        };
+        let freed = chain.truncate(keep);
+        if chain.is_empty() {
+            self.chains.remove(&task);
+        }
+        for (node, bytes) in &freed {
+            self.ledger.sub(*node, *bytes);
+        }
+        freed
+    }
+
+    /// Debug-build integrity audit over the whole catalog: every image's
+    /// manifest must cover exactly the image's bytes with verifying
+    /// checksums, and the per-node ledger must equal the bytes recomputed
+    /// from the chains. The simulators call this (together with their
+    /// device-reservation conservation check) after every event.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any manifest ↔ catalog ↔ ledger inconsistency.
+    pub fn assert_manifest_consistency(&self) {
+        let mut per_node: Vec<u64> = Vec::new();
+        for (task, chain) in &self.chains {
+            for img in chain.images() {
+                assert!(
+                    img.manifest.verify(img.id),
+                    "task {task}: image {:?} manifest failed checksum verification",
+                    img.id
+                );
+                assert_eq!(
+                    img.manifest.total_len(),
+                    img.size,
+                    "task {task}: image {:?} manifest covers {} but image is {}",
+                    img.id,
+                    img.manifest.total_len(),
+                    img.size
+                );
+                let idx = img.origin_node as usize;
+                if idx >= per_node.len() {
+                    per_node.resize(idx + 1, 0);
+                }
+                per_node[idx] += img.size.as_u64();
+            }
+        }
+        for (node, &bytes) in per_node.iter().enumerate() {
+            assert_eq!(
+                self.ledger.bytes_on(node as u32),
+                ByteSize::from_bytes(bytes),
+                "node {node}: ledger disagrees with catalog recomputation"
+            );
+        }
+        // The total also covers ledger bytes on nodes the catalog no longer
+        // references at all (those would slip past the per-node loop).
+        assert_eq!(
+            self.ledger.total(),
+            ByteSize::from_bytes(per_node.iter().sum()),
+            "ledger total disagrees with catalog recomputation"
+        );
     }
 
     /// Live catalog bytes whose images reside on `node` — the ledger side
@@ -650,6 +768,107 @@ mod tests {
         mem.touch_fraction(1.0);
         criu.discard(1);
         assert_eq!(criu.live_bytes_total(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn abort_tip_and_discard_on_empty_chain() {
+        // Satellite regression: fault paths frequently hit tasks that never
+        // checkpointed (or were already torn down) — both teardown entry
+        // points must be harmless no-ops there.
+        let mut criu = Criu::new(true);
+        assert!(criu.abort_tip(42).is_none(), "no chain at all");
+        assert!(criu.discard(42).is_empty());
+        assert_eq!(criu.live_bytes_total(), ByteSize::ZERO);
+        criu.assert_manifest_consistency();
+    }
+
+    #[test]
+    fn abort_tip_on_single_image_chain_removes_chain() {
+        let mut criu = Criu::new(true);
+        let mut dev = Device::new(MediaSpec::nvm());
+        let mut mem = five_gb_task();
+        criu.dump(1, &mut mem, 2, &mut dev, SimTime::ZERO).unwrap();
+        let (node, bytes) = criu.abort_tip(1).expect("tip exists");
+        assert_eq!((node, bytes), (2, ByteSize::from_gb(5)));
+        assert!(!criu.has_image(1), "single-image chain disappears");
+        assert!(criu.chain(1).is_none(), "no empty chain left behind");
+        assert_eq!(criu.live_bytes_total(), ByteSize::ZERO);
+        assert!(criu.abort_tip(1).is_none(), "second abort finds nothing");
+        criu.assert_manifest_consistency();
+    }
+
+    #[test]
+    fn discard_single_image_chain() {
+        let mut criu = Criu::new(true);
+        let mut dev = Device::new(MediaSpec::nvm());
+        let mut mem = five_gb_task();
+        criu.dump(1, &mut mem, 0, &mut dev, SimTime::ZERO).unwrap();
+        assert_eq!(criu.discard(1), vec![(0, ByteSize::from_gb(5))]);
+        assert!(criu.chain(1).is_none());
+        assert_eq!(criu.live_bytes_total(), ByteSize::ZERO);
+        criu.assert_manifest_consistency();
+    }
+
+    #[test]
+    fn dumps_carry_chunk_manifests() {
+        let mut criu = Criu::new(true).with_chunk_bytes(ByteSize::from_mb(64).as_u64());
+        let mut dev = Device::new(MediaSpec::nvm());
+        let mut mem = five_gb_task();
+        criu.dump(1, &mut mem, 0, &mut dev, SimTime::ZERO).unwrap();
+        let tip = criu.chain(1).unwrap().tip().unwrap();
+        assert_eq!(tip.manifest.total_len(), tip.size);
+        assert_eq!(tip.manifest.chunk_count(), 79, "ceil(5 GB / 64 MB)");
+        assert!(tip.manifest.verify(tip.id));
+        criu.assert_manifest_consistency();
+    }
+
+    #[test]
+    fn truncate_chain_releases_suffix_and_keeps_prefix() {
+        let mut criu = Criu::new(true);
+        let mut dev = Device::new(MediaSpec::nvm());
+        let mut mem = five_gb_task();
+        criu.dump(1, &mut mem, 0, &mut dev, SimTime::ZERO).unwrap();
+        criu.set_tip_progress(1, 111);
+        for i in 0..2 {
+            mem.touch_fraction(0.10);
+            criu.dump(1, &mut mem, 0, &mut dev, SimTime::from_secs(10 * (i + 1)))
+                .unwrap();
+            criu.set_tip_progress(1, 222 + i);
+        }
+        assert_eq!(criu.chain(1).unwrap().len(), 3);
+        let before = criu.live_bytes_on(0);
+        let freed = criu.truncate_chain(1, 1);
+        assert_eq!(freed.len(), 2, "both incrementals freed");
+        let freed_bytes: u64 = freed.iter().map(|(_, b)| b.as_u64()).sum();
+        assert_eq!(
+            criu.live_bytes_on(0),
+            before.saturating_sub(ByteSize::from_bytes(freed_bytes))
+        );
+        let tip = criu.chain(1).unwrap().tip().unwrap();
+        assert_eq!(tip.progress, 111, "surviving tip keeps its progress stamp");
+        criu.assert_manifest_consistency();
+        // Truncating to zero removes the chain like discard.
+        let freed = criu.truncate_chain(1, 0);
+        assert_eq!(freed.len(), 1);
+        assert!(criu.chain(1).is_none());
+        assert_eq!(criu.live_bytes_total(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn chunk_corruption_mark_and_repair() {
+        let mut criu = Criu::new(true);
+        let mut dev = Device::new(MediaSpec::nvm());
+        let mut mem = five_gb_task();
+        criu.dump(1, &mut mem, 0, &mut dev, SimTime::ZERO).unwrap();
+        assert!(criu.mark_tip_chunk_corrupt(1, 3));
+        assert!(!criu.mark_tip_chunk_corrupt(1, 3), "already flagged");
+        assert!(!criu.mark_tip_chunk_corrupt(9, 0), "no such task");
+        let tip = criu.chain(1).unwrap().tip().unwrap();
+        assert_eq!(tip.manifest.corrupt_chunks(), vec![3]);
+        assert!(criu.repair_chunk(1, 0, 3));
+        assert!(!criu.repair_chunk(1, 0, 3), "already repaired");
+        assert!(criu.chain(1).unwrap().tip().unwrap().manifest.is_clean());
+        criu.assert_manifest_consistency();
     }
 
     #[test]

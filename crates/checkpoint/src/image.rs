@@ -4,6 +4,8 @@ use cbp_simkit::units::ByteSize;
 use cbp_simkit::SimTime;
 use serde::{Deserialize, Serialize};
 
+use crate::integrity::ChunkManifest;
+
 /// Identifier of one dumped image (unique within a [`crate::Criu`] catalog).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ImageId(pub u64);
@@ -22,7 +24,7 @@ pub enum CheckpointKind {
 }
 
 /// One on-disk checkpoint image.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ImageRecord {
     /// Image identity.
     pub id: ImageId,
@@ -35,6 +37,13 @@ pub struct ImageRecord {
     /// Index of the node whose device holds the image (or whose DFS write
     /// originated there).
     pub origin_node: u32,
+    /// Per-chunk integrity manifest recorded at dump time.
+    pub manifest: ChunkManifest,
+    /// Opaque scheduler-defined progress stamp (e.g. microseconds of
+    /// completed work) captured when this image was dumped. Lets a chain
+    /// truncated to a valid prefix roll the task's progress back to what
+    /// the surviving tip actually captured.
+    pub progress: u64,
 }
 
 /// The sequence of images that reconstructs one task: a full image followed
@@ -60,7 +69,10 @@ impl ImageChain {
     ///
     /// Panics if a full image is appended onto a non-empty chain (that would
     /// orphan the existing images — call [`ImageChain::clear`] first), or an
-    /// incremental is appended whose parent is not the chain tip.
+    /// incremental is appended whose parent is not the chain tip. In debug
+    /// builds, additionally rejects out-of-order or duplicate image ids:
+    /// the catalog allocates ids monotonically, so a non-increasing id here
+    /// means the caller is replaying or reordering dumps.
     pub fn push(&mut self, record: ImageRecord) {
         match record.kind {
             CheckpointKind::Full => {
@@ -76,6 +88,15 @@ impl ImageChain {
                     .expect("incremental image needs a parent chain");
                 assert_eq!(tip.id, parent, "incremental parent must be the chain tip");
             }
+        }
+        if let Some(tip) = self.images.last() {
+            debug_assert!(
+                record.id > tip.id,
+                "image ids must be strictly increasing along a chain \
+                 (pushed {:?} onto tip {:?})",
+                record.id,
+                tip.id
+            );
         }
         self.images.push(record);
     }
@@ -105,10 +126,36 @@ impl ImageChain {
         self.images.iter().map(|i| i.size).sum()
     }
 
+    /// The most recent image, mutably (progress stamping, chunk repair).
+    pub fn tip_mut(&mut self) -> Option<&mut ImageRecord> {
+        self.images.last_mut()
+    }
+
+    /// The image at position `idx` (oldest first), mutably.
+    pub fn image_mut(&mut self, idx: usize) -> Option<&mut ImageRecord> {
+        self.images.get_mut(idx)
+    }
+
     /// Removes and returns the most recent image (aborting an in-flight
     /// dump). Returns `None` if the chain is empty.
     pub fn pop_tip(&mut self) -> Option<ImageRecord> {
         self.images.pop()
+    }
+
+    /// Drops every image after the first `keep` (truncation to a valid
+    /// prefix), returning the freed `(origin_node, bytes)` reservations for
+    /// the caller to release. `truncate(0)` empties the chain; a `keep` at
+    /// or beyond the current length is a no-op.
+    pub fn truncate(&mut self, keep: usize) -> Vec<(u32, ByteSize)> {
+        if keep >= self.images.len() {
+            return Vec::new();
+        }
+        let freed = self.images[keep..]
+            .iter()
+            .map(|i| (i.origin_node, i.size))
+            .collect();
+        self.images.truncate(keep);
+        freed
     }
 
     /// Drops all images, returning the freed bytes per origin node so the
@@ -135,6 +182,12 @@ mod tests {
             size: ByteSize::from_mb(mb),
             created: SimTime::ZERO,
             origin_node: 0,
+            manifest: ChunkManifest::build(
+                ImageId(id),
+                ByteSize::from_mb(mb),
+                crate::integrity::DEFAULT_CHUNK_BYTES,
+            ),
+            progress: 0,
         }
     }
 
@@ -198,5 +251,57 @@ mod tests {
             CheckpointKind::Incremental { parent: ImageId(0) },
             10,
         ));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "strictly increasing")]
+    fn duplicate_image_id_rejected() {
+        let mut c = ImageChain::new();
+        c.push(rec(5, CheckpointKind::Full, 100));
+        c.push(rec(
+            5,
+            CheckpointKind::Incremental { parent: ImageId(5) },
+            10,
+        ));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "strictly increasing")]
+    fn out_of_order_image_id_rejected() {
+        let mut c = ImageChain::new();
+        c.push(rec(9, CheckpointKind::Full, 100));
+        c.push(rec(
+            4,
+            CheckpointKind::Incremental { parent: ImageId(9) },
+            10,
+        ));
+    }
+
+    #[test]
+    fn truncate_keeps_prefix_and_reports_freed() {
+        let mut c = ImageChain::new();
+        c.push(rec(1, CheckpointKind::Full, 1000));
+        c.push(rec(
+            2,
+            CheckpointKind::Incremental { parent: ImageId(1) },
+            100,
+        ));
+        c.push(rec(
+            3,
+            CheckpointKind::Incremental { parent: ImageId(2) },
+            50,
+        ));
+        assert!(c.truncate(3).is_empty(), "keep >= len is a no-op");
+        let freed = c.truncate(1);
+        assert_eq!(
+            freed,
+            vec![(0, ByteSize::from_mb(100)), (0, ByteSize::from_mb(50))]
+        );
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.tip().unwrap().id, ImageId(1));
+        assert_eq!(c.truncate(0), vec![(0, ByteSize::from_mb(1000))]);
+        assert!(c.is_empty());
     }
 }

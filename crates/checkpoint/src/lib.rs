@@ -44,6 +44,7 @@
 
 mod criu;
 mod image;
+mod integrity;
 mod lifecycle;
 mod memory;
 mod nvram;
@@ -52,6 +53,7 @@ pub use criu::{
     CompressionSpec, Criu, DumpResult, OverheadEstimate, RestoreResult, DEFAULT_MAX_CHAIN_LEN,
 };
 pub use image::{CheckpointKind, ImageChain, ImageId, ImageRecord};
+pub use integrity::{chunk_checksum, ChunkEntry, ChunkManifest, DEFAULT_CHUNK_BYTES};
 pub use lifecycle::{admit, plan_evictions, Admission, EvictionCandidate, ImageLedger};
 pub use memory::{DirtyBitmap, TaskMemory, DEFAULT_PAGE_SIZE};
 pub use nvram::{

@@ -116,6 +116,21 @@ pub struct RunMetrics {
     /// Restores abandoned for good (corrupt image, lost blocks or
     /// exhausted retries): the task restarted from scratch.
     pub scratch_restarts: u64,
+    /// Interrupted dumps that resumed from their last durable chunk
+    /// instead of rewriting from byte zero (resume enabled only).
+    pub resumed_dumps: u64,
+    /// Bytes those resumed dumps did *not* have to rewrite (the durable
+    /// prefix credited by chunked resume).
+    pub resumed_bytes: u64,
+    /// Corrupt chunks successfully re-fetched from a DFS replica during
+    /// restore validation (targeted repair instead of whole-image loss).
+    pub chunk_refetches: u64,
+    /// Image chains truncated to their longest valid prefix after an
+    /// unrepairable chunk (restore continued from an older image).
+    pub chain_truncations: u64,
+    /// Scratch restarts forced specifically by integrity loss (no valid
+    /// prefix survived). A subset of `scratch_restarts`.
+    pub integrity_scratch_restarts: u64,
     /// CPU-hours burnt inside failed dump/restore attempts and their
     /// rewrites (part of wasted CPU).
     pub retry_overhead_cpu_hours: f64,
@@ -271,6 +286,11 @@ pub(crate) struct MetricsCollector {
     pub dump_fail_kills: u64,
     pub restore_fail_retries: u64,
     pub scratch_restarts: u64,
+    pub resumed_dumps: u64,
+    pub resumed_bytes: u64,
+    pub chunk_refetches: u64,
+    pub chain_truncations: u64,
+    pub integrity_scratch_restarts: u64,
     pub retry_cpu_secs: f64,
     pub dfs_blocks_repaired: u64,
     pub dfs_repair_bytes: u64,
@@ -380,6 +400,11 @@ impl MetricsCollector {
             dump_fail_kills: self.dump_fail_kills,
             restore_fail_retries: self.restore_fail_retries,
             scratch_restarts: self.scratch_restarts,
+            resumed_dumps: self.resumed_dumps,
+            resumed_bytes: self.resumed_bytes,
+            chunk_refetches: self.chunk_refetches,
+            chain_truncations: self.chain_truncations,
+            integrity_scratch_restarts: self.integrity_scratch_restarts,
             retry_overhead_cpu_hours: self.retry_cpu_secs / 3600.0,
             dfs_blocks_repaired: self.dfs_blocks_repaired,
             dfs_repair_bytes: self.dfs_repair_bytes,
@@ -416,6 +441,11 @@ mod tests {
         c.evicted_chains = 3;
         c.spill_dumps = 4;
         c.no_space_kills = 1;
+        c.resumed_dumps = 2;
+        c.resumed_bytes = 128_000_000;
+        c.chunk_refetches = 5;
+        c.chain_truncations = 1;
+        c.integrity_scratch_restarts = 1;
         c.record_response(
             PriorityBand::Free,
             LatencyClass::new(0),
@@ -449,6 +479,11 @@ mod tests {
         assert_eq!(m.evicted_chains, 3);
         assert_eq!(m.spill_dumps, 4);
         assert_eq!(m.no_space_kills, 1);
+        assert_eq!(m.resumed_dumps, 2);
+        assert_eq!(m.resumed_bytes, 128_000_000);
+        assert_eq!(m.chunk_refetches, 5);
+        assert_eq!(m.chain_truncations, 1);
+        assert_eq!(m.integrity_scratch_restarts, 1);
         assert!((m.kill_lost_cpu_hours - 2.0).abs() < 1e-12);
         assert!((m.dump_overhead_cpu_hours - 0.5).abs() < 1e-12);
         assert!((m.restore_overhead_cpu_hours - 0.5).abs() < 1e-12);

@@ -144,6 +144,10 @@ pub struct ClusterSim {
     faults: Option<FaultPlan>,
     /// Task → 0-based attempt index of its in-flight dump episode.
     dump_attempts: HashMap<u32, u32>,
+    /// Task → durable bytes of its in-flight dump episode (the chunked
+    /// resume frontier: monotone within an episode, cleared when the
+    /// episode ends). A retried dump rewrites only the suffix past it.
+    dump_frontier: HashMap<u32, u64>,
     /// Task → 0-based attempt index of its in-flight restore episode.
     restore_attempts: HashMap<u32, u32>,
     /// Tasks whose *current* image chain was corrupted at dump time
@@ -167,6 +171,19 @@ struct Reservation {
     node: usize,
     amount: Resources,
     drains_left: u32,
+}
+
+/// Outcome of chunk-level restore validation (resume mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChainValidation {
+    /// Every image verified (possibly after targeted replica re-fetches):
+    /// the restore proceeds.
+    Intact,
+    /// The chain was cut to its longest valid prefix and a restore of the
+    /// shorter chain is in flight.
+    Truncated,
+    /// No valid prefix survived: the task restarted from scratch.
+    Dead,
 }
 
 impl ClusterSim {
@@ -221,6 +238,11 @@ impl ClusterSim {
         if let Some(compression) = cfg.compression {
             criu = criu.with_compression(compression);
         }
+        if let Some(plan) = &faults {
+            // Manifests chunk at the plan's transfer granularity so the
+            // per-chunk corruption draws and the resume frontier agree.
+            criu = criu.with_chunk_bytes(plan.chunk_bytes());
+        }
         let health = faults
             .as_ref()
             .and_then(|p| p.breaker())
@@ -251,6 +273,7 @@ impl ClusterSim {
             sampler: None,
             last_queue_depth: 0,
             dump_attempts: HashMap::new(),
+            dump_frontier: HashMap::new(),
             restore_attempts: HashMap::new(),
             corrupt_images: HashSet::new(),
             active_partition: None,
@@ -405,6 +428,15 @@ impl ClusterSim {
         reg.set_counter("faults.dump_fail_kills", "ops", m.dump_fail_kills);
         reg.set_counter("faults.restore_fail_retries", "ops", m.restore_fail_retries);
         reg.set_counter("faults.scratch_restarts", "ops", m.scratch_restarts);
+        reg.set_counter("integrity.resumed_dumps", "ops", m.resumed_dumps);
+        reg.set_counter("integrity.resumed_bytes", "bytes", m.resumed_bytes);
+        reg.set_counter("integrity.chunk_refetches", "ops", m.chunk_refetches);
+        reg.set_counter("integrity.chain_truncations", "ops", m.chain_truncations);
+        reg.set_counter(
+            "integrity.scratch_restarts",
+            "ops",
+            m.integrity_scratch_restarts,
+        );
         reg.set_counter("dfs.blocks_repaired", "blocks", m.dfs_blocks_repaired);
         reg.set_counter("dfs.repair_bytes", "bytes", m.dfs_repair_bytes);
         reg.set_counter("dfs.blocks_lost", "blocks", m.dfs_blocks_lost);
@@ -1199,6 +1231,9 @@ impl ClusterSim {
     /// by a live catalog image or an injected leak.
     #[cfg(debug_assertions)]
     fn assert_image_conservation(&self, now: SimTime) {
+        // Manifest ↔ catalog ↔ ledger first (per-image checksums and
+        // per-node byte recomputation), then ledger ↔ device reservations.
+        self.criu.assert_manifest_consistency();
         for (i, slot) in self.nodes.iter().enumerate() {
             let expected = self.criu.live_bytes_on(i as u32).as_u64() + self.leaked[i];
             assert_eq!(
@@ -1655,12 +1690,24 @@ impl ClusterSim {
         let dump = spec.write_time(size) + spec.read_time(size);
         let queue = self.nodes[node].device.queue_wait(now);
         let factor = self.device_factor(node, now);
-        let cost = (dump + queue).as_secs_f64();
+        let mut cost = (dump + queue).as_secs_f64();
         if factor > 1.0 {
-            cost * factor
-        } else {
-            cost
+            cost *= factor;
         }
+        // Fault-aware: expected dump rewrites inflate the victim's cost.
+        // With chunked resume a retry rewrites only the suffix past the
+        // durable frontier — on average half the image — so resumable
+        // victims rank cheaper than they would under full rewrites.
+        if let Some(plan) = &self.faults {
+            let p = plan.spec().dump_fail_prob;
+            if p > 0.0 {
+                let expected_retries =
+                    (p / (1.0 - p).max(1e-9)).min(plan.max_dump_retries() as f64);
+                let rewrite_frac = if plan.resume_enabled() { 0.5 } else { 1.0 };
+                cost *= 1.0 + expected_retries * rewrite_frac;
+            }
+        }
+        cost
     }
 
     /// Tries to free enough space for pending task `t` by preempting
@@ -1840,11 +1887,58 @@ impl ClusterSim {
                 .and_then(|c| c.tip())
                 .map(|r| r.size)
                 .unwrap_or_else(|| self.tasks[t as usize].spec.resources.mem());
+            let mut rewrite = size;
+            if let Some(plan) = &self.faults {
+                if plan.resume_enabled() {
+                    // Chunked resume: chunks written before the interruption
+                    // are durable. The frontier is monotone within the
+                    // episode — a later attempt never re-pays chunks an
+                    // earlier attempt landed.
+                    let frac = plan.dump_durable_frac(t as u64, epoch, attempt);
+                    let tip = self.criu.chain(handle_u64(t)).and_then(|c| c.tip());
+                    if let Some(tip) = tip {
+                        let durable = tip.manifest.durable_bytes(frac).as_u64();
+                        let total_chunks = tip.manifest.chunk_count();
+                        let prev = self.dump_frontier.get(&t).copied().unwrap_or(0);
+                        let frontier = prev.max(durable);
+                        if frontier > 0 {
+                            self.dump_frontier.insert(t, frontier);
+                            rewrite = size.saturating_sub(ByteSize::from_bytes(frontier));
+                            self.metrics.resumed_dumps += 1;
+                            self.metrics.resumed_bytes += frontier;
+                            if self.trace_on {
+                                let done = tip
+                                    .manifest
+                                    .durable_chunks(frac)
+                                    .max(frontier / plan.chunk_bytes().max(1));
+                                self.tracer.record(
+                                    now.as_micros(),
+                                    &TraceRecord::ChunkDone {
+                                        task: t as u64,
+                                        node: node as u32,
+                                        chunk: done,
+                                        total: total_chunks,
+                                    },
+                                );
+                                self.tracer.record(
+                                    now.as_micros(),
+                                    &TraceRecord::ResumeDump {
+                                        task: t as u64,
+                                        node: node as u32,
+                                        resumed_bytes: frontier,
+                                        total_bytes: size.as_u64(),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
             let factor = self.device_factor(node, now).max(1.0);
             let service = self.nodes[node]
                 .device
                 .spec()
-                .write_time(size)
+                .write_time(rewrite)
                 .mul_f64(factor);
             let cores = self.tasks[t as usize].spec.resources.cores_f64();
             self.metrics.retry_cpu_secs += service.as_secs_f64() * cores;
@@ -1861,6 +1955,7 @@ impl ClusterSim {
             // Budget exhausted: the dump is abandoned for good.
             self.metrics.dump_fail_kills += 1;
             self.dump_attempts.remove(&t);
+            self.dump_frontier.remove(&t);
             if let Some((origin, bytes)) = self.criu.abort_tip(handle_u64(t)) {
                 self.nodes[origin as usize].device.release(bytes);
             }
@@ -2001,9 +2096,193 @@ impl ClusterSim {
             );
         } else {
             self.metrics.scratch_restarts += 1;
+            if corrupt {
+                // Integrity loss forced this restart (legacy whole-image
+                // corruption path, i.e. the `resume=false` ablation).
+                self.metrics.integrity_scratch_restarts += 1;
+            }
             self.restart_from_scratch(t, now);
             self.schedule_pass(now, q);
         }
+    }
+
+    /// Chunk-level validation of `t`'s chain after a restore read completed
+    /// (resume mode): every corrupt chunk first attempts a targeted
+    /// re-fetch from a DFS replica; an image that stays invalid cuts the
+    /// chain at its longest valid prefix (restore continues from the older
+    /// tip), and a chain with no valid prefix forces a scratch restart.
+    fn validate_restored_chain(
+        &mut self,
+        t: u32,
+        node: usize,
+        epoch: u32,
+        started: SimTime,
+        now: SimTime,
+        q: &mut EventQueue<Event>,
+    ) -> ChainValidation {
+        // Snapshot (image idx → corrupt chunks with lengths): the catalog
+        // is mutated during repair, so iterate over an owned copy.
+        let images: Vec<(usize, Vec<(u64, u64)>)> = match self.criu.chain(handle_u64(t)) {
+            Some(chain) => chain
+                .images()
+                .iter()
+                .enumerate()
+                .map(|(i, img)| {
+                    let bad = img
+                        .manifest
+                        .corrupt_chunks()
+                        .into_iter()
+                        .map(|c| (c, img.manifest.chunks[c as usize].len))
+                        .collect();
+                    (i, bad)
+                })
+                .collect(),
+            None => return ChainValidation::Intact,
+        };
+        if images.iter().all(|(_, bad)| bad.is_empty()) {
+            return ChainValidation::Intact;
+        }
+        let cores = self.tasks[t as usize].spec.resources.cores_f64();
+        let total = images.len();
+        let mut valid_prefix = total;
+        'walk: for (i, bad) in images {
+            for (chunk, len) in bad {
+                // A replica exists when the image was written through the
+                // DFS and its blocks are still readable.
+                let replica = match &self.dfs {
+                    Some(dfs) => self.tasks[t as usize]
+                        .dfs_paths
+                        .get(i)
+                        .is_some_and(|p| dfs.is_readable(p).unwrap_or(false)),
+                    None => false,
+                };
+                // Per-image × per-chunk key so refetch draws across chain
+                // images stay independent.
+                let ckey = ((i as u64) << 20) | chunk;
+                let ok = replica
+                    && !self
+                        .faults
+                        .as_ref()
+                        .expect("resume mode implies a plan")
+                        .chunk_refetch_fails(t as u64, epoch, ckey);
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::ChunkRefetch {
+                            task: t as u64,
+                            node: node as u32,
+                            chunk,
+                            ok,
+                        },
+                    );
+                }
+                if ok {
+                    self.criu.repair_chunk(handle_u64(t), i, chunk);
+                    self.metrics.chunk_refetches += 1;
+                    // The targeted re-read holds the container for the
+                    // chunk's transfer time: charge it as retry overhead.
+                    let reread = self.nodes[node]
+                        .device
+                        .spec()
+                        .read_time(ByteSize::from_bytes(len));
+                    self.metrics.retry_cpu_secs += reread.as_secs_f64() * cores;
+                } else {
+                    valid_prefix = i;
+                    break 'walk;
+                }
+            }
+        }
+        if valid_prefix == total {
+            // Every corrupt chunk was repaired in place: the restore holds.
+            return ChainValidation::Intact;
+        }
+        // The read past the prefix was wasted work.
+        let attempt = self.restore_attempts.get(&t).copied().unwrap_or(0);
+        self.metrics.retry_cpu_secs += now.since(started).as_secs_f64() * cores;
+        self.observe_health(node, now, false);
+        if valid_prefix == 0 {
+            if self.trace_on {
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::RestoreFail {
+                        task: t as u64,
+                        node: node as u32,
+                        attempt,
+                        reason: "corrupt-image",
+                        will_retry: false,
+                    },
+                );
+            }
+            self.metrics.scratch_restarts += 1;
+            self.metrics.integrity_scratch_restarts += 1;
+            self.restart_from_scratch(t, now);
+            return ChainValidation::Dead;
+        }
+        // Truncate to the longest valid prefix and restore from the older
+        // tip instead of losing the whole chain.
+        let dropped = (total - valid_prefix) as u64;
+        for (origin, bytes) in self.criu.truncate_chain(handle_u64(t), valid_prefix) {
+            self.nodes[origin as usize].device.release(bytes);
+        }
+        while self.tasks[t as usize].dfs_paths.len() > valid_prefix {
+            let path = self.tasks[t as usize]
+                .dfs_paths
+                .pop()
+                .expect("length checked");
+            if let Some(dfs) = &mut self.dfs {
+                let _ = dfs.delete(&path);
+            }
+        }
+        self.metrics.chain_truncations += 1;
+        if self.trace_on {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::ChainTruncate {
+                    task: t as u64,
+                    node: node as u32,
+                    dropped,
+                    kept: valid_prefix as u64,
+                },
+            );
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::RestoreFail {
+                    task: t as u64,
+                    node: node as u32,
+                    attempt,
+                    reason: "corrupt-image",
+                    will_retry: true,
+                },
+            );
+        }
+        // Roll progress back to what the surviving tip certifies.
+        let stamp = self
+            .criu
+            .chain(handle_u64(t))
+            .and_then(|c| c.tip())
+            .map(|r| r.progress)
+            .unwrap_or(0);
+        let task = &mut self.tasks[t as usize];
+        task.checkpointed_progress = SimDuration::from_micros(stamp);
+        task.progress = task.checkpointed_progress;
+        // Re-read the truncated chain in place (same node, same episode).
+        // The strictly shrinking chain bounds this loop without consuming
+        // the transient-retry budget.
+        let factor = self.device_factor(node, now).max(1.0);
+        let service = self.restore_service(t, node).mul_f64(factor);
+        let size = self.criu.image_size(handle_u64(t));
+        let op = self.nodes[node]
+            .device
+            .submit_custom(now, OpKind::Read, size, service);
+        q.push(
+            op.end,
+            Event::RestoreDone {
+                task: t,
+                epoch,
+                started: op.start,
+            },
+        );
+        ChainValidation::Truncated
     }
 
     /// Abandons task `t`'s image for good: the checkpointed progress is
@@ -2081,6 +2360,7 @@ impl ClusterSim {
                 self.discard_chain(t);
                 self.tasks[t as usize].checkpointed_progress = SimDuration::ZERO;
                 self.dump_attempts.remove(&t);
+                self.dump_frontier.remove(&t);
                 self.kill_dump_victim(t, node as usize, now);
             }
             _ => {
@@ -2187,6 +2467,7 @@ impl ClusterSim {
         // The node failure ends any in-flight dump/restore episode.
         if self.faults.is_some() {
             self.dump_attempts.remove(&t);
+            self.dump_frontier.remove(&t);
             self.restore_attempts.remove(&t);
         }
 
@@ -2541,15 +2822,52 @@ impl ClusterSim {
                 let task_state = &mut self.tasks[task as usize];
                 task_state.checkpointed_progress = task_state.progress;
                 task_state.status = TaskStatus::Checkpointed { origin: node };
-                // Corruption is decided once per image; a corrupted dump
-                // completes "successfully" but every later restore of it
-                // fails (matching real silent image corruption).
+                let stamp = task_state.checkpointed_progress.as_micros();
+                // Stamp the tip with the progress it certifies, so a later
+                // chain truncation can roll the task back to exactly the
+                // progress its surviving tip guarantees.
+                self.criu.set_tip_progress(handle_u64(task), stamp);
+                // Corruption is decided once per image. With chunked resume
+                // the draw is per *chunk* and lands in the tip's manifest
+                // (repairable at restore time); the legacy whole-image draw
+                // remains for the `resume=false` ablation, where every
+                // later restore of the poisoned image fails.
                 if let Some(plan) = &self.faults {
                     self.dump_attempts.remove(&task);
-                    if self.cfg.nvram.is_none() && plan.image_corrupt(task as u64, epoch) {
-                        self.corrupt_images.insert(task);
-                    } else {
-                        self.corrupt_images.remove(&task);
+                    self.dump_frontier.remove(&task);
+                    if self.cfg.nvram.is_none() {
+                        if plan.resume_enabled() {
+                            let hit: Vec<(u64, u64)> = self
+                                .criu
+                                .chain(handle_u64(task))
+                                .and_then(|c| c.tip())
+                                .map(|tip| {
+                                    let n = tip.manifest.chunk_count();
+                                    (0..n)
+                                        .filter(|&c| plan.chunk_corrupt(task as u64, epoch, c, n))
+                                        .map(|c| (c, tip.id.0))
+                                        .collect()
+                                })
+                                .unwrap_or_default();
+                            for &(chunk, image) in &hit {
+                                self.criu.mark_tip_chunk_corrupt(handle_u64(task), chunk);
+                                if self.trace_on {
+                                    self.tracer.record(
+                                        now.as_micros(),
+                                        &TraceRecord::ChunkCorrupt {
+                                            task: task as u64,
+                                            node,
+                                            image,
+                                            chunk,
+                                        },
+                                    );
+                                }
+                            }
+                        } else if plan.image_corrupt(task as u64, epoch) {
+                            self.corrupt_images.insert(task);
+                        } else {
+                            self.corrupt_images.remove(&task);
+                        }
                     }
                 }
                 // Credit the drain to the blocked task it was serving.
@@ -2700,6 +3018,23 @@ impl ClusterSim {
                     return;
                 };
                 self.nodes[node as usize].device.on_advance(now);
+                // Chunk-level integrity validation first (resume mode):
+                // corrupt chunks re-fetch from replicas, unrepairable
+                // images truncate the chain to its longest valid prefix,
+                // and an empty prefix scratch-restarts.
+                if self.cfg.nvram.is_none()
+                    && self.faults.as_ref().is_some_and(|p| p.resume_enabled())
+                {
+                    match self.validate_restored_chain(task, node as usize, epoch, started, now, q)
+                    {
+                        ChainValidation::Intact => {}
+                        ChainValidation::Truncated => return,
+                        ChainValidation::Dead => {
+                            self.schedule_pass(now, q);
+                            return;
+                        }
+                    }
+                }
                 // Deterministic fault check: did this restore attempt
                 // fail (transiently, or because the image is corrupt)?
                 if self.cfg.nvram.is_none() {

@@ -234,6 +234,17 @@ pub struct FaultSpec {
     /// RM-side escalation deadline for an unresponsive AM when no
     /// `graceful_timeout` is configured (liveness backstop).
     pub escalation_timeout: SimDuration,
+    /// Checkpoint transfer chunk size: dumps/restores are split into
+    /// chunks of this size, each independently checksummed (and, under
+    /// `corrupt_image_prob`, independently corruptible). Resumed dumps
+    /// restart from the last durable chunk boundary.
+    pub chunk_bytes: ByteSize,
+    /// Whether interrupted dumps resume from the last durable chunk and
+    /// corrupt restores attempt chunk re-fetch / longest-valid-prefix
+    /// recovery. On by default; `resume=false` (the `--no-resume`
+    /// ablation) restores the legacy behaviour — every retry re-dumps
+    /// from byte zero and any corruption scratch-restarts the task.
+    pub resume: bool,
 }
 
 impl Default for FaultSpec {
@@ -254,6 +265,8 @@ impl Default for FaultSpec {
             dump_retry_backoff: SimDuration::from_secs(5),
             max_restore_retries: 2,
             escalation_timeout: SimDuration::from_secs(60),
+            chunk_bytes: ByteSize::from_mb(64),
+            resume: true,
         }
     }
 }
@@ -362,6 +375,8 @@ impl FaultSpec {
     /// | `leak` | per-(node, window) leaked-reservation probability |
     /// | `leak-gb` | leaked reservation size, GB |
     /// | `leak-window` | leak window length, seconds |
+    /// | `chunk-mb` | checkpoint transfer chunk size, MB (> 0) |
+    /// | `resume` | resumable transfers + targeted repair (`true`/`false`) |
     pub fn parse(text: &str) -> Result<FaultSpec, String> {
         let mut spec = FaultSpec::default();
         for (i, part) in text.split(',').enumerate() {
@@ -573,6 +588,19 @@ impl FaultSpec {
                         .get_or_insert_with(PressureSpec::default)
                         .window = w;
                 }
+                "chunk-mb" => {
+                    let mb = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|m| *m > 0.0)
+                        .ok_or_else(|| format!("fault spec chunk-mb={value}: expected MB > 0"))?;
+                    spec.chunk_bytes = ByteSize::from_bytes((mb * 1e6) as u64);
+                }
+                "resume" => {
+                    spec.resume = value.parse::<bool>().map_err(|_| {
+                        format!("fault spec resume={value}: expected true or false")
+                    })?;
+                }
                 other => return Err(format!("fault spec: unknown key {other:?}")),
             }
         }
@@ -674,6 +702,12 @@ impl fmt::Display for FaultSpec {
                 b.decay
             )?;
         }
+        if self.chunk_bytes != ByteSize::from_mb(64) {
+            write!(f, " chunk-mb={}", self.chunk_bytes.as_u64() as f64 / 1e6)?;
+        }
+        if !self.resume {
+            write!(f, " resume=false")?;
+        }
         Ok(())
     }
 }
@@ -689,6 +723,8 @@ const TAG_CRASH: u64 = 0x009D_5F06;
 const TAG_RACK: u64 = 0x009D_5F07;
 const TAG_PARTITION: u64 = 0x009D_5F08;
 const TAG_LEAK: u64 = 0x009D_5F09;
+const TAG_RESUME: u64 = 0x009D_5F0A;
+const TAG_REFETCH: u64 = 0x009D_5F0B;
 
 /// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
 fn mix(x: u64) -> u64 {
@@ -756,6 +792,10 @@ impl FaultPlan {
 
     /// Is the image dumped at `(task, epoch)` corrupted? Corruption is
     /// decided per image, not per attempt: retries never help.
+    ///
+    /// Legacy whole-image draw, kept for the `resume=false` ablation;
+    /// the chunked path uses [`FaultPlan::chunk_corrupt`], which spends
+    /// the same per-image corruption mass at chunk granularity.
     pub fn image_corrupt(&self, task: u64, epoch: u32) -> bool {
         self.decide(
             TAG_CORRUPT,
@@ -763,6 +803,52 @@ impl FaultPlan {
             epoch as u64,
             self.spec.corrupt_image_prob,
         )
+    }
+
+    /// Is chunk `chunk` (of `chunks` total) of the image dumped at
+    /// `(task, epoch)` corrupted?
+    ///
+    /// The per-chunk reinterpretation of `corrupt_image_prob`: each chunk
+    /// draws independently from the same `TAG_CORRUPT` stream at
+    /// probability `corrupt_image_prob / chunks`, so the *per-image*
+    /// corruption mass stays ≈ `corrupt_image_prob` no matter how many
+    /// chunks an image splits into — profiles keep their meaning, and
+    /// replaying the same `(seed, plan)` is byte-identical because the
+    /// draw is a pure hash like every other decision.
+    pub fn chunk_corrupt(&self, task: u64, epoch: u32, chunk: u64, chunks: u64) -> bool {
+        let p = self.spec.corrupt_image_prob / chunks.max(1) as f64;
+        self.decide(TAG_CORRUPT, task, ((epoch as u64) << 32) | chunk, p)
+    }
+
+    /// Fraction of a failed dump's chunks that were durably written
+    /// before the interruption, uniform in `[0, 1)`. The resumed retry
+    /// re-writes only the suffix past the last durable chunk boundary.
+    pub fn dump_durable_frac(&self, task: u64, epoch: u32, attempt: u32) -> f64 {
+        let b = ((epoch as u64) << 32) | attempt as u64;
+        unit(mix(mix(mix(mix(self.spec.seed) ^ TAG_RESUME) ^ task) ^ b))
+    }
+
+    /// Does the targeted re-fetch of corrupt chunk `chunk` of `(task,
+    /// epoch)` from a DFS replica fail? Drawn at the restore failure
+    /// probability — a replica re-read shares the restore path's odds.
+    pub fn chunk_refetch_fails(&self, task: u64, epoch: u32, chunk: u64) -> bool {
+        self.decide(
+            TAG_REFETCH,
+            task,
+            ((epoch as u64) << 32) | chunk,
+            self.spec.restore_fail_prob,
+        )
+    }
+
+    /// Whether resumable transfers and targeted repair are enabled
+    /// (the `resume=false` / `--no-resume` ablation turns them off).
+    pub fn resume_enabled(&self) -> bool {
+        self.spec.resume
+    }
+
+    /// Checkpoint transfer chunk size in bytes.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.spec.chunk_bytes.as_u64().max(1)
     }
 
     /// Does the AM ignore the preemption request issued at `(task,
@@ -1284,6 +1370,141 @@ mod tests {
         let text = format!("{s}");
         assert!(text.contains("cap=0.05"), "{text}");
         assert!(text.contains("leak=0.25"), "{text}");
+    }
+
+    #[test]
+    fn parse_integrity_keys() {
+        let s = FaultSpec::parse("chunk-mb=16,resume=false").unwrap();
+        assert_eq!(s.chunk_bytes, ByteSize::from_mb(16));
+        assert!(!s.resume);
+        let s = FaultSpec::parse("heavy,resume=true").unwrap();
+        assert!(s.resume);
+        assert_eq!(s.chunk_bytes, ByteSize::from_mb(64), "default chunk size");
+        // Fractional chunk sizes are allowed (half-MB chunks).
+        let s = FaultSpec::parse("chunk-mb=0.5").unwrap();
+        assert_eq!(s.chunk_bytes.as_u64(), 500_000);
+    }
+
+    #[test]
+    fn parse_rejects_bad_integrity_input() {
+        assert!(FaultSpec::parse("chunk-mb=0").is_err());
+        assert!(FaultSpec::parse("chunk-mb=-4").is_err());
+        assert!(FaultSpec::parse("resume=maybe").is_err());
+        assert!(FaultSpec::parse("resume=1").is_err(), "strict bool only");
+    }
+
+    #[test]
+    fn integrity_keys_do_not_affect_inertness() {
+        assert!(FaultSpec::parse("chunk-mb=8,resume=false")
+            .unwrap()
+            .is_inert());
+    }
+
+    #[test]
+    fn integrity_display_only_when_non_default() {
+        let text = format!("{}", FaultSpec::parse("heavy").unwrap());
+        assert!(!text.contains("chunk-mb"), "{text}");
+        assert!(!text.contains("resume"), "{text}");
+        let text = format!(
+            "{}",
+            FaultSpec::parse("heavy,chunk-mb=16,resume=false").unwrap()
+        );
+        assert!(text.contains("chunk-mb=16"), "{text}");
+        assert!(text.contains("resume=false"), "{text}");
+    }
+
+    #[test]
+    fn chunk_corruption_preserves_per_image_mass() {
+        let plan = FaultPlan::new(FaultSpec {
+            seed: 5,
+            corrupt_image_prob: 0.2,
+            ..FaultSpec::default()
+        });
+        // Per-chunk draws are derated by the chunk count, so the fraction
+        // of images with at least one corrupt chunk tracks the knob no
+        // matter how finely images are chunked.
+        for chunks in [1u64, 8, 64] {
+            let n = 4_000u64;
+            let hit = (0..n)
+                .filter(|&t| (0..chunks).any(|c| plan.chunk_corrupt(t, 0, c, chunks)))
+                .count() as f64;
+            let rate = hit / n as f64;
+            // 1-(1-p/n)^n is slightly below p for n > 1; allow that bias
+            // plus sampling noise.
+            assert!(
+                (rate - 0.2).abs() < 0.035,
+                "chunks={chunks}: per-image corruption rate {rate} far from 0.2"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_corruption_is_deterministic_and_chunk_separated() {
+        let plan = FaultPlan::new(FaultSpec {
+            corrupt_image_prob: 0.9,
+            ..FaultSpec::default()
+        });
+        let pattern = |epoch: u32| -> Vec<bool> {
+            (0..500u64)
+                .flat_map(|t| (0..64).map(move |c| (t, c)))
+                .map(|(t, c)| plan.chunk_corrupt(t, epoch, c, 64))
+                .collect()
+        };
+        let a = pattern(2);
+        assert_eq!(a, pattern(2), "pure hash: replays identically");
+        assert!(a.iter().any(|&x| x), "p=0.9 per image fires somewhere");
+        // Different epochs give independent chunk patterns.
+        assert_ne!(a, pattern(3), "epochs must decorrelate chunk corruption");
+    }
+
+    #[test]
+    fn durable_frac_is_uniform_and_deterministic() {
+        let plan = FaultPlan::new(FaultSpec {
+            seed: 11,
+            ..FaultSpec::default()
+        });
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|t| plan.dump_durable_frac(t, 1, 0)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - 0.5).abs() < 0.02,
+            "uniform mean {mean} far from 0.5"
+        );
+        for t in 0..100u64 {
+            let f = plan.dump_durable_frac(t, 1, 0);
+            assert!((0.0..1.0).contains(&f));
+            assert_eq!(f, plan.dump_durable_frac(t, 1, 0), "deterministic");
+        }
+        assert_ne!(
+            plan.dump_durable_frac(3, 1, 0),
+            plan.dump_durable_frac(3, 1, 1),
+            "attempts must decorrelate"
+        );
+    }
+
+    #[test]
+    fn refetch_draw_tracks_restore_probability() {
+        let plan = FaultPlan::new(FaultSpec {
+            seed: 3,
+            restore_fail_prob: 0.25,
+            ..FaultSpec::default()
+        });
+        let n = 20_000u64;
+        let hits = (0..n)
+            .filter(|&t| plan.chunk_refetch_fails(t, 0, 0))
+            .count() as f64;
+        let rate = hits / n as f64;
+        assert!(
+            (rate - 0.25).abs() < 0.02,
+            "refetch rate {rate} far from 0.25"
+        );
+        // Independent of the restore-attempt stream under the same seed.
+        let agree = (0..256u64)
+            .filter(|&t| plan.chunk_refetch_fails(t, 0, 0) == plan.restore_fails(t, 0, 0))
+            .count();
+        assert!(agree < 256, "refetch and restore draws must be independent");
+        // Zero restore probability -> refetch always succeeds.
+        let clean = FaultPlan::new(FaultSpec::default());
+        assert!(!clean.chunk_refetch_fails(1, 0, 0));
     }
 
     #[test]

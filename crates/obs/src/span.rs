@@ -329,6 +329,15 @@ pub struct TaskSpan {
     pub restore_fails: u32,
     /// RM escalations after an unresponsive AM (`am_escalate` records).
     pub escalations: u32,
+    /// Bytes dump retries did not rewrite thanks to chunked resume
+    /// (`resume_dump` records). The time saved is already inside the
+    /// shorter retry spans; this credits the avoided I/O volume.
+    pub resumed_bytes: u64,
+    /// Corrupt chunks repaired in place by a DFS replica re-fetch
+    /// (`chunk_refetch` records with `ok`).
+    pub chunk_refetches: u32,
+    /// Chain truncations to a valid prefix (`chain_truncate` records).
+    pub chain_truncations: u32,
     /// Records that arrived in a phase where they make no sense. Tasks
     /// with `malformed > 0` are excluded from aggregation.
     pub malformed: u32,
@@ -385,6 +394,8 @@ pub struct NodeStats {
     pub repairs: u32,
     /// Bytes re-replicated for those repairs.
     pub repair_bytes: u64,
+    /// Bytes dump retries on this node did not rewrite (chunked resume).
+    pub resumed_bytes: u64,
     /// Tasks that finished on this node.
     pub finishes: u32,
 }
@@ -499,6 +510,9 @@ impl SpanCollector {
                         dump_fails: 0,
                         restore_fails: 0,
                         escalations: 0,
+                        resumed_bytes: 0,
+                        chunk_refetches: 0,
+                        chain_truncations: 0,
                         malformed: 0,
                         segments: Vec::new(),
                         current: Phase::Queued { since: t },
@@ -794,6 +808,39 @@ impl SpanCollector {
                 ns.repairs += blocks.min(u32::MAX as u64) as u32;
                 ns.repair_bytes += bytes;
             }
+            TraceRecord::ResumeDump {
+                task,
+                node,
+                resumed_bytes,
+                ..
+            } => {
+                // The time the resume saved is already reflected in the
+                // shorter retry span (dump_fail → dump_done); credit the
+                // avoided rewrite volume without touching the phase
+                // machine, so the 8-way tiling stays exact.
+                if let Some(span) = self.tasks.get_mut(&task) {
+                    span.resumed_bytes += resumed_bytes;
+                }
+                self.node(node).resumed_bytes += resumed_bytes;
+            }
+            TraceRecord::ChunkRefetch { task, ok, .. } => {
+                // A successful targeted repair; its transfer time is inside
+                // the surrounding restore span. Failed refetches are
+                // followed by a restore_fail/chain_truncate that carries
+                // the timing, so this is counter-only either way.
+                if ok {
+                    if let Some(span) = self.tasks.get_mut(&task) {
+                        span.chunk_refetches += 1;
+                    }
+                }
+            }
+            TraceRecord::ChainTruncate { task, .. } => {
+                // Always paired with a restore_fail(will_retry=true) that
+                // re-arms the restoring phase; only counted here.
+                if let Some(span) = self.tasks.get_mut(&task) {
+                    span.chain_truncations += 1;
+                }
+            }
             // Bookkeeping-only records: the span machine does not need
             // them (dump/restore spans close on the *_done records, and
             // node-failure/crash evictions arrive as task_evict — a
@@ -821,6 +868,8 @@ impl SpanCollector {
             | TraceRecord::ImageEvict { .. }
             | TraceRecord::ImageSpill { .. }
             | TraceRecord::NoSpace { .. }
+            | TraceRecord::ChunkDone { .. }
+            | TraceRecord::ChunkCorrupt { .. }
             | TraceRecord::QueueDepth { .. } => {}
         }
     }
@@ -1322,6 +1371,129 @@ mod tests {
         assert_eq!(b.total_us(), 230);
         assert_eq!(span.restore_fails, 2);
         assert_eq!(span.restores, 0);
+    }
+
+    #[test]
+    fn integrity_records_credit_without_breaking_tiling() {
+        let mut c = SpanCollector::new();
+        feed(
+            &mut c,
+            &[
+                (0, submit(1)),
+                (0, sched(1, false)),
+                (30, evict(1, "dump")),
+                // Attempt 0 fails at 45; the retry resumes past 64 MB of
+                // durable chunks instead of rewriting all 128 MB.
+                (
+                    45,
+                    TraceRecord::DumpFail {
+                        task: 1,
+                        node: 0,
+                        attempt: 0,
+                        will_retry: true,
+                    },
+                ),
+                (
+                    45,
+                    TraceRecord::ChunkDone {
+                        task: 1,
+                        node: 0,
+                        chunk: 1,
+                        total: 2,
+                    },
+                ),
+                (
+                    45,
+                    TraceRecord::ResumeDump {
+                        task: 1,
+                        node: 0,
+                        resumed_bytes: 64_000_000,
+                        total_bytes: 128_000_000,
+                    },
+                ),
+                (
+                    60,
+                    TraceRecord::DumpDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 50,
+                    },
+                ),
+                (70, sched(1, true)),
+                // Validation: one chunk repaired from a replica, a second
+                // stays corrupt — the chain is cut and re-read in place.
+                (
+                    80,
+                    TraceRecord::ChunkCorrupt {
+                        task: 1,
+                        node: 0,
+                        image: 7,
+                        chunk: 0,
+                    },
+                ),
+                (
+                    80,
+                    TraceRecord::ChunkRefetch {
+                        task: 1,
+                        node: 0,
+                        chunk: 0,
+                        ok: true,
+                    },
+                ),
+                (
+                    80,
+                    TraceRecord::ChunkRefetch {
+                        task: 1,
+                        node: 0,
+                        chunk: 1,
+                        ok: false,
+                    },
+                ),
+                (
+                    80,
+                    TraceRecord::ChainTruncate {
+                        task: 1,
+                        node: 0,
+                        dropped: 1,
+                        kept: 1,
+                    },
+                ),
+                (
+                    80,
+                    TraceRecord::RestoreFail {
+                        task: 1,
+                        node: 0,
+                        attempt: 0,
+                        reason: "corrupt-image",
+                        will_retry: true,
+                    },
+                ),
+                (
+                    95,
+                    TraceRecord::RestoreDone {
+                        task: 1,
+                        node: 0,
+                        start_us: 85,
+                    },
+                ),
+                (195, TraceRecord::TaskFinish { task: 1, node: 0 }),
+            ],
+        );
+        let span = &c.tasks()[&1];
+        let b = span.blame;
+        assert_eq!(b.retry_us, 15 + 10, "failed attempt + truncated read");
+        assert_eq!(b.run_us, 130);
+        assert_eq!(b.dump_us, 10);
+        assert_eq!(b.restore_us, 10);
+        assert_eq!(b.ckpt_wait_us, 5 + 5);
+        assert_eq!(b.suspended_us, 10);
+        assert_eq!(b.total_us(), 195, "integrity records never break tiling");
+        assert_eq!(span.resumed_bytes, 64_000_000);
+        assert_eq!(span.chunk_refetches, 1, "only the successful refetch");
+        assert_eq!(span.chain_truncations, 1);
+        assert_eq!(span.restore_fails, 1);
+        assert_eq!(c.nodes()[&0].resumed_bytes, 64_000_000);
+        assert_eq!(c.malformed(), 0);
     }
 
     #[test]

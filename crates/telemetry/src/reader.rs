@@ -1,7 +1,7 @@
 //! Reading a [`crate::JsonlTracer`] stream back into [`TraceRecord`]s.
 //!
 //! The JSONL sink opens with a schema header line
-//! (`{"schema":"cbp-trace","version":4}`) so consumers can reject traces
+//! (`{"schema":"cbp-trace","version":5}`) so consumers can reject traces
 //! written by an incompatible emitter before mis-parsing thousands of
 //! lines. [`JsonlReader`] checks the header, then yields one
 //! `(t_us, TraceRecord)` per line; the round trip
@@ -25,12 +25,14 @@ pub const TRACE_SCHEMA: &str = "cbp-trace";
 /// circuit-breaker vocabulary: `node_down`, `node_up`, `partition_start`,
 /// `partition_end`, `breaker_open`, `breaker_close`; version 4 added the
 /// image-lifecycle vocabulary: `gc_pass`, `image_evict`, `image_spill`,
-/// `no_space`).
-pub const TRACE_SCHEMA_VERSION: u64 = 4;
+/// `no_space`; version 5 added the chunked-transfer integrity vocabulary:
+/// `chunk_done`, `chunk_corrupt`, `chunk_refetch`, `resume_dump`,
+/// `chain_truncate`).
+pub const TRACE_SCHEMA_VERSION: u64 = 5;
 
 /// Oldest schema version [`JsonlReader`] still accepts. Versions 2
-/// through 4 only *added* vocabulary — every v1 line parses identically
-/// under the v4 reader — so v1..=v3 traces remain readable.
+/// through 5 only *added* vocabulary — every v1 line parses identically
+/// under the v5 reader — so v1..=v4 traces remain readable.
 pub const TRACE_SCHEMA_MIN_VERSION: u64 = 1;
 
 /// The exact header line (without trailing newline) the JSONL sink emits.
@@ -152,6 +154,9 @@ fn intern(s: &str) -> &'static str {
 #[derive(Debug)]
 pub struct JsonlReader<R: BufRead> {
     lines: std::io::Lines<R>,
+    /// One-line lookahead, so a malformed *final* line (a crash-truncated
+    /// trace) can be tolerated while malformed interior lines still error.
+    pending: Option<std::io::Result<String>>,
     line_no: usize,
 }
 
@@ -175,7 +180,11 @@ impl<R: BufRead> JsonlReader<R> {
                 version,
             });
         }
-        Ok(JsonlReader { lines, line_no: 1 })
+        Ok(JsonlReader {
+            lines,
+            pending: None,
+            line_no: 1,
+        })
     }
 
     fn parse_line(&self, line: &str) -> Result<(u64, TraceRecord), TraceReadError> {
@@ -344,6 +353,36 @@ impl<R: BufRead> JsonlReader<R> {
                 node: node32("node")?,
                 wanted: u("wanted")?,
             },
+            "chunk_done" => TraceRecord::ChunkDone {
+                task: u("task")?,
+                node: node32("node")?,
+                chunk: u("chunk")?,
+                total: u("total")?,
+            },
+            "chunk_corrupt" => TraceRecord::ChunkCorrupt {
+                task: u("task")?,
+                node: node32("node")?,
+                image: u("image")?,
+                chunk: u("chunk")?,
+            },
+            "chunk_refetch" => TraceRecord::ChunkRefetch {
+                task: u("task")?,
+                node: node32("node")?,
+                chunk: u("chunk")?,
+                ok: b("ok")?,
+            },
+            "resume_dump" => TraceRecord::ResumeDump {
+                task: u("task")?,
+                node: node32("node")?,
+                resumed_bytes: u("resumed_bytes")?,
+                total_bytes: u("total_bytes")?,
+            },
+            "chain_truncate" => TraceRecord::ChainTruncate {
+                task: u("task")?,
+                node: node32("node")?,
+                dropped: u("dropped")?,
+                kept: u("kept")?,
+            },
             "queue_depth" => TraceRecord::QueueDepth {
                 pending: u("pending")?,
             },
@@ -358,13 +397,29 @@ impl<R: BufRead> Iterator for JsonlReader<R> {
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            let line = match self.lines.next()? {
+            let line = match self.pending.take().or_else(|| self.lines.next())? {
                 Ok(line) => line,
                 Err(e) => return Some(Err(TraceReadError::Io(e.to_string()))),
             };
             self.line_no += 1;
             if line.trim().is_empty() {
                 continue;
+            }
+            // A line that is not even valid JSON *and* has nothing after it
+            // is a crash-truncated final record: the writer died mid-line.
+            // Tolerate it — warn and end the stream — so an analyzer can
+            // still consume everything the crashed run managed to flush.
+            // Malformed *interior* lines (more lines follow) still error.
+            if json::parse(&line).is_none() {
+                self.pending = self.lines.next();
+                if self.pending.is_none() {
+                    eprintln!(
+                        "warning: trace line {} is truncated mid-record \
+                         (crash-truncated trace?); stopping here",
+                        self.line_no
+                    );
+                    return None;
+                }
             }
             return Some(self.parse_line(&line));
         }
@@ -716,19 +771,19 @@ mod tests {
 
     #[test]
     fn rejects_future_version_naming_supported_range() {
-        let trace = "{\"schema\":\"cbp-trace\",\"version\":5}\n";
-        let err = JsonlReader::new(trace.as_bytes()).expect_err("v5 must be rejected");
+        let trace = "{\"schema\":\"cbp-trace\",\"version\":6}\n";
+        let err = JsonlReader::new(trace.as_bytes()).expect_err("v6 must be rejected");
         assert_eq!(
             err,
             TraceReadError::IncompatibleSchema {
                 schema: "cbp-trace".to_string(),
-                version: 5,
+                version: 6,
             }
         );
         let msg = err.to_string();
-        assert!(msg.contains("v5"), "must name the found version: {msg}");
+        assert!(msg.contains("v6"), "must name the found version: {msg}");
         assert!(
-            msg.contains("v1") && msg.contains("v4"),
+            msg.contains("v1") && msg.contains("v5"),
             "must name the supported range: {msg}"
         );
         // Version 0 (or a missing version field) is below the floor.
@@ -737,6 +792,95 @@ mod tests {
             JsonlReader::new(trace.as_bytes()),
             Err(TraceReadError::IncompatibleSchema { version: 0, .. })
         ));
+    }
+
+    #[test]
+    fn parses_v5_integrity_records() {
+        let trace = format!(
+            "{}\n\
+             {{\"t_us\":1,\"event\":\"chunk_done\",\"task\":5,\"node\":2,\"chunk\":3,\"total\":8}}\n\
+             {{\"t_us\":2,\"event\":\"chunk_corrupt\",\"task\":5,\"node\":2,\"image\":9,\"chunk\":1}}\n\
+             {{\"t_us\":3,\"event\":\"chunk_refetch\",\"task\":5,\"node\":2,\"chunk\":1,\"ok\":true}}\n\
+             {{\"t_us\":4,\"event\":\"resume_dump\",\"task\":5,\"node\":2,\
+               \"resumed_bytes\":192,\"total_bytes\":512}}\n\
+             {{\"t_us\":5,\"event\":\"chain_truncate\",\"task\":5,\"node\":2,\
+               \"dropped\":2,\"kept\":1}}\n",
+            schema_header()
+        );
+        let recs: Vec<(u64, TraceRecord)> = JsonlReader::new(trace.as_bytes())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert!(matches!(
+            recs[0].1,
+            TraceRecord::ChunkDone {
+                chunk: 3,
+                total: 8,
+                ..
+            }
+        ));
+        assert!(matches!(
+            recs[1].1,
+            TraceRecord::ChunkCorrupt { image: 9, .. }
+        ));
+        assert!(matches!(
+            recs[2].1,
+            TraceRecord::ChunkRefetch { ok: true, .. }
+        ));
+        assert!(matches!(
+            recs[3].1,
+            TraceRecord::ResumeDump {
+                resumed_bytes: 192,
+                total_bytes: 512,
+                ..
+            }
+        ));
+        assert!(matches!(
+            recs[4].1,
+            TraceRecord::ChainTruncate {
+                dropped: 2,
+                kept: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn tolerates_truncated_final_line() {
+        // Simulate a crash mid-write: a full trace whose last record line is
+        // chopped mid-JSON (no closing brace, no newline).
+        let full = write(&sample_stream());
+        let text = String::from_utf8(full).unwrap();
+        let keep = sample_stream().len() - 1;
+        let mut lines: Vec<&str> = text.lines().collect();
+        let last = lines.pop().expect("non-empty trace");
+        let truncated_tail = &last[..last.len() / 2];
+        let mut bytes = lines.join("\n");
+        bytes.push('\n');
+        bytes.push_str(truncated_tail); // mid-record, no trailing newline
+        let read: Vec<(u64, TraceRecord)> = JsonlReader::new(bytes.as_bytes())
+            .expect("header intact")
+            .map(|r| r.expect("interior lines intact"))
+            .collect();
+        assert_eq!(
+            read.len(),
+            keep,
+            "reader must stop cleanly before the truncated final record"
+        );
+    }
+
+    #[test]
+    fn truncated_interior_line_still_errors() {
+        let trace = format!(
+            "{}\n{{\"t_us\":1,\"event\":\"node_f\n\
+             {{\"t_us\":2,\"event\":\"node_fail\",\"node\":0}}\n",
+            schema_header()
+        );
+        let mut r = JsonlReader::new(trace.as_bytes()).unwrap();
+        assert!(
+            matches!(r.next(), Some(Err(TraceReadError::Parse { line: 2, .. }))),
+            "a malformed line with more lines after it is real corruption"
+        );
     }
 
     #[test]

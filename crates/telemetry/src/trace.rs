@@ -306,6 +306,67 @@ pub enum TraceRecord {
         /// Bytes the dump needed and could not get anywhere.
         wanted: u64,
     },
+    /// A dump interruption left a durable chunk frontier behind: chunks
+    /// `0..=chunk` survived and the resumed retry starts after them.
+    /// Emitted at interruption time (not per chunk — a healthy dump would
+    /// otherwise emit hundreds of lines).
+    ChunkDone {
+        /// Task being dumped.
+        task: u64,
+        /// Node the dump ran on.
+        node: u32,
+        /// Highest durable chunk index (0-based).
+        chunk: u64,
+        /// Total chunks in the transfer.
+        total: u64,
+    },
+    /// Restore-time validation flagged a chunk of a chain image as
+    /// corrupt.
+    ChunkCorrupt {
+        /// Task being restored.
+        task: u64,
+        /// Node the restore runs on.
+        node: u32,
+        /// Id of the image the chunk belongs to.
+        image: u64,
+        /// Corrupt chunk index (0-based).
+        chunk: u64,
+    },
+    /// A targeted re-fetch of a corrupt chunk from a DFS replica.
+    ChunkRefetch {
+        /// Task being restored.
+        task: u64,
+        /// Node the restore runs on.
+        node: u32,
+        /// Chunk index that was re-fetched.
+        chunk: u64,
+        /// Whether the replica read repaired the chunk.
+        ok: bool,
+    },
+    /// A failed dump's retry resumed from its durable chunk frontier
+    /// instead of re-dumping from byte zero.
+    ResumeDump {
+        /// Task being dumped.
+        task: u64,
+        /// Node the dump runs on.
+        node: u32,
+        /// Bytes already durable that the retry skips.
+        resumed_bytes: u64,
+        /// Total bytes of the dump.
+        total_bytes: u64,
+    },
+    /// Chain validation truncated a task's image chain to its longest
+    /// valid prefix; the task restores from an older image.
+    ChainTruncate {
+        /// Task whose chain was truncated.
+        task: u64,
+        /// Node the restore runs on.
+        node: u32,
+        /// Images dropped from the invalid suffix.
+        dropped: u64,
+        /// Images surviving in the valid prefix.
+        kept: u64,
+    },
     /// The pending-queue depth changed.
     QueueDepth {
         /// New total number of pending tasks.
@@ -344,6 +405,11 @@ impl TraceRecord {
             TraceRecord::ImageEvict { .. } => "image_evict",
             TraceRecord::ImageSpill { .. } => "image_spill",
             TraceRecord::NoSpace { .. } => "no_space",
+            TraceRecord::ChunkDone { .. } => "chunk_done",
+            TraceRecord::ChunkCorrupt { .. } => "chunk_corrupt",
+            TraceRecord::ChunkRefetch { .. } => "chunk_refetch",
+            TraceRecord::ResumeDump { .. } => "resume_dump",
+            TraceRecord::ChainTruncate { .. } => "chain_truncate",
             TraceRecord::QueueDepth { .. } => "queue_depth",
         }
     }
@@ -374,6 +440,11 @@ impl TraceRecord {
             | TraceRecord::ImageEvict { node, .. }
             | TraceRecord::ImageSpill { node, .. }
             | TraceRecord::NoSpace { node, .. }
+            | TraceRecord::ChunkDone { node, .. }
+            | TraceRecord::ChunkCorrupt { node, .. }
+            | TraceRecord::ChunkRefetch { node, .. }
+            | TraceRecord::ResumeDump { node, .. }
+            | TraceRecord::ChainTruncate { node, .. }
             | TraceRecord::NodeFail { node }
             | TraceRecord::NodeRecover { node }
             | TraceRecord::NodeDown { node }
@@ -577,6 +648,61 @@ impl TraceRecord {
                 kv_u64(out, "task", task);
                 kv_u64(out, "node", node as u64);
                 kv_u64(out, "wanted", wanted);
+            }
+            TraceRecord::ChunkDone {
+                task,
+                node,
+                chunk,
+                total,
+            } => {
+                kv_u64(out, "task", task);
+                kv_u64(out, "node", node as u64);
+                kv_u64(out, "chunk", chunk);
+                kv_u64(out, "total", total);
+            }
+            TraceRecord::ChunkCorrupt {
+                task,
+                node,
+                image,
+                chunk,
+            } => {
+                kv_u64(out, "task", task);
+                kv_u64(out, "node", node as u64);
+                kv_u64(out, "image", image);
+                kv_u64(out, "chunk", chunk);
+            }
+            TraceRecord::ChunkRefetch {
+                task,
+                node,
+                chunk,
+                ok,
+            } => {
+                kv_u64(out, "task", task);
+                kv_u64(out, "node", node as u64);
+                kv_u64(out, "chunk", chunk);
+                kv_bool(out, "ok", ok);
+            }
+            TraceRecord::ResumeDump {
+                task,
+                node,
+                resumed_bytes,
+                total_bytes,
+            } => {
+                kv_u64(out, "task", task);
+                kv_u64(out, "node", node as u64);
+                kv_u64(out, "resumed_bytes", resumed_bytes);
+                kv_u64(out, "total_bytes", total_bytes);
+            }
+            TraceRecord::ChainTruncate {
+                task,
+                node,
+                dropped,
+                kept,
+            } => {
+                kv_u64(out, "task", task);
+                kv_u64(out, "node", node as u64);
+                kv_u64(out, "dropped", dropped);
+                kv_u64(out, "kept", kept);
             }
             TraceRecord::QueueDepth { pending } => {
                 kv_u64(out, "pending", pending);
@@ -1067,7 +1193,52 @@ mod tests {
                     reason: "no-space",
                 },
             ),
-            (90, TraceRecord::TaskFinish { task: 7, node: 5 }),
+            (
+                90,
+                TraceRecord::ChunkDone {
+                    task: 9,
+                    node: 1,
+                    chunk: 2,
+                    total: 8,
+                },
+            ),
+            (
+                90,
+                TraceRecord::ResumeDump {
+                    task: 9,
+                    node: 1,
+                    resumed_bytes: 3 << 20,
+                    total_bytes: 8 << 20,
+                },
+            ),
+            (
+                91,
+                TraceRecord::ChunkCorrupt {
+                    task: 7,
+                    node: 5,
+                    image: 12,
+                    chunk: 4,
+                },
+            ),
+            (
+                91,
+                TraceRecord::ChunkRefetch {
+                    task: 7,
+                    node: 5,
+                    chunk: 4,
+                    ok: true,
+                },
+            ),
+            (
+                92,
+                TraceRecord::ChainTruncate {
+                    task: 7,
+                    node: 5,
+                    dropped: 2,
+                    kept: 1,
+                },
+            ),
+            (95, TraceRecord::TaskFinish { task: 7, node: 5 }),
         ]
     }
 

@@ -55,6 +55,20 @@ pub struct YarnReport {
     /// Total breaker time-in-open, seconds, summed over the per-node
     /// breakers and the global backstop.
     pub breaker_open_secs: f64,
+    /// Failed dumps retried from the durable chunk frontier instead of
+    /// rewriting from byte zero (chunked resume).
+    pub resumed_dumps: u64,
+    /// Bytes those resumed retries did *not* have to rewrite.
+    pub resumed_bytes: u64,
+    /// Corrupt chunks repaired in place by a targeted DFS replica
+    /// re-fetch at restore time.
+    pub chunk_refetches: u64,
+    /// Chains cut to their longest valid prefix after an unrepairable
+    /// image (the task restored from an older checkpoint).
+    pub chain_truncations: u64,
+    /// Tasks restarted from scratch because no valid chain prefix
+    /// survived validation.
+    pub integrity_scratch_restarts: u64,
     /// CPU-hours of re-executed (killed) work.
     pub kill_lost_cpu_hours: f64,
     /// CPU-hours of containers held during dumps.
@@ -151,6 +165,11 @@ mod tests {
             crash_evictions: 0,
             breaker_open_kills: 0,
             breaker_open_secs: 0.0,
+            resumed_dumps: 0,
+            resumed_bytes: 0,
+            chunk_refetches: 0,
+            chain_truncations: 0,
+            integrity_scratch_restarts: 0,
             kill_lost_cpu_hours: 1.0,
             dump_overhead_cpu_hours: 0.5,
             restore_overhead_cpu_hours: 0.5,

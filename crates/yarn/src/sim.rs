@@ -153,6 +153,11 @@ pub struct YarnSim {
     dump_fail_kills: u64,
     crash_evictions: u64,
     breaker_open_kills: u64,
+    resumed_dumps: u64,
+    resumed_bytes: u64,
+    chunk_refetches: u64,
+    chain_truncations: u64,
+    integrity_scratch_restarts: u64,
     kill_lost_cpu_secs: f64,
     dump_overhead_cpu_secs: f64,
     restore_overhead_cpu_secs: f64,
@@ -181,6 +186,23 @@ pub struct YarnSim {
     /// The image-ledger conservation invariant is
     /// `device.used == criu live bytes + leaked` on every node.
     leaked: Vec<u64>,
+    /// Dump retry attempt counts per task key (absent = first attempt).
+    dump_attempts: HashMap<u64, u32>,
+    /// Chunked-resume frontier per task key: bytes of the in-flight dump
+    /// already durable. Monotone within a dump episode so a later retry
+    /// never re-pays chunks an earlier attempt landed.
+    dump_frontier: HashMap<u64, u64>,
+}
+
+/// Outcome of post-restore chunk validation (chunked-resume mode).
+enum ChainValidation {
+    /// Every chunk verified (possibly after in-place replica repairs).
+    Intact,
+    /// The chain was cut to its longest valid prefix; a re-read of the
+    /// truncated chain is already in flight.
+    Truncated,
+    /// No valid prefix survived; the task was restarted from scratch.
+    Dead,
 }
 
 fn task_key(app: u32, task: u32) -> u64 {
@@ -235,6 +257,10 @@ impl YarnSim {
             .and_then(|p| p.breaker())
             .map(|spec| HealthMonitor::new(*spec, cfg.nodes));
         let total_tasks = workload.jobs().iter().map(|j| j.tasks.len() as u64).sum();
+        let mut criu = Criu::new(cfg.incremental);
+        if let Some(plan) = &faults {
+            criu = criu.with_chunk_bytes(plan.chunk_bytes());
+        }
 
         YarnSim {
             faults,
@@ -243,7 +269,7 @@ impl YarnSim {
             total_tasks,
             rm: ResourceManager::new(),
             apps: Vec::with_capacity(workload.job_count()),
-            criu: Criu::new(cfg.incremental),
+            criu,
             dfs,
             barriers: HashMap::new(),
             nms,
@@ -266,6 +292,13 @@ impl YarnSim {
             dump_fail_kills: 0,
             crash_evictions: 0,
             breaker_open_kills: 0,
+            resumed_dumps: 0,
+            resumed_bytes: 0,
+            chunk_refetches: 0,
+            chain_truncations: 0,
+            integrity_scratch_restarts: 0,
+            dump_attempts: HashMap::new(),
+            dump_frontier: HashMap::new(),
             kill_lost_cpu_secs: 0.0,
             dump_overhead_cpu_secs: 0.0,
             restore_overhead_cpu_secs: 0.0,
@@ -361,6 +394,11 @@ impl YarnSim {
             crash_evictions: self.crash_evictions,
             breaker_open_kills: self.breaker_open_kills,
             breaker_open_secs,
+            resumed_dumps: self.resumed_dumps,
+            resumed_bytes: self.resumed_bytes,
+            chunk_refetches: self.chunk_refetches,
+            chain_truncations: self.chain_truncations,
+            integrity_scratch_restarts: self.integrity_scratch_restarts,
             kill_lost_cpu_hours: self.kill_lost_cpu_secs / 3600.0,
             dump_overhead_cpu_hours: self.dump_overhead_cpu_secs / 3600.0,
             restore_overhead_cpu_hours: self.restore_overhead_cpu_secs / 3600.0,
@@ -411,6 +449,15 @@ impl YarnSim {
         reg.set_counter("faults.crash_evictions", "ops", self.crash_evictions);
         reg.set_counter("faults.breaker_open_kills", "ops", self.breaker_open_kills);
         reg.set_gauge("faults.breaker_open_secs", "s", breaker_open_secs);
+        reg.set_counter("integrity.resumed_dumps", "ops", self.resumed_dumps);
+        reg.set_counter("integrity.resumed_bytes", "bytes", self.resumed_bytes);
+        reg.set_counter("integrity.chunk_refetches", "ops", self.chunk_refetches);
+        reg.set_counter("integrity.chain_truncations", "ops", self.chain_truncations);
+        reg.set_counter(
+            "integrity.scratch_restarts",
+            "ops",
+            self.integrity_scratch_restarts,
+        );
         reg.set_counter("scheduler.tasks_finished", "ops", self.tasks_finished);
         reg.set_counter(
             "scheduler.jobs_finished",
@@ -1176,21 +1223,138 @@ impl YarnSim {
         }
     }
 
-    /// Fault-injection fallback: the dump's `criu dump` errored at the
-    /// NM. The half-written image tip is aborted and the container
-    /// transitions through the same kill path the NM uses for a
-    /// grace-period expiry — progress since the last valid checkpoint is
-    /// lost but the preempted resources are released.
+    /// Handles a dump attempt that failed while retry budget remains: the
+    /// NM rewrites the stored tip after an exponential backoff. With
+    /// chunked resume enabled the rewrite skips the chunks already durable
+    /// before the interruption; the frontier is monotone within the dump
+    /// episode, so a later retry never re-pays chunks an earlier attempt
+    /// landed.
+    fn retry_dump(
+        &mut self,
+        app: u32,
+        task: u32,
+        epoch: u32,
+        attempt: u32,
+        now: SimTime,
+        q: &mut EventQueue<YarnEvent>,
+    ) {
+        let AmTaskStatus::Dumping { node, .. } =
+            self.apps[app as usize].tasks[task as usize].status
+        else {
+            return;
+        };
+        let key = task_key(app, task);
+        self.observe_health(node as usize, now, false);
+        let plan = self.faults.as_ref().expect("caller checked plan presence");
+        let backoff = plan.dump_retry_backoff(attempt + 1);
+        if self.trace_on {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::DumpFail {
+                    task: key,
+                    node,
+                    attempt,
+                    will_retry: true,
+                },
+            );
+        }
+        self.dump_attempts.insert(key, attempt + 1);
+        let tip_info = self
+            .criu
+            .chain(key)
+            .and_then(|c| c.tip())
+            .map(|r| (r.size, r.origin_node));
+        let (size, origin) = tip_info.unwrap_or((
+            self.apps[app as usize].tasks[task as usize]
+                .spec
+                .resources
+                .mem(),
+            node,
+        ));
+        let mut rewrite = size;
+        if plan.resume_enabled() {
+            let frac = plan.dump_durable_frac(key, epoch, attempt);
+            if let Some(tip) = self.criu.chain(key).and_then(|c| c.tip()) {
+                let durable = tip.manifest.durable_bytes(frac).as_u64();
+                let total_chunks = tip.manifest.chunk_count();
+                let prev = self.dump_frontier.get(&key).copied().unwrap_or(0);
+                let frontier = prev.max(durable);
+                if frontier > 0 {
+                    self.dump_frontier.insert(key, frontier);
+                    rewrite = size.saturating_sub(ByteSize::from_bytes(frontier));
+                    self.resumed_dumps += 1;
+                    self.resumed_bytes += frontier;
+                    if self.trace_on {
+                        let done = tip
+                            .manifest
+                            .durable_chunks(frac)
+                            .max(frontier / plan.chunk_bytes().max(1));
+                        self.tracer.record(
+                            now.as_micros(),
+                            &TraceRecord::ChunkDone {
+                                task: key,
+                                node,
+                                chunk: done,
+                                total: total_chunks,
+                            },
+                        );
+                        self.tracer.record(
+                            now.as_micros(),
+                            &TraceRecord::ResumeDump {
+                                task: key,
+                                node,
+                                resumed_bytes: frontier,
+                                total_bytes: size.as_u64(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        // The rewrite pays the origin device's sequential write speed (plus
+        // any partition penalty); the preempted container keeps holding its
+        // resources through the window, so the service time is overhead.
+        let factor = self.net_factor(node as usize, now).max(1.0);
+        let service = self.nms[origin as usize]
+            .device
+            .spec()
+            .write_time(rewrite)
+            .mul_f64(factor);
+        let cores = self.apps[app as usize].tasks[task as usize]
+            .spec
+            .resources
+            .cores_f64();
+        self.dump_overhead_cpu_secs += service.as_secs_f64() * cores;
+        let start = now + backoff;
+        q.push(
+            start + service,
+            YarnEvent::DumpDone {
+                app,
+                task,
+                epoch,
+                started: start,
+            },
+        );
+    }
+
+    /// Fault-injection fallback: the dump's `criu dump` kept erroring and
+    /// exhausted its retry budget at the NM. The half-written image tip is
+    /// aborted and the container transitions through the same kill path
+    /// the NM uses for a grace-period expiry — progress since the last
+    /// valid checkpoint is lost but the preempted resources are released.
     fn on_dump_failed(
         &mut self,
         app: u32,
         task: u32,
         node: u32,
+        attempt: u32,
         now: SimTime,
         q: &mut EventQueue<YarnEvent>,
     ) {
         let key = task_key(app, task);
         self.dump_fail_kills += 1;
+        self.dump_attempts.remove(&key);
+        self.dump_frontier.remove(&key);
         self.observe_health(node as usize, now, false);
         if let Some((origin, bytes)) = self.criu.abort_tip(key) {
             self.nms[origin as usize].device.release(bytes);
@@ -1204,7 +1368,7 @@ impl YarnSim {
                 &TraceRecord::DumpFail {
                     task: key,
                     node,
-                    attempt: 0,
+                    attempt,
                     will_retry: false,
                 },
             );
@@ -1296,6 +1460,8 @@ impl YarnSim {
         {
             // Abort the half-written tip; the epoch bump below stales the
             // queued DumpDone, so close the dangling dump span here.
+            self.dump_attempts.remove(&key);
+            self.dump_frontier.remove(&key);
             if let Some((origin, bytes)) = self.criu.abort_tip(key) {
                 self.nms[origin as usize].device.release(bytes);
             }
@@ -1334,6 +1500,8 @@ impl YarnSim {
         match self.apps[app as usize].tasks[task as usize].status {
             AmTaskStatus::Dumping { node, container } => {
                 // The tip being written sat below lost ancestor blocks.
+                self.dump_attempts.remove(&key);
+                self.dump_frontier.remove(&key);
                 if let Some((origin, bytes)) = self.criu.abort_tip(key) {
                     self.nms[origin as usize].device.release(bytes);
                 }
@@ -1394,6 +1562,216 @@ impl YarnSim {
         if let Some(mem) = am_task.memory.as_mut() {
             mem.mark_all_dirty();
         }
+    }
+
+    /// Chunk-level validation of a restored chain (chunked-resume mode):
+    /// every corrupt chunk first attempts a targeted re-fetch from a DFS
+    /// replica; an image that stays invalid cuts the chain at its longest
+    /// valid prefix (the older tip is re-read in place), and a chain with
+    /// no valid prefix restarts the task from scratch on its container.
+    fn validate_restored_chain(
+        &mut self,
+        app: u32,
+        task: u32,
+        epoch: u32,
+        started: SimTime,
+        now: SimTime,
+        q: &mut EventQueue<YarnEvent>,
+    ) -> ChainValidation {
+        let key = task_key(app, task);
+        let AmTaskStatus::Restoring { node, container } =
+            self.apps[app as usize].tasks[task as usize].status
+        else {
+            return ChainValidation::Intact;
+        };
+        // Snapshot (image idx → corrupt chunks with lengths): the catalog
+        // is mutated during repair, so iterate over an owned copy.
+        let images: Vec<(usize, Vec<(u64, u64)>)> = match self.criu.chain(key) {
+            Some(chain) => chain
+                .images()
+                .iter()
+                .enumerate()
+                .map(|(i, img)| {
+                    let bad = img
+                        .manifest
+                        .corrupt_chunks()
+                        .into_iter()
+                        .map(|c| (c, img.manifest.chunks[c as usize].len))
+                        .collect();
+                    (i, bad)
+                })
+                .collect(),
+            None => return ChainValidation::Intact,
+        };
+        if images.iter().all(|(_, bad)| bad.is_empty()) {
+            return ChainValidation::Intact;
+        }
+        let cores = self.apps[app as usize].tasks[task as usize]
+            .spec
+            .resources
+            .cores_f64();
+        let total = images.len();
+        let mut valid_prefix = total;
+        'walk: for (i, bad) in images {
+            for (chunk, len) in bad {
+                // A replica exists when the image's HDFS blocks are still
+                // readable from this datanode.
+                let replica = self.apps[app as usize].tasks[task as usize]
+                    .dfs_paths
+                    .get(i)
+                    .is_some_and(|p| self.dfs.is_readable(p).unwrap_or(false));
+                // Per-image × per-chunk key so refetch draws across chain
+                // images stay independent.
+                let ckey = ((i as u64) << 20) | chunk;
+                let ok = replica
+                    && !self
+                        .faults
+                        .as_ref()
+                        .expect("resume mode implies a plan")
+                        .chunk_refetch_fails(key, epoch, ckey);
+                if self.trace_on {
+                    self.tracer.record(
+                        now.as_micros(),
+                        &TraceRecord::ChunkRefetch {
+                            task: key,
+                            node,
+                            chunk,
+                            ok,
+                        },
+                    );
+                }
+                if ok {
+                    self.criu.repair_chunk(key, i, chunk);
+                    self.chunk_refetches += 1;
+                    // The targeted re-read holds the container for the
+                    // chunk's transfer time.
+                    let reread = self.nms[node as usize]
+                        .device
+                        .spec()
+                        .read_time(ByteSize::from_bytes(len));
+                    self.restore_overhead_cpu_secs += reread.as_secs_f64() * cores;
+                } else {
+                    valid_prefix = i;
+                    break 'walk;
+                }
+            }
+        }
+        if valid_prefix == total {
+            // Every corrupt chunk was repaired in place: the restore holds.
+            return ChainValidation::Intact;
+        }
+        // The completed read past the prefix was wasted work.
+        self.restore_overhead_cpu_secs += now.since(started).as_secs_f64() * cores;
+        self.observe_health(node as usize, now, false);
+        if valid_prefix == 0 {
+            // No valid prefix: the checkpointed progress is re-execution
+            // waste and the task restarts from scratch on its container.
+            if self.trace_on {
+                self.tracer.record(
+                    now.as_micros(),
+                    &TraceRecord::RestoreFail {
+                        task: key,
+                        node,
+                        attempt: 0,
+                        reason: "corrupt-image",
+                        will_retry: false,
+                    },
+                );
+            }
+            self.integrity_scratch_restarts += 1;
+            let lost = self.apps[app as usize].tasks[task as usize].checkpointed_progress;
+            self.kill_lost_cpu_secs += lost.as_secs_f64() * cores;
+            self.discard_chain(app, task);
+            let startup = self.cfg.container_startup;
+            let am_task = &mut self.apps[app as usize].tasks[task as usize];
+            am_task.progress = cbp_simkit::SimDuration::ZERO;
+            am_task.status = AmTaskStatus::Running { node, container };
+            am_task.run_started = now + startup;
+            am_task.mem_synced = am_task.run_started;
+            let epoch = am_task.epoch;
+            q.push(
+                am_task.run_started + am_task.remaining(),
+                YarnEvent::TaskFinish { app, task, epoch },
+            );
+            return ChainValidation::Dead;
+        }
+        // Truncate to the longest valid prefix and restore from the older
+        // tip instead of losing the whole chain.
+        let dropped = (total - valid_prefix) as u64;
+        for (origin, bytes) in self.criu.truncate_chain(key, valid_prefix) {
+            self.nms[origin as usize].device.release(bytes);
+        }
+        while self.apps[app as usize].tasks[task as usize].dfs_paths.len() > valid_prefix {
+            let path = self.apps[app as usize].tasks[task as usize]
+                .dfs_paths
+                .pop()
+                .expect("length checked");
+            let _ = self.dfs.delete(&path);
+        }
+        self.chain_truncations += 1;
+        if self.trace_on {
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::ChainTruncate {
+                    task: key,
+                    node,
+                    dropped,
+                    kept: valid_prefix as u64,
+                },
+            );
+            self.tracer.record(
+                now.as_micros(),
+                &TraceRecord::RestoreFail {
+                    task: key,
+                    node,
+                    attempt: 0,
+                    reason: "corrupt-image",
+                    will_retry: true,
+                },
+            );
+        }
+        // Roll progress back to what the surviving tip certifies.
+        let stamp = self
+            .criu
+            .chain(key)
+            .and_then(|c| c.tip())
+            .map(|r| r.progress)
+            .unwrap_or(0);
+        let am_task = &mut self.apps[app as usize].tasks[task as usize];
+        am_task.checkpointed_progress = cbp_simkit::SimDuration::from_micros(stamp);
+        am_task.progress = am_task.checkpointed_progress;
+        // Re-read the truncated chain in place (same node, same episode).
+        // The strictly shrinking chain bounds the truncation loop.
+        let service: cbp_simkit::SimDuration = self.apps[app as usize].tasks[task as usize]
+            .dfs_paths
+            .iter()
+            .map(|p| {
+                self.dfs
+                    .read_cost(p, DnId(node))
+                    .map(|c| c.duration)
+                    .unwrap_or(cbp_simkit::SimDuration::ZERO)
+            })
+            .sum();
+        let factor = self.net_factor(node as usize, now);
+        let service = if factor > 1.0 {
+            service.mul_f64(factor)
+        } else {
+            service
+        };
+        let size = self.criu.image_size(key);
+        let op = self.nms[node as usize]
+            .device
+            .submit_custom(now, OpKind::Read, size, service);
+        q.push(
+            op.end,
+            YarnEvent::RestoreDone {
+                app,
+                task,
+                epoch,
+                started: op.start,
+            },
+        );
+        ChainValidation::Truncated
     }
 }
 
@@ -1555,6 +1933,8 @@ impl YarnSim {
                 };
                 // Abort the half-written dump and kill the container.
                 let key = task_key(app, task);
+                self.dump_attempts.remove(&key);
+                self.dump_frontier.remove(&key);
                 if let Some((origin, bytes)) = self.criu.abort_tip(key) {
                     self.nms[origin as usize].device.release(bytes);
                 }
@@ -1621,13 +2001,21 @@ impl YarnSim {
                     return;
                 };
                 self.nms[node as usize].device.on_advance(now);
-                // Fault injection: the NM's `criu dump` errored. The
-                // Preemption Manager's fallback is the stock-YARN one —
-                // abort the half-written image and kill the container
-                // (the RM's ask is served either way).
+                // Fault injection: the NM's `criu dump` errored. While the
+                // retry budget lasts the tip is rewritten after a backoff
+                // (resuming past the durable chunk frontier when chunked
+                // resume is on); once exhausted the Preemption Manager's
+                // fallback is the stock-YARN one — abort the half-written
+                // image and kill the container.
                 if let Some(plan) = &self.faults {
-                    if plan.dump_fails(task_key(app, task), epoch, 0) {
-                        self.on_dump_failed(app, task, node, now, q);
+                    let key = task_key(app, task);
+                    let attempt = self.dump_attempts.get(&key).copied().unwrap_or(0);
+                    if plan.dump_fails(key, epoch, attempt) {
+                        if attempt < plan.max_dump_retries() {
+                            self.retry_dump(app, task, epoch, attempt, now, q);
+                        } else {
+                            self.on_dump_failed(app, task, node, attempt, now, q);
+                        }
                         return;
                     }
                 }
@@ -1647,6 +2035,49 @@ impl YarnSim {
                 am_task.checkpointed_progress = am_task.progress;
                 am_task.preempt_requested = false;
                 am_task.status = AmTaskStatus::Suspended { origin: node };
+                let key = task_key(app, task);
+                let stamp = self.apps[app as usize].tasks[task as usize]
+                    .checkpointed_progress
+                    .as_micros();
+                // Stamp the tip with the progress it certifies, so a later
+                // chain truncation can roll the task back to exactly the
+                // progress its surviving tip guarantees.
+                self.criu.set_tip_progress(key, stamp);
+                // With chunked resume on, corruption is drawn per *chunk*
+                // and lands in the tip's manifest, repairable at restore
+                // time by a targeted replica re-fetch.
+                if let Some(plan) = &self.faults {
+                    self.dump_attempts.remove(&key);
+                    self.dump_frontier.remove(&key);
+                    if plan.resume_enabled() {
+                        let hit: Vec<(u64, u64)> = self
+                            .criu
+                            .chain(key)
+                            .and_then(|c| c.tip())
+                            .map(|tip| {
+                                let n = tip.manifest.chunk_count();
+                                (0..n)
+                                    .filter(|&c| plan.chunk_corrupt(key, epoch, c, n))
+                                    .map(|c| (c, tip.id.0))
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        for &(chunk, image) in &hit {
+                            self.criu.mark_tip_chunk_corrupt(key, chunk);
+                            if self.trace_on {
+                                self.tracer.record(
+                                    now.as_micros(),
+                                    &TraceRecord::ChunkCorrupt {
+                                        task: key,
+                                        node,
+                                        image,
+                                        chunk,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
                 self.apps[app as usize].requeue(task);
                 self.rm.add_asks(app, 1);
                 q.push(now + self.cfg.rpc_delay, YarnEvent::RmSchedule);
@@ -1665,6 +2096,15 @@ impl YarnSim {
                     return;
                 };
                 self.nms[node as usize].device.on_advance(now);
+                // Chunked-resume integrity: validate the chain before the
+                // restored state is trusted. A truncation already re-read
+                // the shorter chain; a dead chain restarted from scratch.
+                if self.faults.as_ref().is_some_and(|p| p.resume_enabled()) {
+                    match self.validate_restored_chain(app, task, epoch, started, now, q) {
+                        ChainValidation::Intact => {}
+                        ChainValidation::Truncated | ChainValidation::Dead => return,
+                    }
+                }
                 self.restores += 1;
                 self.observe_health(node as usize, now, true);
                 if self.trace_on {
@@ -1857,6 +2297,9 @@ impl YarnSim {
     /// the exact event that introduced it.
     #[cfg(debug_assertions)]
     fn assert_image_conservation(&self, now: SimTime) {
+        // Manifest ↔ catalog ↔ ledger first (per-image checksums and
+        // per-node byte recomputation), then ledger ↔ device reservations.
+        self.criu.assert_manifest_consistency();
         for (i, nm) in self.nms.iter().enumerate() {
             let live = self.criu.live_bytes_on(i as u32).as_u64();
             assert_eq!(
